@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the distance kernels at the paper's dimensionalities
+//! (200-d GloVe, 256-d NYT, 768-d MS MARCO).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laf_vector::{ops, AngularDistance, CosineDistance, DistanceMetric, EuclideanDistance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_unit(dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    ops::normalize_in_place(&mut v);
+    v
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("distance_kernels");
+    group.sample_size(30);
+    for dim in [200usize, 256, 768] {
+        let a = random_unit(dim, &mut rng);
+        let b = random_unit(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(CosineDistance.dist(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("euclidean", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(EuclideanDistance.dist(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("angular", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(AngularDistance.dist(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(ops::dot(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

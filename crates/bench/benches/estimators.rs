@@ -1,0 +1,78 @@
+//! Cardinality-estimator inference cost: the LAF gate's overhead per point
+//! must be far cheaper than the range query it potentially replaces. This is
+//! the ablation backing the paper's claim that "prediction time is constant
+//! with the data scale".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laf_cardest::{
+    CardinalityEstimator, ExactEstimator, HistogramEstimator, MlpEstimator, NetConfig, RmiConfig,
+    RmiEstimator, SamplingEstimator, TrainingSetBuilder,
+};
+use laf_synth::EmbeddingMixtureConfig;
+use laf_vector::{Dataset, Metric};
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    EmbeddingMixtureConfig {
+        n_points: 800,
+        dim: 64,
+        clusters: 10,
+        spread: 0.08,
+        noise_fraction: 0.3,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap()
+    .0
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let data = dataset();
+    let training = TrainingSetBuilder {
+        max_queries: Some(200),
+        ..Default::default()
+    }
+    .build(&data, &data)
+    .unwrap();
+
+    let mlp = MlpEstimator::train(&training, &NetConfig::tiny());
+    let rmi = RmiEstimator::train(&training, &RmiConfig::paper_stages(NetConfig::tiny()));
+    let exact = ExactEstimator::new(&data, Metric::Cosine);
+    let sampling = SamplingEstimator::new(&data, Metric::Cosine, data.len() / 10, 3);
+    let histogram = HistogramEstimator::from_training(&training);
+
+    let estimators: Vec<(&str, &dyn CardinalityEstimator)> = vec![
+        ("mlp", &mlp),
+        ("rmi", &rmi),
+        ("exact_range_count", &exact),
+        ("sampling", &sampling),
+        ("histogram", &histogram),
+    ];
+
+    let mut group = c.benchmark_group("cardinality_estimate");
+    group.sample_size(30);
+    for (name, est) in &estimators {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |bench, _| {
+            let mut q = 0usize;
+            bench.iter(|| {
+                q = (q + 37) % data.len();
+                black_box(est.estimate(data.row(q), 0.5))
+            })
+        });
+    }
+    group.finish();
+
+    // Training cost of the learned estimators (one sample each; training is
+    // excluded from the paper's clustering times but reported here for
+    // completeness).
+    let mut group = c.benchmark_group("estimator_training");
+    group.sample_size(10);
+    group.bench_function("mlp_tiny", |bench| {
+        bench.iter(|| black_box(MlpEstimator::train(&training, &NetConfig::tiny())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

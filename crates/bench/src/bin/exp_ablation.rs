@@ -1,0 +1,7 @@
+//! Ablation studies: estimator choice, post-processing, range-query engine.
+//! See `laf_bench::ablation`.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::ablation::run(&cfg);
+}

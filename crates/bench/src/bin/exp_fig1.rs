@@ -1,0 +1,6 @@
+//! Reproduces the paper's Figure 1 — see `laf_bench::experiments::fig1`.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::experiments::fig1(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's Figure 2 (trade-off on MS-150k).
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::experiments::fig_tradeoff(&cfg, "MS-150k", "fig2");
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's Figure 3 (trade-off on Glove-150k).
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::experiments::fig_tradeoff(&cfg, "Glove-150k", "fig3");
+}

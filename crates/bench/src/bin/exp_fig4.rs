@@ -1,0 +1,6 @@
+//! Reproduces the paper's Figure 4 (scalability over the MS family).
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::experiments::fig4(&cfg);
+}

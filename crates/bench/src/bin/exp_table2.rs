@@ -1,0 +1,6 @@
+//! Reproduces the paper's Table2 — see `laf_bench::experiments::table2`.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::experiments::table2(&cfg);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's Table4 — see `laf_bench::experiments::table4`.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::experiments::table4(&cfg);
+}

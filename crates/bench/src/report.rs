@@ -1,0 +1,105 @@
+//! Plain-text table rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Render an ASCII table with left-aligned first column and right-aligned
+/// numeric columns, mirroring how the paper's tables read.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    if headers.is_empty() {
+        return;
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{:<width$}", c, width = widths[i])
+                } else {
+                    format!("{:>width$}", c, width = widths[i])
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", render(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+/// Serialize `value` as pretty JSON under `dir/name.json` (the directory is
+/// created if needed). Failures are reported but not fatal — experiments
+/// should still print their tables when the filesystem is read-only.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Human-friendly seconds formatting used across the tables.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 0.001 {
+        format!("{:.1}us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_seconds_scales_units() {
+        assert_eq!(format_seconds(0.0000005), "0.5us");
+        assert_eq!(format_seconds(0.5), "500.0ms");
+        assert_eq!(format_seconds(2.5), "2.50s");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
+        );
+        print_table("empty", &[], &[]);
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("laf_bench_report_test");
+        write_json(&dir, "sample", &vec![1, 2, 3]);
+        let path = dir.join("sample.json");
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

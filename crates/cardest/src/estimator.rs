@@ -1,0 +1,160 @@
+//! The estimator abstraction plus the oracle / failure-injection estimators.
+
+use laf_index::{LinearScan, RangeQueryEngine};
+use laf_vector::{Dataset, Metric};
+
+/// Predicts the number of dataset points within distance `eps` of `query`
+/// **without executing the range query**.
+///
+/// LAF compares the prediction against `α·τ` (error factor times the DBSCAN
+/// neighbor threshold) to decide whether the range query can be skipped.
+pub trait CardinalityEstimator: Send + Sync {
+    /// Predicted number of neighbors of `query` within `eps`.
+    ///
+    /// Implementations should return a non-negative finite value; the LAF
+    /// layer treats non-finite predictions as "don't know" and falls back to
+    /// executing the range query.
+    fn estimate(&self, query: &[f32], eps: f32) -> f32;
+
+    /// Short name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of predictions served so far (diagnostics). Implementations
+    /// that do not track this return `None`.
+    fn predictions(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
+    fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        (**self).estimate(query, eps)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn predictions(&self) -> Option<u64> {
+        (**self).predictions()
+    }
+}
+
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
+    fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        (**self).estimate(query, eps)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn predictions(&self) -> Option<u64> {
+        (**self).predictions()
+    }
+}
+
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for std::sync::Arc<T> {
+    fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        (**self).estimate(query, eps)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn predictions(&self) -> Option<u64> {
+        (**self).predictions()
+    }
+}
+
+/// Oracle estimator: runs the actual range count. Useful for tests (LAF with
+/// an exact oracle and α = 1 must reproduce DBSCAN exactly) and as an upper
+/// bound in ablations. Obviously provides no speedup.
+pub struct ExactEstimator<'a> {
+    scan: LinearScan<'a>,
+}
+
+impl<'a> ExactEstimator<'a> {
+    /// Build the oracle over `data` with the given metric.
+    pub fn new(data: &'a Dataset, metric: Metric) -> Self {
+        Self {
+            scan: LinearScan::new(data, metric),
+        }
+    }
+}
+
+impl CardinalityEstimator for ExactEstimator<'_> {
+    fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        self.scan.range_count(query, eps) as f32
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// Failure-injection estimator: always answers the same value, regardless of
+/// the query. `ConstantEstimator::new(0.0)` makes LAF predict every point as
+/// a stop point; `f32::INFINITY` makes it predict every point as core (i.e.
+/// degrade to plain DBSCAN); `f32::NAN` exercises the non-finite fallback.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantEstimator {
+    value: f32,
+}
+
+impl ConstantEstimator {
+    /// Estimator that always answers `value`.
+    pub fn new(value: f32) -> Self {
+        Self { value }
+    }
+}
+
+impl CardinalityEstimator for ConstantEstimator {
+    fn estimate(&self, _query: &[f32], _eps: f32) -> f32 {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::from_rows(vec![
+            vec![1.0f32, 0.0],
+            vec![0.99, 0.14],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+        ])
+        .unwrap();
+        d.normalize();
+        d
+    }
+
+    #[test]
+    fn exact_estimator_counts_exactly() {
+        let d = data();
+        let est = ExactEstimator::new(&d, Metric::Cosine);
+        assert_eq!(est.estimate(d.row(0), 0.05), 2.0);
+        assert_eq!(est.estimate(d.row(0), 1.5), 3.0);
+        assert_eq!(est.estimate(d.row(0), 2.5), 4.0);
+        assert_eq!(est.name(), "exact");
+        assert!(est.predictions().is_none());
+    }
+
+    #[test]
+    fn constant_estimator_ignores_input() {
+        let d = data();
+        let zero = ConstantEstimator::new(0.0);
+        let inf = ConstantEstimator::new(f32::INFINITY);
+        assert_eq!(zero.estimate(d.row(0), 0.5), 0.0);
+        assert_eq!(zero.estimate(d.row(3), 2.0), 0.0);
+        assert_eq!(inf.estimate(d.row(1), 0.1), f32::INFINITY);
+        assert_eq!(zero.name(), "constant");
+    }
+}

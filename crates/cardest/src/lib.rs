@@ -1,0 +1,46 @@
+//! # laf-cardest
+//!
+//! Learned cardinality estimation for angular range queries — the first half
+//! of the paper's LAF framework.
+//!
+//! The key idea of LAF-DBSCAN is that deciding whether a point is *core*
+//! only requires the **number** of neighbors within ε, not the neighbors
+//! themselves, and that number can be predicted by a regression model far
+//! more cheaply than it can be counted by a range query. This crate provides:
+//!
+//! * [`CardinalityEstimator`] — the estimator abstraction the LAF framework
+//!   plugs in front of every range query;
+//! * [`RmiEstimator`] — the paper's estimator: a 3-stage Recursive Model
+//!   Index whose stages contain 1 / 2 / 4 fully-connected neural networks
+//!   (the configuration borrowed from CardNet's RMI baseline);
+//! * [`MlpEstimator`] — a single multi-layer perceptron, the building block
+//!   of the RMI and a useful ablation;
+//! * [`SamplingEstimator`] and [`HistogramEstimator`] — the traditional
+//!   (non-learned) baselines cardinality-estimation literature compares
+//!   against;
+//! * [`ExactEstimator`] and [`ConstantEstimator`] — oracles used for testing
+//!   and failure injection;
+//! * [`TrainingSetBuilder`] — builds `(query ⊕ ε) → ln(1 + |N_ε(query)|)`
+//!   training pairs over a grid of cosine thresholds (the paper uses
+//!   0.1–0.9), exploiting the boundedness of angular distance that the paper
+//!   argues makes the learning problem tractable;
+//! * [`nn`] — the from-scratch dense neural network (ReLU, Adam, MSE) the
+//!   learned estimators are built on. No GPU, no external ML framework.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod estimator;
+pub mod mlp;
+pub mod nn;
+pub mod rmi;
+pub mod traditional;
+pub mod training;
+
+pub use calibration::{CorePredictionReport, EstimatorCalibrator, QErrorReport};
+pub use estimator::{CardinalityEstimator, ConstantEstimator, ExactEstimator};
+pub use mlp::MlpEstimator;
+pub use nn::{Mlp, NetConfig, TrainReport};
+pub use rmi::{RmiConfig, RmiEstimator};
+pub use traditional::{HistogramEstimator, SamplingEstimator};
+pub use training::{TrainingSample, TrainingSet, TrainingSetBuilder};

@@ -1,0 +1,190 @@
+//! Single-MLP learned cardinality estimator.
+
+use crate::estimator::CardinalityEstimator;
+use crate::nn::{Mlp, NetConfig, TrainReport};
+use crate::training::TrainingSet;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cardinality estimator backed by one multi-layer perceptron.
+///
+/// The network regresses `ln(1 + cardinality)` from the concatenation of the
+/// query vector and the distance threshold; [`CardinalityEstimator::estimate`]
+/// maps the prediction back through `expm1` and clamps it to be non-negative.
+/// This is both a building block of the paper's RMI ([`crate::RmiEstimator`])
+/// and a natural single-model ablation.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MlpEstimator {
+    net: Mlp,
+    data_dim: usize,
+    report: TrainReport,
+    #[serde(skip)]
+    predictions: AtomicU64,
+}
+
+impl MlpEstimator {
+    /// Train an estimator on a prepared [`TrainingSet`].
+    ///
+    /// # Panics
+    /// Panics if the training set is empty (there is nothing to learn from);
+    /// callers construct training sets through [`crate::TrainingSetBuilder`],
+    /// which never produces an empty set for non-empty data.
+    pub fn train(training: &TrainingSet, cfg: &NetConfig) -> Self {
+        assert!(
+            !training.is_empty(),
+            "cannot train an MLP estimator on an empty training set"
+        );
+        let (xs, ys) = training.as_xy();
+        let mut net = Mlp::new(training.feature_dim(), &cfg.hidden, cfg.seed);
+        let report = net.train(&xs, &ys, cfg);
+        Self {
+            net,
+            data_dim: training.dim,
+            report,
+            predictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Training summary (initial/final MSE in log-cardinality space).
+    pub fn report(&self) -> TrainReport {
+        self.report
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Dimensionality of the data vectors the estimator expects.
+    pub fn data_dim(&self) -> usize {
+        self.data_dim
+    }
+}
+
+impl CardinalityEstimator for MlpEstimator {
+    fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        assert_eq!(
+            query.len(),
+            self.data_dim,
+            "query dimensionality does not match the training data"
+        );
+        self.predictions.fetch_add(1, Ordering::Relaxed);
+        let mut features = Vec::with_capacity(query.len() + 1);
+        features.extend_from_slice(query);
+        features.push(eps);
+        let log_pred = self.net.predict(&features);
+        log_pred.exp_m1().max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+
+    fn predictions(&self) -> Option<u64> {
+        Some(self.predictions.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::TrainingSetBuilder;
+    use laf_synth::EmbeddingMixtureConfig;
+    use laf_vector::Dataset;
+
+    fn data() -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 200,
+            dim: 8,
+            clusters: 4,
+            noise_fraction: 0.2,
+            spread: 0.06,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    fn train_small(data: &Dataset) -> MlpEstimator {
+        let ts = TrainingSetBuilder {
+            max_queries: Some(120),
+            ..Default::default()
+        }
+        .build(data, data)
+        .unwrap();
+        MlpEstimator::train(&ts, &NetConfig::tiny())
+    }
+
+    #[test]
+    fn training_produces_finite_nonnegative_estimates() {
+        let data = data();
+        let est = train_small(&data);
+        assert_eq!(est.data_dim(), 8);
+        assert!(est.report().final_loss.is_finite());
+        for i in (0..data.len()).step_by(17) {
+            for eps in [0.1f32, 0.5, 0.9] {
+                let e = est.estimate(data.row(i), eps);
+                assert!(e.is_finite() && e >= 0.0, "estimate {e}");
+            }
+        }
+        assert!(est.predictions().unwrap() > 0);
+    }
+
+    #[test]
+    fn estimates_correlate_with_true_cardinalities() {
+        let data = data();
+        let est = train_small(&data);
+        let oracle = crate::ExactEstimator::new(&data, laf_vector::Metric::Cosine);
+        // Average estimate at a large radius must exceed the average at a
+        // small radius (the estimator must have learned the monotone trend).
+        let mut small_sum = 0.0f64;
+        let mut large_sum = 0.0f64;
+        let mut true_small = 0.0f64;
+        let mut true_large = 0.0f64;
+        let n = 40usize;
+        for i in 0..n {
+            let q = data.row(i * 3);
+            small_sum += est.estimate(q, 0.1) as f64;
+            large_sum += est.estimate(q, 0.9) as f64;
+            true_small += oracle.estimate(q, 0.1) as f64;
+            true_large += oracle.estimate(q, 0.9) as f64;
+        }
+        assert!(true_large > true_small);
+        assert!(
+            large_sum > small_sum,
+            "learned estimator lost the monotone trend: {large_sum} <= {small_sum}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let ts = crate::TrainingSet {
+            dim: 4,
+            thresholds: vec![0.5],
+            samples: vec![],
+        };
+        let _ = MlpEstimator::train(&ts, &NetConfig::tiny());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_query_dim_panics() {
+        let data = data();
+        let est = train_small(&data);
+        let _ = est.estimate(&[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_estimates() {
+        let data = data();
+        let est = train_small(&data);
+        let json = serde_json::to_string(&est).unwrap();
+        let back: MlpEstimator = serde_json::from_str(&json).unwrap();
+        let q = data.row(0);
+        assert_eq!(est.estimate(q, 0.5), back.estimate(q, 0.5));
+        assert_eq!(est.name(), "mlp");
+    }
+}

@@ -1,0 +1,457 @@
+//! From-scratch dense neural network used by the learned estimators.
+//!
+//! The paper's cardinality estimator is an RMI whose member models are
+//! fully-connected neural networks with four hidden layers (512, 512, 256,
+//! 128), trained for 200 epochs with batch size 512 on a GPU workstation.
+//! This module provides an equivalent CPU implementation: dense layers with
+//! ReLU activations, mean-squared-error loss and the Adam optimizer, all in
+//! plain safe Rust with no external ML framework.
+//!
+//! [`NetConfig::paper`] exposes the paper's widths; [`NetConfig::small`] is
+//! the CPU-friendly default used by the reproduction's experiments (the
+//! substitution is documented in DESIGN.md §4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for building and training an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Hidden layer widths (the output layer is always a single unit).
+    pub hidden: Vec<usize>,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Parameter-initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// The configuration the paper uses inside its RMI (4 hidden layers of
+    /// width 512/512/256/128, 200 epochs, batch 512). Expensive on CPU.
+    pub fn paper() -> Self {
+        Self {
+            hidden: vec![512, 512, 256, 128],
+            epochs: 200,
+            batch_size: 512,
+            learning_rate: 1e-3,
+            seed: 0x1AF,
+        }
+    }
+
+    /// CPU-friendly configuration used by default in this reproduction.
+    pub fn small() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            seed: 0x1AF,
+        }
+    }
+
+    /// Even smaller configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: vec![16],
+            epochs: 80,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            seed: 0x1AF,
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Summary statistics returned by [`Mlp::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of epochs actually run.
+    pub epochs: usize,
+    /// Mean squared error on the training set before training.
+    pub initial_loss: f32,
+    /// Mean squared error on the training set after training.
+    pub final_loss: f32,
+}
+
+/// One dense layer: `y = W x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim` weights.
+    w: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU networks.
+        let std = (2.0 / in_dim as f64).sqrt();
+        let normal = Normal::new(0.0, std).expect("positive std");
+        let w = (0..in_dim * out_dim)
+            .map(|_| normal.sample(rng) as f32)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            out.push(laf_vector::ops::dot(row, x) + self.b[o]);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// Multi-layer perceptron with ReLU hidden activations and a single linear
+/// output unit, trained with Adam on mean squared error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    input_dim: usize,
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an untrained network with He-initialized weights.
+    ///
+    /// # Panics
+    /// Panics if `input_dim == 0`.
+    pub fn new(input_dim: usize, hidden: &[usize], seed: u64) -> Self {
+        assert!(input_dim > 0, "input_dim must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut prev = input_dim;
+        for &h in hidden {
+            let h = h.max(1);
+            layers.push(Dense::new(prev, h, &mut rng));
+            prev = h;
+        }
+        layers.push(Dense::new(prev, 1, &mut rng));
+        Self { input_dim, layers }
+    }
+
+    /// Input dimensionality the network expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Forward pass producing the scalar prediction.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if l != last {
+                for v in next.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur[0]
+    }
+
+    /// Forward pass keeping every layer's post-activation output (used by
+    /// backprop). `activations[0]` is the input, `activations[i]` the output
+    /// of layer `i-1`.
+    fn forward_cached(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.to_vec());
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(activations.last().expect("non-empty"), &mut out);
+            if l != last {
+                for v in out.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            activations.push(out);
+        }
+        activations
+    }
+
+    /// Mean squared error over a set of samples.
+    pub fn mse(&self, inputs: &[Vec<f32>], targets: &[f32]) -> f32 {
+        assert_eq!(inputs.len(), targets.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = inputs
+            .iter()
+            .zip(targets)
+            .map(|(x, &y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum();
+        sum / inputs.len() as f32
+    }
+
+    /// Train with Adam on MSE. `inputs` and `targets` must have equal length;
+    /// empty training sets return a zeroed report.
+    pub fn train(&mut self, inputs: &[Vec<f32>], targets: &[f32], cfg: &NetConfig) -> TrainReport {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        if inputs.is_empty() {
+            return TrainReport {
+                epochs: 0,
+                initial_loss: 0.0,
+                final_loss: 0.0,
+            };
+        }
+        let initial_loss = self.mse(inputs, targets);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
+        let n = inputs.len();
+        let batch = cfg.batch_size.max(1).min(n);
+
+        // Adam state, one slot per parameter, laid out layer by layer
+        // (weights then biases).
+        let total_params = self.param_count();
+        let mut m = vec![0.0f32; total_params];
+        let mut v = vec![0.0f32; total_params];
+        let (beta1, beta2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let mut step = 0u64;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut grads = vec![0.0f32; total_params];
+
+        for _ in 0..cfg.epochs {
+            // Shuffle sample order each epoch.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(batch) {
+                grads.iter_mut().for_each(|g| *g = 0.0);
+                for &idx in chunk {
+                    self.accumulate_gradients(&inputs[idx], targets[idx], chunk.len(), &mut grads);
+                }
+                // Adam update.
+                step += 1;
+                let bias1 = 1.0 - beta1.powi(step.min(i32::MAX as u64) as i32);
+                let bias2 = 1.0 - beta2.powi(step.min(i32::MAX as u64) as i32);
+                let mut offset = 0usize;
+                for layer in self.layers.iter_mut() {
+                    for (slot, w) in layer.w.iter_mut().enumerate() {
+                        let g = grads[offset + slot];
+                        let mi = &mut m[offset + slot];
+                        let vi = &mut v[offset + slot];
+                        *mi = beta1 * *mi + (1.0 - beta1) * g;
+                        *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                        let m_hat = *mi / bias1;
+                        let v_hat = *vi / bias2;
+                        *w -= cfg.learning_rate * m_hat / (v_hat.sqrt() + eps);
+                    }
+                    offset += layer.w.len();
+                    for (slot, b) in layer.b.iter_mut().enumerate() {
+                        let g = grads[offset + slot];
+                        let mi = &mut m[offset + slot];
+                        let vi = &mut v[offset + slot];
+                        *mi = beta1 * *mi + (1.0 - beta1) * g;
+                        *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                        let m_hat = *mi / bias1;
+                        let v_hat = *vi / bias2;
+                        *b -= cfg.learning_rate * m_hat / (v_hat.sqrt() + eps);
+                    }
+                    offset += layer.b.len();
+                }
+            }
+        }
+
+        TrainReport {
+            epochs: cfg.epochs,
+            initial_loss,
+            final_loss: self.mse(inputs, targets),
+        }
+    }
+
+    /// Backpropagate one sample's MSE gradient into `grads` (layout matches
+    /// the Adam update in [`Mlp::train`]): `d(pred-y)^2 / dθ / batch_len`.
+    fn accumulate_gradients(&self, x: &[f32], y: f32, batch_len: usize, grads: &mut [f32]) {
+        let acts = self.forward_cached(x);
+        let pred = acts.last().expect("output layer exists")[0];
+        let scale = 2.0 * (pred - y) / batch_len as f32;
+
+        // delta for the current layer's outputs, starting at the output unit.
+        let mut delta = vec![scale];
+
+        // Pre-compute per-layer parameter offsets.
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0usize;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.param_count();
+        }
+
+        for l in (0..self.layers.len()).rev() {
+            let layer = &self.layers[l];
+            let input = &acts[l];
+            let w_off = offsets[l];
+            let b_off = w_off + layer.w.len();
+
+            // Gradients for this layer.
+            for o in 0..layer.out_dim {
+                let d = delta[o];
+                if d != 0.0 {
+                    let row = &mut grads[w_off + o * layer.in_dim..w_off + (o + 1) * layer.in_dim];
+                    for (g, &xi) in row.iter_mut().zip(input.iter()) {
+                        *g += d * xi;
+                    }
+                }
+                grads[b_off + o] += d;
+            }
+
+            // Propagate delta to the previous layer (skip for the input).
+            if l > 0 {
+                let prev_layer_out = &acts[l]; // post-ReLU output of layer l-1
+                let mut prev_delta = vec![0.0f32; layer.in_dim];
+                for o in 0..layer.out_dim {
+                    let d = delta[o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (pd, &w) in prev_delta.iter_mut().zip(row.iter()) {
+                        *pd += d * w;
+                    }
+                }
+                // ReLU derivative: zero where the previous activation was zero.
+                for (pd, &a) in prev_delta.iter_mut().zip(prev_layer_out.iter()) {
+                    if a <= 0.0 {
+                        *pd = 0.0;
+                    }
+                }
+                delta = prev_delta;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_has_right_shape_and_is_deterministic() {
+        let net = Mlp::new(4, &[8, 4], 7);
+        assert_eq!(net.input_dim(), 4);
+        let x = [0.1f32, -0.2, 0.3, 0.4];
+        assert_eq!(net.predict(&x), net.predict(&x));
+        let net2 = Mlp::new(4, &[8, 4], 7);
+        assert_eq!(net.predict(&x), net2.predict(&x));
+        let net3 = Mlp::new(4, &[8, 4], 8);
+        assert_ne!(net.predict(&x), net3.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn predict_rejects_wrong_dim() {
+        let net = Mlp::new(3, &[4], 1);
+        let _ = net.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let net = Mlp::new(5, &[7, 3], 1);
+        // (5*7 + 7) + (7*3 + 3) + (3*1 + 1) = 42 + 24 + 4
+        assert_eq!(net.param_count(), 70);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_linear_function() {
+        // y = 2*x0 - x1 + 0.5
+        let inputs: Vec<Vec<f32>> = (0..200)
+            .map(|i| {
+                let a = (i as f32 * 0.017).sin();
+                let b = (i as f32 * 0.03).cos();
+                vec![a, b]
+            })
+            .collect();
+        let targets: Vec<f32> = inputs.iter().map(|v| 2.0 * v[0] - v[1] + 0.5).collect();
+        let mut net = Mlp::new(2, &[16], 3);
+        let report = net.train(&inputs, &targets, &NetConfig::tiny());
+        assert!(report.final_loss < report.initial_loss);
+        assert!(
+            report.final_loss < 0.05,
+            "final loss too high: {}",
+            report.final_loss
+        );
+    }
+
+    #[test]
+    fn training_learns_a_nonlinear_function() {
+        // y = |x0| (needs the ReLU nonlinearity).
+        let inputs: Vec<Vec<f32>> = (-100..100).map(|i| vec![i as f32 / 50.0]).collect();
+        let targets: Vec<f32> = inputs.iter().map(|v| v[0].abs()).collect();
+        let mut net = Mlp::new(1, &[16, 8], 11);
+        let cfg = NetConfig {
+            epochs: 200,
+            ..NetConfig::tiny()
+        };
+        let report = net.train(&inputs, &targets, &cfg);
+        assert!(report.final_loss < 0.02, "loss {}", report.final_loss);
+        assert!((net.predict(&[1.5]) - 1.5).abs() < 0.3);
+        assert!((net.predict(&[-1.5]) - 1.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let mut net = Mlp::new(2, &[4], 1);
+        let report = net.train(&[], &[], &NetConfig::tiny());
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.initial_loss, 0.0);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(NetConfig::paper().hidden, vec![512, 512, 256, 128]);
+        assert_eq!(NetConfig::paper().epochs, 200);
+        assert_eq!(NetConfig::paper().batch_size, 512);
+        assert!(NetConfig::small().hidden.len() < NetConfig::paper().hidden.len());
+        assert_eq!(NetConfig::default(), NetConfig::small());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let net = Mlp::new(3, &[6], 21);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.3f32, 0.1, -0.7];
+        assert_eq!(net.predict(&x), back.predict(&x));
+    }
+}

@@ -1,0 +1,290 @@
+//! Traditional (non-learned) cardinality estimators.
+//!
+//! The paper positions learned estimation against the classic approaches
+//! used for distance-range cardinality: sampling and (kernel) density /
+//! histogram summaries. These two estimators provide that baseline in the
+//! reproduction's ablation benchmarks: they are cheap but query-insensitive
+//! (histogram) or high-variance (small samples), which is exactly why the
+//! learned models win.
+
+use crate::estimator::CardinalityEstimator;
+use crate::training::TrainingSet;
+use laf_vector::{Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sampling estimator: counts neighbors within a fixed random sample of the
+/// reference data and scales the count up by the sampling ratio.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SamplingEstimator {
+    sample: Dataset,
+    metric: Metric,
+    scale: f32,
+    #[serde(skip)]
+    predictions: AtomicU64,
+}
+
+impl SamplingEstimator {
+    /// Draw a sample of `sample_size` points (clamped to the dataset size)
+    /// from `reference`.
+    ///
+    /// # Panics
+    /// Panics if `reference` is empty or `sample_size` is zero.
+    pub fn new(reference: &Dataset, metric: Metric, sample_size: usize, seed: u64) -> Self {
+        assert!(!reference.is_empty(), "reference dataset must be non-empty");
+        assert!(sample_size > 0, "sample_size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sample, _) = reference.sample(sample_size.min(reference.len()), &mut rng);
+        let scale = reference.len() as f32 / sample.len() as f32;
+        Self {
+            sample,
+            metric,
+            scale,
+            predictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of points in the retained sample.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// The up-scaling factor `|reference| / |sample|`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+}
+
+impl CardinalityEstimator for SamplingEstimator {
+    fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        self.predictions.fetch_add(1, Ordering::Relaxed);
+        let count = self
+            .sample
+            .rows()
+            .filter(|row| self.metric.dist(query, row) < eps)
+            .count();
+        count as f32 * self.scale
+    }
+
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+
+    fn predictions(&self) -> Option<u64> {
+        Some(self.predictions.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram estimator: remembers the *average* cardinality observed at each
+/// training threshold and answers queries by linear interpolation over ε,
+/// completely ignoring the query vector. This is the crudest reasonable
+/// baseline and illustrates why query-sensitive (learned) estimation matters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEstimator {
+    /// Sorted thresholds.
+    thresholds: Vec<f32>,
+    /// Average cardinality observed at each threshold.
+    averages: Vec<f32>,
+}
+
+impl HistogramEstimator {
+    /// Build the histogram from a training set.
+    ///
+    /// # Panics
+    /// Panics if the training set is empty.
+    pub fn from_training(training: &TrainingSet) -> Self {
+        assert!(!training.is_empty(), "training set must be non-empty");
+        let mut thresholds = training.thresholds.clone();
+        thresholds.sort_by(f32::total_cmp);
+        thresholds.dedup();
+        let mut sums = vec![0.0f64; thresholds.len()];
+        let mut counts = vec![0u64; thresholds.len()];
+        for sample in &training.samples {
+            let eps = *sample
+                .features
+                .last()
+                .expect("training features always end with eps");
+            if let Some(slot) = thresholds.iter().position(|&t| (t - eps).abs() < 1e-6) {
+                sums[slot] += sample.cardinality as f64;
+                counts[slot] += 1;
+            }
+        }
+        let averages = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { (s / c as f64) as f32 } else { 0.0 })
+            .collect();
+        Self {
+            thresholds,
+            averages,
+        }
+    }
+
+    /// The thresholds the histogram stores averages for.
+    pub fn thresholds(&self) -> &[f32] {
+        &self.thresholds
+    }
+}
+
+impl CardinalityEstimator for HistogramEstimator {
+    fn estimate(&self, _query: &[f32], eps: f32) -> f32 {
+        match self
+            .thresholds
+            .iter()
+            .position(|&t| t >= eps)
+        {
+            // eps below the first threshold: scale the first average down.
+            Some(0) => {
+                let t0 = self.thresholds[0];
+                if t0 <= 0.0 {
+                    self.averages[0]
+                } else {
+                    self.averages[0] * (eps / t0).clamp(0.0, 1.0)
+                }
+            }
+            Some(i) => {
+                let (t_lo, t_hi) = (self.thresholds[i - 1], self.thresholds[i]);
+                let (a_lo, a_hi) = (self.averages[i - 1], self.averages[i]);
+                let w = if t_hi > t_lo {
+                    (eps - t_lo) / (t_hi - t_lo)
+                } else {
+                    0.0
+                };
+                a_lo + w * (a_hi - a_lo)
+            }
+            // eps beyond the last threshold: hold the last average.
+            None => *self.averages.last().expect("non-empty histogram"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::TrainingSetBuilder;
+    use crate::ExactEstimator;
+    use laf_synth::EmbeddingMixtureConfig;
+
+    fn data() -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 200,
+            dim: 8,
+            clusters: 4,
+            noise_fraction: 0.2,
+            seed: 41,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn sampling_estimator_tracks_exact_counts() {
+        let d = data();
+        // A full-size "sample" must reproduce exact counts.
+        let full = SamplingEstimator::new(&d, Metric::Cosine, d.len(), 1);
+        let oracle = ExactEstimator::new(&d, Metric::Cosine);
+        assert_eq!(full.sample_size(), d.len());
+        assert!((full.scale() - 1.0).abs() < 1e-6);
+        for i in (0..d.len()).step_by(29) {
+            assert_eq!(full.estimate(d.row(i), 0.5), oracle.estimate(d.row(i), 0.5));
+        }
+        // A half sample should be in the right ballpark on average.
+        let half = SamplingEstimator::new(&d, Metric::Cosine, d.len() / 2, 1);
+        assert!((half.scale() - 2.0).abs() < 0.1);
+        let mut est_sum = 0.0;
+        let mut true_sum = 0.0;
+        for i in (0..d.len()).step_by(7) {
+            est_sum += half.estimate(d.row(i), 0.5) as f64;
+            true_sum += oracle.estimate(d.row(i), 0.5) as f64;
+        }
+        let ratio = est_sum / true_sum;
+        assert!((0.6..1.6).contains(&ratio), "ratio {ratio}");
+        assert!(half.predictions().unwrap() > 0);
+        assert_eq!(half.name(), "sampling");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn sampling_estimator_rejects_empty_reference() {
+        let empty = Dataset::new(4).unwrap();
+        let _ = SamplingEstimator::new(&empty, Metric::Cosine, 10, 0);
+    }
+
+    #[test]
+    fn histogram_interpolates_monotonically() {
+        let d = data();
+        let ts = TrainingSetBuilder {
+            max_queries: Some(80),
+            ..Default::default()
+        }
+        .build(&d, &d)
+        .unwrap();
+        let hist = HistogramEstimator::from_training(&ts);
+        assert_eq!(hist.thresholds().len(), 9);
+        let q = d.row(0);
+        let at_01 = hist.estimate(q, 0.1);
+        let at_05 = hist.estimate(q, 0.5);
+        let at_09 = hist.estimate(q, 0.9);
+        assert!(at_01 <= at_05 && at_05 <= at_09);
+        // Below the grid: smaller than the first average; above: clamped.
+        assert!(hist.estimate(q, 0.01) <= at_01);
+        assert!((hist.estimate(q, 1.5) - at_09).abs() < 1e-3);
+        // Interpolation lands between its endpoints.
+        let mid = hist.estimate(q, 0.15);
+        let at_02 = hist.estimate(q, 0.2);
+        assert!(mid >= at_01.min(at_02) && mid <= at_01.max(at_02));
+        assert_eq!(hist.name(), "histogram");
+    }
+
+    #[test]
+    fn histogram_ignores_the_query_vector() {
+        let d = data();
+        let ts = TrainingSetBuilder {
+            max_queries: Some(50),
+            ..Default::default()
+        }
+        .build(&d, &d)
+        .unwrap();
+        let hist = HistogramEstimator::from_training(&ts);
+        assert_eq!(hist.estimate(d.row(0), 0.5), hist.estimate(d.row(100), 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_training() {
+        let ts = TrainingSet {
+            dim: 4,
+            thresholds: vec![0.5],
+            samples: vec![],
+        };
+        let _ = HistogramEstimator::from_training(&ts);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let d = data();
+        let ts = TrainingSetBuilder {
+            max_queries: Some(30),
+            ..Default::default()
+        }
+        .build(&d, &d)
+        .unwrap();
+        let hist = HistogramEstimator::from_training(&ts);
+        let json = serde_json::to_string(&hist).unwrap();
+        let back: HistogramEstimator = serde_json::from_str(&json).unwrap();
+        assert_eq!(hist, back);
+
+        let samp = SamplingEstimator::new(&d, Metric::Cosine, 20, 3);
+        let json = serde_json::to_string(&samp).unwrap();
+        let back: SamplingEstimator = serde_json::from_str(&json).unwrap();
+        assert_eq!(samp.estimate(d.row(5), 0.4), back.estimate(d.row(5), 0.4));
+    }
+}

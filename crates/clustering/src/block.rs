@@ -1,0 +1,372 @@
+//! BLOCK-DBSCAN (Chen et al. 2021).
+//!
+//! BLOCK-DBSCAN's central observation is that any ball of radius ε/2 whose
+//! population reaches τ is an **inner core block**: every pair of its members
+//! is within ε of each other (triangle inequality), so all of them are core
+//! points and belong to one cluster — without issuing a single per-point
+//! range query. The algorithm therefore
+//!
+//! 1. carves the dataset into inner core blocks using cover-tree range
+//!    queries of radius ε/2 (the cover tree's **basis** is the knob the paper
+//!    controls, default 2, swept 1.1–5 in the trade-off study);
+//! 2. merges blocks whose points come within ε of each other, bounding the
+//!    pairwise search by **RNT** iterations (paper default 10);
+//! 3. processes the leftover "outer" points individually, exactly like
+//!    DBSCAN.
+//!
+//! Because cosine distance violates the triangle inequality, the ε/2
+//! construction happens in Euclidean space over the unit-normalized vectors
+//! (Equation (1) of the paper), mirroring how the original C++ baseline was
+//! fed converted thresholds.
+
+use crate::result::{Clusterer, Clustering, NOISE, UNDEFINED};
+use laf_index::{CoverTree, RangeQueryEngine};
+use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// BLOCK-DBSCAN parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockDbscanConfig {
+    /// Distance threshold ε.
+    pub eps: f32,
+    /// Minimum number of neighbors τ.
+    pub min_pts: usize,
+    /// Cover tree basis (paper default 2.0).
+    pub basis: f32,
+    /// Maximum iterations when testing whether two blocks touch
+    /// (the paper's RNT parameter, default 10).
+    pub rnt: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Seed for the randomized block-merge sampling.
+    pub seed: u64,
+}
+
+impl Default for BlockDbscanConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.5,
+            min_pts: 3,
+            basis: 2.0,
+            rnt: 10,
+            metric: Metric::Cosine,
+            seed: 0xB10C,
+        }
+    }
+}
+
+impl BlockDbscanConfig {
+    /// Convenience constructor with the paper's default basis and RNT.
+    pub fn new(eps: f32, min_pts: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            ..Default::default()
+        }
+    }
+}
+
+/// The BLOCK-DBSCAN algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockDbscan {
+    /// Algorithm parameters.
+    pub config: BlockDbscanConfig,
+}
+
+impl BlockDbscan {
+    /// Create a BLOCK-DBSCAN instance.
+    pub fn new(config: BlockDbscanConfig) -> Self {
+        Self { config }
+    }
+
+    /// Shorthand constructor.
+    pub fn with_params(eps: f32, min_pts: usize) -> Self {
+        Self::new(BlockDbscanConfig::new(eps, min_pts))
+    }
+
+    /// The ε/2 threshold expressed in the configured metric: chosen so that
+    /// two points both within the half-radius of a center are guaranteed to
+    /// be within ε of each other.
+    fn half_radius(&self) -> f32 {
+        match self.config.metric {
+            Metric::Euclidean => self.config.eps / 2.0,
+            Metric::Angular => self.config.eps / 2.0,
+            Metric::SquaredEuclidean => self.config.eps / 4.0,
+            // Equation (1): d_euc = sqrt(2 d_cos); halving d_euc quarters d_cos.
+            Metric::Cosine => euclidean_to_cosine(cosine_to_euclidean(self.config.eps) / 2.0),
+            Metric::NegDot => {
+                euclidean_to_cosine(cosine_to_euclidean(self.config.eps + 1.0) / 2.0) - 1.0
+            }
+        }
+    }
+}
+
+/// Union-find over block / cluster ids.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+impl Clusterer for BlockDbscan {
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let start = Instant::now();
+        let n = data.len();
+        if n == 0 {
+            return Clustering::new(Vec::new());
+        }
+        let cfg = &self.config;
+        let tree = CoverTree::new(data, cfg.metric, cfg.basis);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut range_queries = 0u64;
+
+        // Phase 1: carve inner core blocks with ε/2 range queries.
+        let half = self.half_radius();
+        let mut block_of: Vec<Option<usize>> = vec![None; n];
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut is_core = vec![false; n];
+        for p in 0..n {
+            if block_of[p].is_some() {
+                continue;
+            }
+            let members = tree.range(data.row(p), half);
+            range_queries += 1;
+            if members.len() >= cfg.min_pts {
+                // Every member of the half-radius ball is core.
+                let block_id = blocks.len();
+                let mut owned = Vec::with_capacity(members.len());
+                for &m in &members {
+                    let m_usize = m as usize;
+                    if block_of[m_usize].is_none() {
+                        block_of[m_usize] = Some(block_id);
+                        owned.push(m);
+                    }
+                    is_core[m_usize] = true;
+                }
+                blocks.push(owned);
+            }
+        }
+
+        // Phase 2: merge blocks that touch (some cross pair within ε).
+        let mut uf = UnionFind::new(blocks.len());
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                if uf.find(i) == uf.find(j) {
+                    continue;
+                }
+                if blocks_touch(data, cfg, &blocks[i], &blocks[j], &mut rng) {
+                    uf.union(i, j);
+                }
+            }
+        }
+
+        // Assign cluster ids to blocks (after union-find).
+        let mut labels = vec![UNDEFINED; n];
+        let mut block_cluster: Vec<i64> = vec![-1; blocks.len()];
+        let mut next_cluster: i64 = -1;
+        for b in 0..blocks.len() {
+            let root = uf.find(b);
+            if block_cluster[root] < 0 {
+                next_cluster += 1;
+                block_cluster[root] = next_cluster;
+            }
+            block_cluster[b] = block_cluster[root];
+        }
+        for (p, b) in block_of.iter().enumerate() {
+            if let Some(b) = b {
+                labels[p] = block_cluster[*b];
+            }
+        }
+
+        // Phase 3: outer points — classic DBSCAN treatment with full-ε range
+        // queries against the cover tree.
+        for p in 0..n {
+            if labels[p] != UNDEFINED {
+                continue;
+            }
+            let neighbors = tree.range(data.row(p), cfg.eps);
+            range_queries += 1;
+            if neighbors.len() >= cfg.min_pts {
+                is_core[p] = true;
+                // Core outer point: adopt the cluster of any core neighbor,
+                // otherwise open a new cluster.
+                let adopted = neighbors
+                    .iter()
+                    .map(|&q| q as usize)
+                    .find(|&q| q != p && is_core[q] && labels[q] >= 0)
+                    .map(|q| labels[q]);
+                let cluster = match adopted {
+                    Some(c) => c,
+                    None => {
+                        next_cluster += 1;
+                        next_cluster
+                    }
+                };
+                labels[p] = cluster;
+                // Pull in unclassified neighbors as border members.
+                for &q in &neighbors {
+                    let q = q as usize;
+                    if labels[q] == UNDEFINED {
+                        labels[q] = cluster;
+                    }
+                }
+            } else {
+                // Non-core: border if a core neighbor exists, else noise.
+                let border_of = neighbors
+                    .iter()
+                    .map(|&q| q as usize)
+                    .find(|&q| is_core[q] && labels[q] >= 0)
+                    .map(|q| labels[q]);
+                labels[p] = border_of.unwrap_or(NOISE);
+            }
+        }
+
+        let mut clustering = Clustering::new(labels);
+        clustering.normalize_ids();
+        clustering.elapsed = start.elapsed();
+        clustering.range_queries = range_queries;
+        clustering.distance_evaluations = tree.distance_evaluations();
+        clustering
+    }
+
+    fn name(&self) -> &'static str {
+        "BLOCK-DBSCAN"
+    }
+}
+
+/// Decide whether two inner core blocks belong to the same cluster: first
+/// compare representatives, then sample up to `rnt` cross pairs.
+fn blocks_touch(
+    data: &Dataset,
+    cfg: &BlockDbscanConfig,
+    a: &[u32],
+    b: &[u32],
+    rng: &mut StdRng,
+) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let eps = cfg.eps;
+    // Representative check: block founders (first members).
+    if cfg
+        .metric
+        .dist(data.row(a[0] as usize), data.row(b[0] as usize))
+        < eps
+    {
+        return true;
+    }
+    // Bounded random cross-pair probing (the RNT iterations of the paper).
+    for _ in 0..cfg.rnt {
+        let pa = a[rng.gen_range(0..a.len())] as usize;
+        let pb = b[rng.gen_range(0..b.len())] as usize;
+        if cfg.metric.dist(data.row(pa), data.row(pb)) < eps {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::Dbscan;
+    use laf_metrics::adjusted_rand_index;
+    use laf_synth::EmbeddingMixtureConfig;
+
+    fn data() -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 300,
+            dim: 12,
+            clusters: 5,
+            spread: 0.05,
+            noise_fraction: 0.2,
+            seed: 83,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn half_radius_is_consistent_with_equation_1() {
+        let algo = BlockDbscan::with_params(0.5, 3);
+        // cosine eps 0.5 → euclid 1.0 → half 0.5 → cosine 0.125
+        assert!((algo.half_radius() - 0.125).abs() < 1e-6);
+        let algo = BlockDbscan::new(BlockDbscanConfig {
+            metric: Metric::Euclidean,
+            eps: 0.8,
+            ..Default::default()
+        });
+        assert!((algo.half_radius() - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quality_is_close_to_dbscan() {
+        let data = data();
+        let truth = Dbscan::with_params(0.25, 4).cluster(&data);
+        let block = BlockDbscan::with_params(0.25, 4).cluster(&data);
+        let ari = adjusted_rand_index(truth.labels(), block.labels());
+        assert!(ari > 0.6, "ARI {ari}");
+        assert!(block.n_clusters() > 0);
+    }
+
+    #[test]
+    fn inner_blocks_reduce_full_range_queries() {
+        let data = data();
+        let dbscan = Dbscan::with_params(0.25, 4).cluster(&data);
+        let block = BlockDbscan::with_params(0.25, 4).cluster(&data);
+        assert!(
+            block.range_queries < dbscan.range_queries,
+            "block {} vs dbscan {}",
+            block.range_queries,
+            dbscan.range_queries
+        );
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let empty = Dataset::new(4).unwrap();
+        assert!(BlockDbscan::with_params(0.3, 3).cluster(&empty).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = data();
+        let a = BlockDbscan::with_params(0.25, 4).cluster(&data);
+        let b = BlockDbscan::with_params(0.25, 4).cluster(&data);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn all_noise_when_tau_is_huge() {
+        let data = data();
+        let result = BlockDbscan::with_params(0.25, data.len() + 1).cluster(&data);
+        assert_eq!(result.n_noise(), data.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! KNN-BLOCK DBSCAN (Chen et al. 2019).
+//!
+//! KNN-BLOCK DBSCAN avoids full range queries by answering **approximate
+//! k-nearest-neighbor** queries with a FLANN-style k-means tree: a point is
+//! core exactly when its τ-th nearest neighbor lies within ε, so a kNN query
+//! with `k = τ` decides core-ness while visiting only a fraction of the
+//! leaves. Clusters are then grown from the core points using the same
+//! (approximate) index. The two knobs the paper tunes — the tree's
+//! **branching factor** (10) and the **ratio of leaves to check** (0.6) —
+//! control the accuracy/speed trade-off exactly as in the original.
+//!
+//! This is a faithful-in-spirit re-implementation of the published algorithm
+//! on our common engine substrate; the original's finer-grained block
+//! bookkeeping (merging whole FLANN blocks at once) is subsumed by the
+//! per-point expansion below, which produces the same kind of approximation
+//! (missed neighbors in unvisited leaves) the paper's baseline exhibits.
+
+use crate::result::{Clusterer, Clustering, NOISE, UNDEFINED};
+use laf_index::{KMeansTree, RangeQueryEngine};
+use laf_vector::{Dataset, Metric};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// KNN-BLOCK DBSCAN parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnBlockDbscanConfig {
+    /// Distance threshold ε.
+    pub eps: f32,
+    /// Minimum number of neighbors τ.
+    pub min_pts: usize,
+    /// Branching factor of the k-means tree (paper default 10).
+    pub branching: usize,
+    /// Fraction of tree leaves each query inspects (paper default 0.6).
+    pub leaf_ratio: f64,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Tree construction seed.
+    pub seed: u64,
+}
+
+impl Default for KnnBlockDbscanConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.5,
+            min_pts: 3,
+            branching: 10,
+            leaf_ratio: 0.6,
+            metric: Metric::Cosine,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl KnnBlockDbscanConfig {
+    /// Convenience constructor using the paper's default tree parameters.
+    pub fn new(eps: f32, min_pts: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            ..Default::default()
+        }
+    }
+}
+
+/// The KNN-BLOCK DBSCAN algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnBlockDbscan {
+    /// Algorithm parameters.
+    pub config: KnnBlockDbscanConfig,
+}
+
+impl KnnBlockDbscan {
+    /// Create a KNN-BLOCK DBSCAN instance.
+    pub fn new(config: KnnBlockDbscanConfig) -> Self {
+        Self { config }
+    }
+
+    /// Shorthand constructor with the paper's default tree parameters.
+    pub fn with_params(eps: f32, min_pts: usize) -> Self {
+        Self::new(KnnBlockDbscanConfig::new(eps, min_pts))
+    }
+}
+
+impl Clusterer for KnnBlockDbscan {
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let start = Instant::now();
+        let n = data.len();
+        if n == 0 {
+            return Clustering::new(Vec::new());
+        }
+        let cfg = &self.config;
+        let tree = KMeansTree::new(data, cfg.metric, cfg.branching, cfg.leaf_ratio, cfg.seed);
+        let mut range_queries = 0u64;
+
+        // Phase 1: approximate core detection via kNN with k = τ.
+        let mut is_core = vec![false; n];
+        for p in 0..n {
+            let knn = tree.knn(data.row(p), cfg.min_pts);
+            range_queries += 1;
+            if knn.len() >= cfg.min_pts
+                && knn
+                    .last()
+                    .map(|nb| nb.dist < cfg.eps)
+                    .unwrap_or(false)
+            {
+                is_core[p] = true;
+            }
+        }
+
+        // Phase 2: grow clusters from core points with approximate range
+        // queries; border points are labeled when first reached.
+        let mut labels = vec![UNDEFINED; n];
+        let mut next_cluster: i64 = -1;
+        for p in 0..n {
+            if !is_core[p] || labels[p] != UNDEFINED {
+                continue;
+            }
+            next_cluster += 1;
+            labels[p] = next_cluster;
+            let mut queue = vec![p];
+            while let Some(cur) = queue.pop() {
+                let neighbors = tree.range(data.row(cur), cfg.eps);
+                range_queries += 1;
+                for &nb in &neighbors {
+                    let nb = nb as usize;
+                    if labels[nb] == UNDEFINED || labels[nb] == NOISE {
+                        labels[nb] = next_cluster;
+                        if is_core[nb] {
+                            queue.push(nb);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Everything never reached is noise.
+        for l in labels.iter_mut() {
+            if *l == UNDEFINED {
+                *l = NOISE;
+            }
+        }
+
+        let mut clustering = Clustering::new(labels);
+        clustering.elapsed = start.elapsed();
+        clustering.range_queries = range_queries;
+        clustering.distance_evaluations = tree.distance_evaluations();
+        clustering
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN-BLOCK"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::Dbscan;
+    use laf_metrics::adjusted_rand_index;
+    use laf_synth::EmbeddingMixtureConfig;
+
+    fn data() -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 300,
+            dim: 12,
+            clusters: 5,
+            spread: 0.05,
+            noise_fraction: 0.2,
+            seed: 71,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn full_leaf_budget_matches_dbscan_well() {
+        let data = data();
+        let truth = Dbscan::with_params(0.25, 4).cluster(&data);
+        let approx = KnnBlockDbscan::new(KnnBlockDbscanConfig {
+            eps: 0.25,
+            min_pts: 4,
+            leaf_ratio: 1.0,
+            ..Default::default()
+        })
+        .cluster(&data);
+        let ari = adjusted_rand_index(truth.labels(), approx.labels());
+        assert!(ari > 0.9, "ARI {ari}");
+    }
+
+    #[test]
+    fn paper_defaults_give_reasonable_quality() {
+        let data = data();
+        let truth = Dbscan::with_params(0.25, 4).cluster(&data);
+        let approx = KnnBlockDbscan::with_params(0.25, 4).cluster(&data);
+        let ari = adjusted_rand_index(truth.labels(), approx.labels());
+        assert!(ari > 0.5, "ARI {ari}");
+        assert!(approx.n_clusters() > 0);
+    }
+
+    #[test]
+    fn tiny_leaf_ratio_degrades_but_does_not_crash() {
+        let data = data();
+        let approx = KnnBlockDbscan::new(KnnBlockDbscanConfig {
+            eps: 0.25,
+            min_pts: 4,
+            leaf_ratio: 0.01,
+            ..Default::default()
+        })
+        .cluster(&data);
+        assert_eq!(approx.len(), data.len());
+        // With almost no leaves visited most points cannot prove core-ness.
+        assert!(approx.n_noise() > 0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let empty = Dataset::new(4).unwrap();
+        let result = KnnBlockDbscan::with_params(0.3, 3).cluster(&empty);
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = data();
+        let a = KnnBlockDbscan::with_params(0.25, 4).cluster(&data);
+        let b = KnnBlockDbscan::with_params(0.25, 4).cluster(&data);
+        assert_eq!(a.labels(), b.labels());
+    }
+}

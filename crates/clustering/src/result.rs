@@ -1,0 +1,169 @@
+//! The [`Clustering`] result type and the [`Clusterer`] trait.
+
+use laf_metrics::ClusteringStats;
+use laf_vector::Dataset;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Noise label (mirrors [`laf_metrics::NOISE`]).
+pub const NOISE: i64 = -1;
+/// Internal "not yet classified" label used while algorithms run. Finished
+/// clusterings never contain it.
+pub const UNDEFINED: i64 = -2;
+
+/// The output of a clustering run: one label per input row plus bookkeeping
+/// about how much work the run performed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Per-point labels: `-1` = noise, otherwise a cluster id in `0..`.
+    labels: Vec<i64>,
+    /// Wall-clock time of the clustering call.
+    pub elapsed: Duration,
+    /// Number of ε-range queries the algorithm executed.
+    pub range_queries: u64,
+    /// Number of query-to-point distance evaluations performed by the
+    /// underlying engine(s).
+    pub distance_evaluations: u64,
+    /// Number of range queries skipped thanks to cardinality estimation
+    /// (always 0 for the non-LAF algorithms).
+    pub skipped_range_queries: u64,
+}
+
+impl Clustering {
+    /// Wrap a finished label vector.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any label is still [`UNDEFINED`].
+    pub fn new(labels: Vec<i64>) -> Self {
+        debug_assert!(
+            labels.iter().all(|&l| l != UNDEFINED),
+            "clustering finished with UNDEFINED labels"
+        );
+        Self {
+            labels,
+            elapsed: Duration::ZERO,
+            range_queries: 0,
+            distance_evaluations: 0,
+            skipped_range_queries: 0,
+        }
+    }
+
+    /// The per-point labels.
+    pub fn labels(&self) -> &[i64] {
+        &self.labels
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct non-noise clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.stats().n_clusters
+    }
+
+    /// Number of noise points.
+    pub fn n_noise(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE).count()
+    }
+
+    /// Summary statistics (noise ratio, cluster sizes, ...).
+    pub fn stats(&self) -> ClusteringStats {
+        ClusteringStats::from_labels(&self.labels)
+    }
+
+    /// Label of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> i64 {
+        self.labels[i]
+    }
+
+    /// Consume the clustering and return the raw labels.
+    pub fn into_labels(self) -> Vec<i64> {
+        self.labels
+    }
+
+    /// Renumber cluster ids to be consecutive starting at 0 (noise stays
+    /// `-1`). Keeps the relative order of first appearance. Useful when an
+    /// algorithm (e.g. post-processing merges) leaves gaps in the id space.
+    pub fn normalize_ids(&mut self) {
+        let mut remap = std::collections::HashMap::new();
+        for l in self.labels.iter_mut() {
+            if *l == NOISE {
+                continue;
+            }
+            let next = remap.len() as i64;
+            let id = *remap.entry(*l).or_insert(next);
+            *l = id;
+        }
+    }
+}
+
+/// A clustering algorithm.
+pub trait Clusterer {
+    /// Cluster the dataset and return per-point labels.
+    fn cluster(&self, data: &Dataset) -> Clustering;
+
+    /// Short name used in reports ("DBSCAN", "LAF-DBSCAN", ...).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Clustering::new(vec![0, 0, 1, -1]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.n_noise(), 1);
+        assert_eq!(c.label(2), 1);
+        assert_eq!(c.labels(), &[0, 0, 1, -1]);
+        assert_eq!(c.stats().n_points, 4);
+        assert_eq!(c.clone().into_labels(), vec![0, 0, 1, -1]);
+    }
+
+    #[test]
+    fn normalize_ids_compacts_sparse_ids() {
+        let mut c = Clustering::new(vec![7, 7, 42, -1, 3]);
+        c.normalize_ids();
+        assert_eq!(c.labels(), &[0, 0, 1, -1, 2]);
+        assert_eq!(c.n_clusters(), 3);
+        // Idempotent.
+        c.normalize_ids();
+        assert_eq!(c.labels(), &[0, 0, 1, -1, 2]);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.n_noise(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "UNDEFINED")]
+    fn undefined_labels_are_rejected_in_debug() {
+        let _ = Clustering::new(vec![0, UNDEFINED]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Clustering::new(vec![0, 1, -1]);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Clustering = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

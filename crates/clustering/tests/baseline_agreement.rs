@@ -1,0 +1,134 @@
+//! Property tests for the clustering baselines: label validity, determinism,
+//! and agreement with exact DBSCAN in their exact configurations.
+
+use laf_clustering::{
+    BlockDbscan, Clusterer, Clustering, Dbscan, DbscanConfig, DbscanPlusPlus, KnnBlockDbscan,
+    KnnBlockDbscanConfig, RhoApproxDbscan, RhoApproxDbscanConfig,
+};
+use laf_index::EngineChoice;
+use laf_metrics::adjusted_rand_index;
+use laf_synth::EmbeddingMixtureConfig;
+use laf_vector::{Dataset, Metric};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (40usize..110, 2usize..5, 0.05f64..0.35, any::<u64>()).prop_map(
+        |(n_points, clusters, noise_fraction, seed)| {
+            EmbeddingMixtureConfig {
+                n_points,
+                dim: 6,
+                clusters,
+                spread: 0.06,
+                noise_fraction,
+                size_skew: 0.4,
+                subspace_fraction: 1.0,
+                seed,
+            }
+            .generate()
+            .unwrap()
+            .0
+        },
+    )
+}
+
+fn assert_valid_labels(c: &Clustering, n: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(c.len(), n);
+    let n_clusters = c.n_clusters() as i64;
+    for &l in c.labels() {
+        prop_assert!(l == -1 || l >= 0, "invalid label {}", l);
+        prop_assert!(l < n_clusters.max(n as i64), "label {} out of range", l);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_baseline_produces_valid_deterministic_labelings(
+        data in dataset_strategy(),
+        eps in 0.15f32..0.5,
+        tau in 2usize..5
+    ) {
+        let clusterings: Vec<Clustering> = vec![
+            Dbscan::with_params(eps, tau).cluster(&data),
+            DbscanPlusPlus::with_params(eps, tau, 0.5).cluster(&data),
+            KnnBlockDbscan::with_params(eps, tau).cluster(&data),
+            BlockDbscan::with_params(eps, tau).cluster(&data),
+            RhoApproxDbscan::with_params(eps, tau).cluster(&data),
+        ];
+        for c in &clusterings {
+            assert_valid_labels(c, data.len())?;
+        }
+        // Determinism.
+        let again = Dbscan::with_params(eps, tau).cluster(&data);
+        prop_assert_eq!(clusterings[0].labels(), again.labels());
+        let again = BlockDbscan::with_params(eps, tau).cluster(&data);
+        prop_assert_eq!(clusterings[3].labels(), again.labels());
+    }
+
+    #[test]
+    fn exact_configurations_agree_with_dbscan(
+        data in dataset_strategy(),
+        eps in 0.15f32..0.5,
+        tau in 2usize..5
+    ) {
+        let truth = Dbscan::with_params(eps, tau).cluster(&data);
+
+        // KNN-BLOCK with the full leaf budget performs exact kNN, so its core
+        // decisions match DBSCAN's.
+        let knn_exact = KnnBlockDbscan::new(KnnBlockDbscanConfig {
+            eps,
+            min_pts: tau,
+            leaf_ratio: 1.0,
+            ..Default::default()
+        })
+        .cluster(&data);
+        let ari = adjusted_rand_index(truth.labels(), knn_exact.labels());
+        prop_assert!(ari > 0.95, "KNN-BLOCK exact ARI {}", ari);
+
+        // rho = 0 makes the grid exact.
+        let rho_exact = RhoApproxDbscan::new(RhoApproxDbscanConfig {
+            eps,
+            min_pts: tau,
+            rho: 0.0,
+            metric: Metric::Cosine,
+        })
+        .cluster(&data);
+        let ari = adjusted_rand_index(truth.labels(), rho_exact.labels());
+        prop_assert!(ari > 0.999, "rho=0 ARI {}", ari);
+
+        // DBSCAN over the cover tree engine is exact as well.
+        let cover = Dbscan::new(DbscanConfig {
+            eps,
+            min_pts: tau,
+            metric: Metric::Cosine,
+            engine: EngineChoice::CoverTree { basis: 2.0 },
+        })
+        .cluster(&data);
+        prop_assert_eq!(truth.labels(), cover.labels());
+    }
+
+    #[test]
+    fn dbscan_noise_is_monotone_in_tau(
+        data in dataset_strategy(),
+        eps in 0.15f32..0.5,
+        tau in 2usize..5
+    ) {
+        let low = Dbscan::with_params(eps, tau).cluster(&data);
+        let high = Dbscan::with_params(eps, tau + 2).cluster(&data);
+        // Raising the core threshold can only produce more (or equal) noise.
+        prop_assert!(high.n_noise() >= low.n_noise());
+    }
+
+    #[test]
+    fn dbscan_noise_is_antitone_in_eps(
+        data in dataset_strategy(),
+        eps in 0.15f32..0.4,
+        tau in 2usize..5
+    ) {
+        let small = Dbscan::with_params(eps, tau).cluster(&data);
+        let large = Dbscan::with_params(eps + 0.3, tau).cluster(&data);
+        prop_assert!(large.n_noise() <= small.n_noise());
+    }
+}

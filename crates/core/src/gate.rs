@@ -1,0 +1,105 @@
+//! The cardinality-estimation gate placed in front of every range query.
+
+use crate::config::LafConfig;
+use laf_cardest::CardinalityEstimator;
+use std::cell::Cell;
+
+/// Wraps a [`CardinalityEstimator`] together with the `α·τ` skip threshold
+/// and counts how the gate decided.
+///
+/// The gate answers one question: *may the range query for this point be
+/// skipped?* It may be skipped exactly when the predicted cardinality is
+/// finite and below `α·τ` (lines 6 and 22 of Algorithm 1). Non-finite
+/// predictions (a failing estimator) conservatively execute the query, so a
+/// broken model can never corrupt the clustering — only slow it down.
+pub struct CardEstGate<'a> {
+    estimator: &'a dyn CardinalityEstimator,
+    eps: f32,
+    threshold: f32,
+    calls: Cell<u64>,
+    skips: Cell<u64>,
+}
+
+impl<'a> CardEstGate<'a> {
+    /// Build the gate for one clustering run.
+    pub fn new(estimator: &'a dyn CardinalityEstimator, config: &LafConfig) -> Self {
+        Self {
+            estimator,
+            eps: config.eps,
+            threshold: config.skip_threshold(),
+            calls: Cell::new(0),
+            skips: Cell::new(0),
+        }
+    }
+
+    /// `true` when the estimator predicts `query` is a stop point
+    /// (non-core / noise) and its range query can be skipped.
+    pub fn predicts_stop_point(&self, query: &[f32]) -> bool {
+        self.calls.set(self.calls.get() + 1);
+        let prediction = self.estimator.estimate(query, self.eps);
+        let skip = prediction.is_finite() && prediction < self.threshold;
+        if skip {
+            self.skips.set(self.skips.get() + 1);
+        }
+        skip
+    }
+
+    /// Number of gate decisions made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Number of decisions that skipped the range query.
+    pub fn skips(&self) -> u64 {
+        self.skips.get()
+    }
+
+    /// The `α·τ` threshold in use.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::ConstantEstimator;
+
+    #[test]
+    fn gate_skips_below_threshold_only() {
+        let cfg = LafConfig::new(0.5, 5, 2.0); // threshold 10
+        let low = ConstantEstimator::new(3.0);
+        let gate = CardEstGate::new(&low, &cfg);
+        assert!(gate.predicts_stop_point(&[0.0]));
+        assert_eq!(gate.threshold(), 10.0);
+
+        let high = ConstantEstimator::new(50.0);
+        let gate = CardEstGate::new(&high, &cfg);
+        assert!(!gate.predicts_stop_point(&[0.0]));
+        assert_eq!(gate.calls(), 1);
+        assert_eq!(gate.skips(), 0);
+    }
+
+    #[test]
+    fn non_finite_predictions_never_skip() {
+        let cfg = LafConfig::new(0.5, 3, 1.0);
+        for value in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let broken = ConstantEstimator::new(value);
+            let gate = CardEstGate::new(&broken, &cfg);
+            // NEG_INFINITY is non-finite too: still execute the query.
+            assert!(!gate.predicts_stop_point(&[1.0]), "value {value}");
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let cfg = LafConfig::new(0.5, 3, 1.0);
+        let est = ConstantEstimator::new(0.0);
+        let gate = CardEstGate::new(&est, &cfg);
+        for _ in 0..5 {
+            assert!(gate.predicts_stop_point(&[0.0]));
+        }
+        assert_eq!(gate.calls(), 5);
+        assert_eq!(gate.skips(), 5);
+    }
+}

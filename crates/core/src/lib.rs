@@ -1,0 +1,41 @@
+//! # laf-core
+//!
+//! The paper's contribution: **LAF**, a Learned Accelerator Framework for
+//! angular-distance DBSCAN-like clustering, and the two algorithms built on
+//! it, **LAF-DBSCAN** (Algorithm 1) and **LAF-DBSCAN++**.
+//!
+//! LAF is a plugin with two halves:
+//!
+//! 1. **Cardinality-estimation gate** ([`CardEstGate`]): before any range
+//!    query for a point `P`, ask a [`laf_cardest::CardinalityEstimator`] how
+//!    many neighbors `P` has within ε. If the prediction is below `α·τ`
+//!    (error factor times the core threshold), skip the range query entirely
+//!    and treat `P` as a *predicted stop point* (non-core/noise).
+//! 2. **Post-processing** ([`PostProcessor`] over a [`PartialNeighborMap`]):
+//!    predicted stop points never execute range queries, but whenever some
+//!    *other* point's range query finds them, that point is recorded as a
+//!    partial neighbor (Algorithm 2, `UpdatePartialNeighbors`). After
+//!    clustering, any predicted stop point with at least τ recorded partial
+//!    neighbors is a detected false negative: the clusters around it were
+//!    wrongly separated, and the post-processor merges them into one
+//!    (Algorithm 3).
+//!
+//! The error factor α exposes the speed/quality trade-off the paper studies
+//! in its Figures 2–3: larger α ⇒ more skipped queries ⇒ faster and less
+//! accurate; smaller α ⇒ fewer false negatives ⇒ slower and more accurate.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod gate;
+pub mod laf_dbscan;
+pub mod laf_dbscan_pp;
+pub mod partial;
+pub mod post;
+
+pub use config::{LafConfig, LafStats};
+pub use gate::CardEstGate;
+pub use laf_dbscan::LafDbscan;
+pub use laf_dbscan_pp::{LafDbscanPlusPlus, LafDbscanPlusPlusConfig};
+pub use partial::PartialNeighborMap;
+pub use post::PostProcessor;

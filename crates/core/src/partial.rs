@@ -1,0 +1,166 @@
+//! The partial-neighbor map `E` (Algorithm 2 of the paper).
+//!
+//! For every *predicted stop point* (a point whose range query was skipped
+//! because the estimator said it is not core), LAF keeps the subset of its
+//! true neighbors that happens to be discovered for free: whenever another
+//! point `P` executes a range query and finds a predicted stop point `Pₙ`
+//! among its neighbors, `P` is — by symmetry of the distance — also a
+//! neighbor of `Pₙ` and is recorded in `E(Pₙ)`. After clustering, a predicted
+//! stop point with at least τ recorded partial neighbors must actually be a
+//! core point (false negative), and the clusters around it get merged by the
+//! post-processing step.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Map from predicted stop points to the partial neighbors discovered so far.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartialNeighborMap {
+    entries: HashMap<u32, HashSet<u32>>,
+}
+
+impl PartialNeighborMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `point` as a predicted stop point (line 8 / 27 of
+    /// Algorithm 1: `if P not in E then E(P) := ∅`). Keeps any partial
+    /// neighbors already recorded for it.
+    pub fn register_stop_point(&mut self, point: u32) {
+        self.entries.entry(point).or_default();
+    }
+
+    /// `UpdatePartialNeighbors` (Algorithm 2): `querier` has just executed a
+    /// range query and found `neighbors`; for every neighbor already tracked
+    /// in the map, record `querier` as one of its partial neighbors.
+    pub fn update(&mut self, querier: u32, neighbors: &[u32]) {
+        for &nb in neighbors {
+            if nb == querier {
+                continue;
+            }
+            if let Some(partial) = self.entries.get_mut(&nb) {
+                partial.insert(querier);
+            }
+        }
+    }
+
+    /// Whether `point` is tracked as a predicted stop point.
+    pub fn contains(&self, point: u32) -> bool {
+        self.entries.contains_key(&point)
+    }
+
+    /// Partial neighbors recorded for `point` (empty if not tracked).
+    pub fn partial_neighbors(&self, point: u32) -> impl Iterator<Item = u32> + '_ {
+        self.entries
+            .get(&point)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of partial neighbors recorded for `point`.
+    pub fn neighbor_count(&self, point: u32) -> usize {
+        self.entries.get(&point).map_or(0, HashSet::len)
+    }
+
+    /// Number of tracked predicted stop points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no stop points are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(stop_point, partial_neighbors)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &HashSet<u32>)> + '_ {
+        self.entries.iter().map(|(&p, s)| (p, s))
+    }
+
+    /// The predicted stop points whose partial-neighbor count reaches τ —
+    /// the detected false negatives the post-processing acts on.
+    pub fn false_negatives(&self, tau: usize) -> Vec<u32> {
+        let mut fns: Vec<u32> = self
+            .entries
+            .iter()
+            .filter(|(_, s)| s.len() >= tau)
+            .map(|(&p, _)| p)
+            .collect();
+        fns.sort_unstable();
+        fns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_update() {
+        let mut e = PartialNeighborMap::new();
+        assert!(e.is_empty());
+        e.register_stop_point(7);
+        e.register_stop_point(9);
+        assert_eq!(e.len(), 2);
+        assert!(e.contains(7));
+        assert!(!e.contains(3));
+
+        // Point 1 queries and finds 7 and 2 among its neighbors: only the
+        // tracked stop point 7 gains a partial neighbor.
+        e.update(1, &[7, 2]);
+        assert_eq!(e.neighbor_count(7), 1);
+        assert_eq!(e.neighbor_count(9), 0);
+        assert_eq!(e.neighbor_count(2), 0);
+
+        // Registering again must not clear recorded neighbors.
+        e.register_stop_point(7);
+        assert_eq!(e.neighbor_count(7), 1);
+
+        // Self matches are ignored, duplicates are deduplicated.
+        e.update(7, &[7]);
+        e.update(1, &[7]);
+        assert_eq!(e.neighbor_count(7), 1);
+        e.update(4, &[7, 9]);
+        assert_eq!(e.neighbor_count(7), 2);
+        assert_eq!(e.neighbor_count(9), 1);
+        let partial: Vec<u32> = {
+            let mut v: Vec<u32> = e.partial_neighbors(7).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(partial, vec![1, 4]);
+    }
+
+    #[test]
+    fn false_negative_detection_uses_tau() {
+        let mut e = PartialNeighborMap::new();
+        e.register_stop_point(0);
+        e.register_stop_point(1);
+        e.update(10, &[0, 1]);
+        e.update(11, &[0]);
+        e.update(12, &[0]);
+        assert_eq!(e.false_negatives(3), vec![0]);
+        assert_eq!(e.false_negatives(1), vec![0, 1]);
+        assert!(e.false_negatives(4).is_empty());
+    }
+
+    #[test]
+    fn untracked_points_never_accumulate() {
+        let mut e = PartialNeighborMap::new();
+        e.update(5, &[1, 2, 3]);
+        assert!(e.is_empty());
+        assert_eq!(e.partial_neighbors(1).count(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut e = PartialNeighborMap::new();
+        e.register_stop_point(3);
+        e.update(8, &[3]);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: PartialNeighborMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,244 @@
+//! Post-processing (Algorithm 3 of the paper): detect false-negative
+//! predictions and merge the clusters they wrongly separated.
+
+use crate::partial::PartialNeighborMap;
+use laf_clustering::NOISE;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Outcome counters of one post-processing pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostReport {
+    /// Predicted stop points whose partial-neighbor count reached τ.
+    pub detected_false_negatives: u64,
+    /// Pairs of distinct clusters that were merged.
+    pub merged_clusters: u64,
+    /// False-negative points that were re-labeled from noise into the
+    /// destination cluster.
+    pub relabeled_points: u64,
+}
+
+/// Post-processor parameterized by the core threshold τ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostProcessor {
+    /// Minimum number of (partial) neighbors that proves a predicted stop
+    /// point was actually core.
+    pub tau: usize,
+}
+
+impl PostProcessor {
+    /// Create a post-processor.
+    pub fn new(tau: usize) -> Self {
+        Self { tau }
+    }
+
+    /// Algorithm 3: for every predicted stop point `P` with `|E(P)| ≥ τ`,
+    /// pick a non-noise partial neighbor `P'`, use its cluster as the
+    /// destination, and merge the clusters of all of `P`'s partial neighbors
+    /// into it. `P` itself joins the destination cluster.
+    ///
+    /// Where the paper says "randomly select a non-noise neighbor", this
+    /// implementation picks the partial neighbor with the smallest index so
+    /// that runs are reproducible; the choice only affects which surviving
+    /// cluster id the merged cluster carries, not the partition itself.
+    pub fn process(&self, labels: &mut [i64], partial: &PartialNeighborMap) -> PostReport {
+        let mut report = PostReport::default();
+        if labels.is_empty() {
+            return report;
+        }
+
+        // Union-find over cluster ids (labels >= 0).
+        let max_label = labels.iter().copied().max().unwrap_or(-1);
+        if max_label < 0 {
+            // Nothing but noise: there are no clusters to merge, but false
+            // negatives are still counted for reporting.
+            report.detected_false_negatives = partial.false_negatives(self.tau).len() as u64;
+            return report;
+        }
+        let mut uf = UnionFind::new((max_label + 1) as usize);
+        // Deferred label assignments for the false-negative points themselves.
+        let mut pending_joins: Vec<(usize, i64)> = Vec::new();
+
+        for p in partial.false_negatives(self.tau) {
+            report.detected_false_negatives += 1;
+            let mut neighbors: Vec<u32> = partial.partial_neighbors(p).collect();
+            neighbors.sort_unstable();
+            // Destination cluster: the first non-noise partial neighbor.
+            let Some(dest) = neighbors
+                .iter()
+                .map(|&nb| labels[nb as usize])
+                .find(|&l| l != NOISE)
+            else {
+                continue;
+            };
+            // Merge every cluster that appears among the partial neighbors.
+            for &nb in &neighbors {
+                let l = labels[nb as usize];
+                if l != NOISE && l != dest && uf.union(dest as usize, l as usize) {
+                    report.merged_clusters += 1;
+                }
+            }
+            pending_joins.push((p as usize, dest));
+        }
+
+        // Apply the union-find to every labeled point.
+        for l in labels.iter_mut() {
+            if *l >= 0 {
+                *l = uf.find(*l as usize) as i64;
+            }
+        }
+        // The false negatives join their destination cluster (they are core
+        // points in truth, so leaving them as noise would be strictly worse).
+        for (point, dest) in pending_joins {
+            let resolved = uf.find(dest as usize) as i64;
+            if labels[point] == NOISE {
+                report.relabeled_points += 1;
+            }
+            labels[point] = resolved;
+        }
+
+        compact_labels(labels);
+        report
+    }
+}
+
+/// Renumber cluster ids to 0..k preserving first-appearance order.
+fn compact_labels(labels: &mut [i64]) {
+    let mut remap: HashMap<i64, i64> = HashMap::new();
+    for l in labels.iter_mut() {
+        if *l == NOISE {
+            continue;
+        }
+        let next = remap.len() as i64;
+        let id = *remap.entry(*l).or_insert(next);
+        *l = id;
+    }
+}
+
+/// Minimal union-find (path compression, union by attaching to the root of
+/// the destination).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Returns `true` when two previously distinct sets were joined.
+    fn union(&mut self, dest: usize, other: usize) -> bool {
+        let rd = self.find(dest);
+        let ro = self.find(other);
+        if rd == ro {
+            return false;
+        }
+        self.parent[ro] = rd;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a map with one tracked stop point and the given partial
+    /// neighbors.
+    fn map_with(stop: u32, partial_neighbors: &[u32]) -> PartialNeighborMap {
+        let mut e = PartialNeighborMap::new();
+        e.register_stop_point(stop);
+        for &q in partial_neighbors {
+            e.update(q, &[stop]);
+        }
+        e
+    }
+
+    #[test]
+    fn merges_clusters_split_by_a_false_negative() {
+        // Points 0-2 form cluster 0, points 4-6 form cluster 1; point 3 sits
+        // between them, was predicted non-core (skipped) but has 4 partial
+        // neighbors — a false negative that should glue the clusters.
+        let mut labels = vec![0, 0, 0, NOISE, 1, 1, 1];
+        let e = map_with(3, &[1, 2, 4, 5]);
+        let report = PostProcessor::new(3).process(&mut labels, &e);
+        assert_eq!(report.detected_false_negatives, 1);
+        assert_eq!(report.merged_clusters, 1);
+        assert_eq!(report.relabeled_points, 1);
+        // Everything is now one cluster and point 3 joined it.
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn below_tau_nothing_happens() {
+        let mut labels = vec![0, 0, NOISE, 1, 1];
+        let e = map_with(2, &[0, 3]);
+        let report = PostProcessor::new(3).process(&mut labels, &e);
+        assert_eq!(report.detected_false_negatives, 0);
+        assert_eq!(report.merged_clusters, 0);
+        assert_eq!(labels, vec![0, 0, NOISE, 1, 1]);
+    }
+
+    #[test]
+    fn all_noise_neighbors_cannot_pick_a_destination() {
+        let mut labels = vec![NOISE, NOISE, NOISE, NOISE];
+        let e = map_with(0, &[1, 2, 3]);
+        let report = PostProcessor::new(3).process(&mut labels, &e);
+        assert_eq!(report.detected_false_negatives, 1);
+        assert_eq!(report.merged_clusters, 0);
+        assert!(labels.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn three_way_merge_counts_two_joins() {
+        let mut labels = vec![0, 0, 1, 1, 2, 2, NOISE];
+        let e = map_with(6, &[0, 2, 4]);
+        let report = PostProcessor::new(3).process(&mut labels, &e);
+        assert_eq!(report.merged_clusters, 2);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn unrelated_clusters_are_untouched() {
+        let mut labels = vec![0, 0, 1, 1, 2, 2, NOISE];
+        // False negative only bridges clusters 0 and 1; cluster 2 survives.
+        let e = map_with(6, &[0, 1, 2]);
+        let report = PostProcessor::new(3).process(&mut labels, &e);
+        assert_eq!(report.merged_clusters, 1);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[4]);
+        // Ids are compacted.
+        let max = labels.iter().copied().max().unwrap();
+        assert_eq!(max, 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut labels: Vec<i64> = vec![];
+        let report = PostProcessor::new(3).process(&mut labels, &PartialNeighborMap::new());
+        assert_eq!(report, PostReport::default());
+
+        let mut labels = vec![0, 1, NOISE];
+        let report = PostProcessor::new(3).process(&mut labels, &PartialNeighborMap::new());
+        assert_eq!(report.detected_false_negatives, 0);
+        assert_eq!(labels, vec![0, 1, NOISE]);
+    }
+
+    #[test]
+    fn only_noise_labels_with_false_negatives_is_safe() {
+        let mut labels = vec![NOISE, NOISE, NOISE];
+        let e = map_with(0, &[1, 2]);
+        let report = PostProcessor::new(2).process(&mut labels, &e);
+        assert_eq!(report.detected_false_negatives, 1);
+        assert_eq!(labels, vec![NOISE, NOISE, NOISE]);
+    }
+}

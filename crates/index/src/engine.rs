@@ -1,0 +1,199 @@
+//! The [`RangeQueryEngine`] abstraction and engine selection.
+
+use laf_vector::{Dataset, Metric};
+use serde::{Deserialize, Serialize};
+
+/// A neighbor returned by a k-nearest-neighbor query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index of the neighbor in the indexed dataset.
+    pub index: u32,
+    /// Distance from the query to the neighbor under the engine's metric.
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Convenience constructor.
+    pub fn new(index: u32, dist: f32) -> Self {
+        Self { index, dist }
+    }
+}
+
+/// Common interface of every neighbor-search substrate.
+///
+/// Engines are built over a borrowed [`Dataset`] and answer queries for
+/// arbitrary query vectors (not only dataset rows), because LAF's cardinality
+/// estimator is trained on held-out query points.
+pub trait RangeQueryEngine: Send + Sync {
+    /// Number of indexed points.
+    fn num_points(&self) -> usize;
+
+    /// The distance metric the engine answers queries under.
+    fn metric(&self) -> Metric;
+
+    /// Exact or approximate ε-range query: indices of all indexed points `x`
+    /// with `dist(q, x) < eps`.
+    ///
+    /// Whether the result is exact depends on the engine; see each engine's
+    /// documentation.
+    fn range(&self, q: &[f32], eps: f32) -> Vec<u32>;
+
+    /// Number of points within `eps` of `q`. Engines override this when they
+    /// can count more cheaply than materializing the neighbor list.
+    fn range_count(&self, q: &[f32], eps: f32) -> usize {
+        self.range(q, eps).len()
+    }
+
+    /// k-nearest-neighbor query, closest first. `k` is clamped to the number
+    /// of indexed points.
+    fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// Total number of query-to-point distance evaluations performed so far.
+    /// Used by the benchmark harness to report computation saved.
+    fn distance_evaluations(&self) -> u64;
+
+    /// Reset the distance-evaluation counter.
+    fn reset_distance_evaluations(&self);
+}
+
+/// Declarative engine selection, used in clusterer configs, CLI flags and
+/// ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum EngineChoice {
+    /// Exact brute-force scan.
+    Linear,
+    /// Cover-tree style metric tree. `basis` mirrors BLOCK-DBSCAN's cover
+    /// tree basis parameter (paper default 2.0).
+    CoverTree {
+        /// Radius decay basis (> 1).
+        basis: f32,
+    },
+    /// FLANN-style k-means tree for approximate search. `branching` and
+    /// `leaf_ratio` mirror the two knobs the paper tunes for KNN-BLOCK
+    /// DBSCAN (branching factor 10, ratio of leaves to check 0.6).
+    KMeansTree {
+        /// Fanout of each internal node.
+        branching: usize,
+        /// Fraction of leaves visited per query, in (0, 1].
+        leaf_ratio: f64,
+    },
+    /// ε-grid index as used by ρ-approximate DBSCAN.
+    Grid {
+        /// Grid cell side length as a fraction of ε (Gan & Tao use ε/√d).
+        cell_side: f32,
+    },
+    /// Inverted-file index (k-means coarse quantizer, probe the closest
+    /// `nprobe` of `nlist` posting lists). Approximate.
+    Ivf {
+        /// Number of posting lists.
+        nlist: usize,
+        /// Number of lists probed per query.
+        nprobe: usize,
+    },
+}
+
+impl Default for EngineChoice {
+    fn default() -> Self {
+        EngineChoice::Linear
+    }
+}
+
+/// Build the engine described by `choice` over `data` under `metric`.
+///
+/// The grid engine additionally needs the query radius ε at construction
+/// time; `eps_hint` provides it (ignored by the other engines).
+pub fn build_engine<'a>(
+    choice: EngineChoice,
+    data: &'a Dataset,
+    metric: Metric,
+    eps_hint: f32,
+) -> Box<dyn RangeQueryEngine + 'a> {
+    match choice {
+        EngineChoice::Linear => Box::new(crate::linear::LinearScan::new(data, metric)),
+        EngineChoice::CoverTree { basis } => {
+            Box::new(crate::cover_tree::CoverTree::new(data, metric, basis))
+        }
+        EngineChoice::KMeansTree {
+            branching,
+            leaf_ratio,
+        } => Box::new(crate::kmeans_tree::KMeansTree::new(
+            data, metric, branching, leaf_ratio, 0xC0FFEE,
+        )),
+        EngineChoice::Grid { cell_side } => Box::new(crate::grid::GridIndex::new(
+            data,
+            metric,
+            eps_hint.max(1e-6) * cell_side,
+        )),
+        EngineChoice::Ivf { nlist, nprobe } => Box::new(crate::ivf::IvfIndex::new(
+            data, metric, nlist, nprobe, 0xC0FFEE,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_vector::Dataset;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::from_rows(vec![
+            vec![1.0f32, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+        ])
+        .unwrap();
+        d.normalize();
+        d
+    }
+
+    #[test]
+    fn neighbor_constructor() {
+        let n = Neighbor::new(3, 0.25);
+        assert_eq!(n.index, 3);
+        assert_eq!(n.dist, 0.25);
+    }
+
+    #[test]
+    fn default_choice_is_linear() {
+        assert_eq!(EngineChoice::default(), EngineChoice::Linear);
+    }
+
+    #[test]
+    fn build_engine_constructs_every_variant() {
+        let data = toy();
+        let choices = [
+            EngineChoice::Linear,
+            EngineChoice::CoverTree { basis: 2.0 },
+            EngineChoice::KMeansTree {
+                branching: 2,
+                leaf_ratio: 1.0,
+            },
+            EngineChoice::Grid { cell_side: 0.5 },
+            EngineChoice::Ivf {
+                nlist: 2,
+                nprobe: 2,
+            },
+        ];
+        for c in choices {
+            let engine = build_engine(c, &data, Metric::Cosine, 0.5);
+            assert_eq!(engine.num_points(), 4, "engine {c:?}");
+            assert_eq!(engine.metric(), Metric::Cosine);
+            // Every engine must find the query point's duplicate region.
+            let hits = engine.range(data.row(0), 0.2);
+            assert!(hits.contains(&0), "engine {c:?} missed exact duplicate");
+        }
+    }
+
+    #[test]
+    fn engine_choice_serde_round_trip() {
+        let c = EngineChoice::KMeansTree {
+            branching: 10,
+            leaf_ratio: 0.6,
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineChoice = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

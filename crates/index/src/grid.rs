@@ -1,0 +1,344 @@
+//! ε-grid index (the ρ-approximate DBSCAN substrate).
+//!
+//! Gan & Tao's ρ-approximate DBSCAN buckets points into a grid whose cell
+//! side is proportional to ε; core status and cluster connectivity are then
+//! resolved cell-by-cell. The construction is extremely effective in 2–3
+//! dimensions but degrades badly as dimensionality grows — the number of
+//! non-empty cells approaches the number of points and almost every pair of
+//! cells must still be examined — which is exactly why the paper's Table 4
+//! finds ρ-approximate DBSCAN *slower than plain DBSCAN* on 768-dimensional
+//! embeddings. This module reproduces that behaviour honestly: the grid is
+//! exact (range queries prune with per-cell bounding boxes) and the overhead
+//! it pays in high dimension is the overhead the paper measured.
+//!
+//! Like the cover tree, the grid operates internally in Euclidean space over
+//! the normalized vectors and converts cosine thresholds via Equation (1).
+
+use crate::engine::{Neighbor, RangeQueryEngine};
+use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric};
+use laf_vector::distance::DistanceMetric;
+use laf_vector::EuclideanDistance;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A populated grid cell.
+#[derive(Debug)]
+struct Cell {
+    /// Quantized coordinates of the cell (one entry per dimension).
+    coords: Vec<i16>,
+    /// Dataset rows falling in this cell.
+    points: Vec<u32>,
+}
+
+/// Exact grid index with bounding-box pruning.
+pub struct GridIndex<'a> {
+    data: &'a Dataset,
+    metric: Metric,
+    /// Cell side length in internal Euclidean space.
+    cell_side: f32,
+    cells: Vec<Cell>,
+    /// Map from quantized coordinates to position in `cells`.
+    lookup: HashMap<Vec<i16>, u32>,
+    evaluations: AtomicU64,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Build a grid with the given cell side length (internal Euclidean
+    /// units). Gan & Tao use `ε/√d`; [`crate::engine::build_engine`] computes
+    /// the side from its `eps_hint`.
+    pub fn new(data: &'a Dataset, metric: Metric, cell_side: f32) -> Self {
+        let cell_side = if cell_side <= 1e-6 { 1e-3 } else { cell_side };
+        let mut lookup: HashMap<Vec<i16>, u32> = HashMap::new();
+        let mut cells: Vec<Cell> = Vec::new();
+        for (i, row) in data.rows().enumerate() {
+            let coords = quantize(row, cell_side);
+            match lookup.get(&coords) {
+                Some(&cell_id) => cells[cell_id as usize].points.push(i as u32),
+                None => {
+                    let cell_id = cells.len() as u32;
+                    lookup.insert(coords.clone(), cell_id);
+                    cells.push(Cell {
+                        coords,
+                        points: vec![i as u32],
+                    });
+                }
+            }
+        }
+        Self {
+            data,
+            metric,
+            cell_side,
+            cells,
+            lookup,
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of non-empty cells (diagnostics: in high dimension this
+    /// approaches the number of points, which is the degradation the paper's
+    /// Table 4 demonstrates).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cell side length in internal Euclidean units.
+    pub fn cell_side(&self) -> f32 {
+        self.cell_side
+    }
+
+    /// All points sharing the query's cell (the "same cell" primitive of
+    /// ρ-approximate DBSCAN: those points are within `ε√d` of each other by
+    /// construction).
+    pub fn cell_mates(&self, q: &[f32]) -> &[u32] {
+        let coords = quantize(q, self.cell_side);
+        match self.lookup.get(&coords) {
+            Some(&cell_id) => &self.cells[cell_id as usize].points,
+            None => &[],
+        }
+    }
+
+    fn eps_to_internal(&self, eps: f32) -> f32 {
+        match self.metric {
+            Metric::Euclidean => eps,
+            Metric::SquaredEuclidean => eps.max(0.0).sqrt(),
+            Metric::Cosine => cosine_to_euclidean(eps),
+            Metric::Angular => {
+                let d_cos = 1.0 - (eps.clamp(0.0, 1.0) * std::f32::consts::PI).cos();
+                cosine_to_euclidean(d_cos)
+            }
+            Metric::NegDot => cosine_to_euclidean(eps + 1.0),
+        }
+    }
+
+    fn dist_to_public(&self, d_euc: f32) -> f32 {
+        match self.metric {
+            Metric::Euclidean => d_euc,
+            Metric::SquaredEuclidean => d_euc * d_euc,
+            Metric::Cosine => euclidean_to_cosine(d_euc),
+            Metric::Angular => {
+                let d_cos = euclidean_to_cosine(d_euc);
+                (1.0 - d_cos).clamp(-1.0, 1.0).acos() / std::f32::consts::PI
+            }
+            Metric::NegDot => euclidean_to_cosine(d_euc) - 1.0,
+        }
+    }
+
+    /// Minimum possible Euclidean distance from `q` to any point inside the
+    /// cell's bounding box.
+    fn box_distance(&self, q: &[f32], coords: &[i16]) -> f32 {
+        let mut sum = 0.0f32;
+        for (d, &c) in coords.iter().enumerate() {
+            let lo = c as f32 * self.cell_side;
+            let hi = lo + self.cell_side;
+            let x = q[d];
+            let gap = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0.0
+            };
+            sum += gap * gap;
+        }
+        sum.sqrt()
+    }
+}
+
+fn quantize(v: &[f32], cell_side: f32) -> Vec<i16> {
+    v.iter()
+        .map(|&x| {
+            let q = (x / cell_side).floor();
+            q.clamp(i16::MIN as f32, i16::MAX as f32) as i16
+        })
+        .collect()
+}
+
+impl RangeQueryEngine for GridIndex<'_> {
+    fn num_points(&self) -> usize {
+        self.data.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn range(&self, q: &[f32], eps: f32) -> Vec<u32> {
+        let eps_euc = self.eps_to_internal(eps);
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            if self.box_distance(q, &cell.coords) >= eps_euc {
+                continue;
+            }
+            for &p in &cell.points {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                if EuclideanDistance.dist(q, self.data.row(p as usize)) < eps_euc {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.data.is_empty() {
+            return Vec::new();
+        }
+        // Visit cells in order of box distance; stop when the k-th best
+        // distance is closer than the next cell could possibly be.
+        let mut order: Vec<(f32, u32)> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.box_distance(q, &c.coords), i as u32))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = k.min(self.data.len());
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for (box_d, cell_id) in order {
+            if best.len() == k && box_d >= best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
+                break;
+            }
+            for &p in &self.cells[cell_id as usize].points {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                let d = EuclideanDistance.dist(q, self.data.row(p as usize));
+                if best.len() < k || d < best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
+                    best.push(Neighbor::new(p, d));
+                    best.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+                    best.truncate(k);
+                }
+            }
+        }
+        for n in best.iter_mut() {
+            n.dist = self.dist_to_public(n.dist);
+        }
+        best
+    }
+
+    fn distance_evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    fn reset_distance_evaluations(&self) {
+        self.evaluations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use laf_synth::EmbeddingMixtureConfig;
+
+    fn sample_data(dim: usize) -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 300,
+            dim,
+            clusters: 5,
+            noise_fraction: 0.2,
+            seed: 31,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn range_matches_linear_scan_cosine() {
+        let data = sample_data(12);
+        // Cell side ≈ eps_euc / sqrt(d)
+        let eps = 0.3f32;
+        let side = cosine_to_euclidean(eps) / (12.0f32).sqrt();
+        let grid = GridIndex::new(&data, Metric::Cosine, side);
+        let oracle = LinearScan::new(&data, Metric::Cosine);
+        for &q in &[0usize, 50, 299] {
+            let expected = oracle.range(data.row(q), eps);
+            let got = grid.range(data.row(q), eps);
+            assert_eq!(got, expected, "q={q}");
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan_euclidean_low_dim() {
+        let data = sample_data(3);
+        let grid = GridIndex::new(&data, Metric::Euclidean, 0.1);
+        let oracle = LinearScan::new(&data, Metric::Euclidean);
+        for &q in &[1usize, 100, 200] {
+            for &eps in &[0.1f32, 0.4, 1.0] {
+                assert_eq!(
+                    grid.range(data.row(q), eps),
+                    oracle.range(data.row(q), eps),
+                    "q={q} eps={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_dim_grid_prunes_work() {
+        let data = sample_data(3);
+        let grid = GridIndex::new(&data, Metric::Euclidean, 0.05);
+        grid.reset_distance_evaluations();
+        let _ = grid.range(data.row(0), 0.1);
+        assert!(
+            grid.distance_evaluations() < data.len() as u64,
+            "low-dimensional grid should prune: {}",
+            grid.distance_evaluations()
+        );
+    }
+
+    #[test]
+    fn high_dim_grid_degenerates_to_one_point_per_cell() {
+        let data = sample_data(48);
+        let side = cosine_to_euclidean(0.3) / (48.0f32).sqrt();
+        let grid = GridIndex::new(&data, Metric::Cosine, side);
+        // The curse of dimensionality: almost every point gets its own cell.
+        assert!(
+            grid.cell_count() as f64 > data.len() as f64 * 0.9,
+            "cells={} points={}",
+            grid.cell_count(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let data = sample_data(8);
+        let grid = GridIndex::new(&data, Metric::Cosine, 0.1);
+        let oracle = LinearScan::new(&data, Metric::Cosine);
+        for &q in &[3usize, 77, 250] {
+            let expected = oracle.knn(data.row(q), 7);
+            let got = grid.knn(data.row(q), 7);
+            assert_eq!(got.len(), 7);
+            for (e, g) in expected.iter().zip(&got) {
+                assert!((e.dist - g.dist).abs() < 1e-3, "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_mates_contains_the_point_itself() {
+        let data = sample_data(6);
+        let grid = GridIndex::new(&data, Metric::Cosine, 0.2);
+        for q in [0usize, 10, 200] {
+            let mates = grid.cell_mates(data.row(q));
+            assert!(mates.contains(&(q as u32)));
+        }
+    }
+
+    #[test]
+    fn degenerate_cell_side_is_clamped() {
+        let data = sample_data(4);
+        let grid = GridIndex::new(&data, Metric::Cosine, 0.0);
+        assert!(grid.cell_side() > 0.0);
+        assert_eq!(grid.num_points(), data.len());
+    }
+
+    #[test]
+    fn knn_k_zero_is_empty() {
+        let data = sample_data(4);
+        let grid = GridIndex::new(&data, Metric::Cosine, 0.1);
+        assert!(grid.knn(data.row(0), 0).is_empty());
+    }
+}

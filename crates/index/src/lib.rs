@@ -1,0 +1,37 @@
+//! # laf-index
+//!
+//! Range-query and nearest-neighbor engines used by every clustering
+//! algorithm in the LAF-DBSCAN reproduction.
+//!
+//! DBSCAN's cost is dominated by ε-range queries; the approximate baselines
+//! the paper compares against differ mostly in *which neighbor-search
+//! substrate they use*:
+//!
+//! * original DBSCAN, DBSCAN++ and LAF-DBSCAN issue exact range queries —
+//!   [`LinearScan`] here;
+//! * BLOCK-DBSCAN relies on a cover tree — [`CoverTree`];
+//! * KNN-BLOCK DBSCAN relies on a FLANN-style k-means tree for approximate
+//!   k-nearest-neighbor queries — [`KMeansTree`];
+//! * ρ-approximate DBSCAN relies on an ε-grid — [`GridIndex`].
+//!
+//! All engines implement [`RangeQueryEngine`] so the clustering layer can be
+//! written once and benchmarked against any substrate, and all engines count
+//! the number of distance evaluations they perform
+//! ([`RangeQueryEngine::distance_evaluations`]) so the benchmark harness can
+//! report *work saved* in addition to wall-clock time.
+
+#![warn(missing_docs)]
+
+pub mod cover_tree;
+pub mod engine;
+pub mod grid;
+pub mod ivf;
+pub mod kmeans_tree;
+pub mod linear;
+
+pub use cover_tree::CoverTree;
+pub use engine::{build_engine, EngineChoice, Neighbor, RangeQueryEngine};
+pub use grid::GridIndex;
+pub use ivf::IvfIndex;
+pub use kmeans_tree::KMeansTree;
+pub use linear::LinearScan;

@@ -1,0 +1,205 @@
+//! Exact brute-force range queries.
+//!
+//! This is the substrate of the original DBSCAN, DBSCAN++ and the LAF
+//! variants in the paper (their cost model is "one range query = one full
+//! scan"), and it is the correctness oracle every other engine is tested
+//! against.
+
+use crate::engine::{Neighbor, RangeQueryEngine};
+use laf_vector::{Dataset, Metric};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exact linear-scan engine.
+pub struct LinearScan<'a> {
+    data: &'a Dataset,
+    metric: Metric,
+    evaluations: AtomicU64,
+}
+
+impl<'a> LinearScan<'a> {
+    /// Index `data` under `metric`.
+    pub fn new(data: &'a Dataset, metric: Metric) -> Self {
+        Self {
+            data,
+            metric,
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.data
+    }
+
+    /// Exact range query executed in parallel across the dataset. Produces
+    /// the same result as [`RangeQueryEngine::range`]; used by the benchmark
+    /// harness when a single query dominates wall-clock time.
+    pub fn par_range(&self, q: &[f32], eps: f32) -> Vec<u32> {
+        self.evaluations
+            .fetch_add(self.data.len() as u64, Ordering::Relaxed);
+        let mut hits: Vec<u32> = (0..self.data.len())
+            .into_par_iter()
+            .filter(|&i| self.metric.dist(q, self.data.row(i)) < eps)
+            .map(|i| i as u32)
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    /// Exact range queries for a batch of dataset rows, in parallel.
+    /// Returns one neighbor list per requested row index.
+    pub fn batch_range_rows(&self, rows: &[usize], eps: f32) -> Vec<Vec<u32>> {
+        self.evaluations.fetch_add(
+            (rows.len() as u64) * (self.data.len() as u64),
+            Ordering::Relaxed,
+        );
+        rows.par_iter()
+            .map(|&r| {
+                let q = self.data.row(r);
+                (0..self.data.len())
+                    .filter(|&i| self.metric.dist(q, self.data.row(i)) < eps)
+                    .map(|i| i as u32)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl RangeQueryEngine for LinearScan<'_> {
+    fn num_points(&self) -> usize {
+        self.data.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn range(&self, q: &[f32], eps: f32) -> Vec<u32> {
+        self.evaluations
+            .fetch_add(self.data.len() as u64, Ordering::Relaxed);
+        let mut hits = Vec::new();
+        for (i, row) in self.data.rows().enumerate() {
+            if self.metric.dist(q, row) < eps {
+                hits.push(i as u32);
+            }
+        }
+        hits
+    }
+
+    fn range_count(&self, q: &[f32], eps: f32) -> usize {
+        self.evaluations
+            .fetch_add(self.data.len() as u64, Ordering::Relaxed);
+        self.data
+            .rows()
+            .filter(|row| self.metric.dist(q, row) < eps)
+            .count()
+    }
+
+    fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        self.evaluations
+            .fetch_add(self.data.len() as u64, Ordering::Relaxed);
+        let mut all: Vec<Neighbor> = self
+            .data
+            .rows()
+            .enumerate()
+            .map(|(i, row)| Neighbor::new(i as u32, self.metric.dist(q, row)))
+            .collect();
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        all.truncate(k.min(self.data.len()));
+        all
+    }
+
+    fn distance_evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    fn reset_distance_evaluations(&self) {
+        self.evaluations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_vector::ops;
+
+    fn toy() -> Dataset {
+        // Points on the unit circle at known angles.
+        let angles = [0.0f32, 0.05, 0.1, 1.0, 2.0, 3.1];
+        let rows: Vec<Vec<f32>> = angles.iter().map(|a| vec![a.cos(), a.sin()]).collect();
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn range_finds_exactly_the_close_points() {
+        let data = toy();
+        let engine = LinearScan::new(&data, Metric::Cosine);
+        // Cosine distance 1-cos(angle). For angle 0.1, d ≈ 0.005.
+        let hits = engine.range(data.row(0), 0.01);
+        assert_eq!(hits, vec![0, 1, 2]);
+        let count = engine.range_count(data.row(0), 0.01);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn knn_orders_by_distance_and_clamps_k() {
+        let data = toy();
+        let engine = LinearScan::new(&data, Metric::Cosine);
+        let knn = engine.knn(data.row(0), 3);
+        assert_eq!(knn.len(), 3);
+        assert_eq!(knn[0].index, 0);
+        assert!(knn[0].dist <= knn[1].dist && knn[1].dist <= knn[2].dist);
+        let all = engine.knn(data.row(0), 100);
+        assert_eq!(all.len(), data.len());
+    }
+
+    #[test]
+    fn par_range_matches_serial_range() {
+        let data = toy();
+        let engine = LinearScan::new(&data, Metric::Cosine);
+        for eps in [0.01f32, 0.2, 1.0, 2.0] {
+            let mut serial = engine.range(data.row(2), eps);
+            serial.sort_unstable();
+            assert_eq!(engine.par_range(data.row(2), eps), serial);
+        }
+    }
+
+    #[test]
+    fn batch_range_rows_matches_individual_queries() {
+        let data = toy();
+        let engine = LinearScan::new(&data, Metric::Cosine);
+        let batch = engine.batch_range_rows(&[0, 3, 5], 0.5);
+        assert_eq!(batch.len(), 3);
+        for (slot, &row) in [0usize, 3, 5].iter().enumerate() {
+            assert_eq!(batch[slot], engine.range(data.row(row), 0.5));
+        }
+    }
+
+    #[test]
+    fn distance_evaluation_counter_tracks_work() {
+        let data = toy();
+        let engine = LinearScan::new(&data, Metric::Cosine);
+        assert_eq!(engine.distance_evaluations(), 0);
+        engine.range(data.row(0), 0.5);
+        assert_eq!(engine.distance_evaluations(), data.len() as u64);
+        engine.knn(data.row(0), 2);
+        assert_eq!(engine.distance_evaluations(), 2 * data.len() as u64);
+        engine.reset_distance_evaluations();
+        assert_eq!(engine.distance_evaluations(), 0);
+    }
+
+    #[test]
+    fn works_with_euclidean_metric_and_off_dataset_queries() {
+        let data = toy();
+        let engine = LinearScan::new(&data, Metric::Euclidean);
+        assert_eq!(engine.metric(), Metric::Euclidean);
+        let mut q = vec![0.999f32, 0.001];
+        ops::normalize_in_place(&mut q);
+        let hits = engine.range(&q, 0.2);
+        assert!(hits.contains(&0));
+        assert!(!hits.contains(&5));
+        assert_eq!(engine.num_points(), 6);
+        assert_eq!(engine.dataset().len(), 6);
+    }
+}

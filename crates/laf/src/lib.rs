@@ -1,0 +1,127 @@
+//! # laf
+//!
+//! Facade crate for the **LAF-DBSCAN** reproduction (Wang & Wang, *Learned
+//! Accelerator Framework for Angular-Distance-Based High-Dimensional DBSCAN*,
+//! EDBT 2023). Downstream users depend on this crate and get the whole stack:
+//!
+//! ```
+//! use laf::prelude::*;
+//!
+//! // 1. Get (or generate) unit-normalized embeddings.
+//! let (data, _) = EmbeddingMixtureConfig {
+//!     n_points: 400,
+//!     dim: 16,
+//!     clusters: 6,
+//!     ..Default::default()
+//! }
+//! .generate()
+//! .unwrap();
+//!
+//! // 2. Train the learned cardinality estimator.
+//! let training = TrainingSetBuilder::default().build(&data, &data).unwrap();
+//! let estimator = MlpEstimator::train(&training, &NetConfig::tiny());
+//!
+//! // 3. Cluster with LAF-DBSCAN.
+//! let laf = LafDbscan::new(LafConfig::new(0.3, 4, 1.0), estimator);
+//! let clustering = laf.cluster(&data);
+//! assert_eq!(clustering.len(), data.len());
+//! ```
+//!
+//! The individual layers are re-exported as modules: [`vector`], [`synth`],
+//! [`index`], [`cardest`], [`clustering`], [`core`], [`metrics`].
+
+#![warn(missing_docs)]
+
+/// Dense vectors, distances, projection, dataset container ([`laf_vector`]).
+pub mod vector {
+    pub use laf_vector::*;
+}
+
+/// Synthetic workload generators ([`laf_synth`]).
+pub mod synth {
+    pub use laf_synth::*;
+}
+
+/// Range-query and KNN engines ([`laf_index`]).
+pub mod index {
+    pub use laf_index::*;
+}
+
+/// Learned cardinality estimation ([`laf_cardest`]).
+pub mod cardest {
+    pub use laf_cardest::*;
+}
+
+/// DBSCAN and the approximate baselines ([`laf_clustering`]).
+pub mod clustering {
+    pub use laf_clustering::*;
+}
+
+/// The LAF framework itself ([`laf_core`]).
+pub mod core {
+    pub use laf_core::*;
+}
+
+/// Clustering quality metrics ([`laf_metrics`]).
+pub mod metrics {
+    pub use laf_metrics::*;
+}
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use laf_cardest::{
+        CardinalityEstimator, ConstantEstimator, ExactEstimator, HistogramEstimator, Mlp,
+        MlpEstimator, NetConfig, RmiConfig, RmiEstimator, SamplingEstimator, TrainingSet,
+        TrainingSetBuilder,
+    };
+    pub use laf_clustering::{
+        BlockDbscan, BlockDbscanConfig, Clusterer, Clustering, Dbscan, DbscanConfig,
+        DbscanPlusPlus, DbscanPlusPlusConfig, KnnBlockDbscan, KnnBlockDbscanConfig,
+        RhoApproxDbscan, RhoApproxDbscanConfig,
+    };
+    pub use laf_core::{
+        CardEstGate, LafConfig, LafDbscan, LafDbscanPlusPlus, LafDbscanPlusPlusConfig, LafStats,
+        PartialNeighborMap, PostProcessor,
+    };
+    pub use laf_index::{
+        build_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan, Neighbor,
+        RangeQueryEngine,
+    };
+    pub use laf_metrics::{
+        adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,
+        ClusteringStats, ContingencyTable, MissedClusterReport,
+    };
+    pub use laf_synth::{
+        BagOfWordsConfig, DatasetCatalog, DatasetSpec, EmbeddingMixtureConfig, SyntheticDataset,
+    };
+    pub use laf_vector::{
+        cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, Dataset,
+        DistanceMetric, EuclideanDistance, GaussianRandomProjection, Metric,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_whole_pipeline() {
+        let (data, _) = EmbeddingMixtureConfig {
+            n_points: 120,
+            dim: 8,
+            clusters: 3,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let truth = Dbscan::with_params(0.3, 3).cluster(&data);
+        let laf = LafDbscan::new(
+            LafConfig::new(0.3, 3, 1.0),
+            ExactEstimator::new(&data, Metric::Cosine),
+        );
+        let result = laf.cluster(&data);
+        assert_eq!(result.labels(), truth.labels());
+        assert!((adjusted_rand_index(truth.labels(), result.labels()) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,395 @@
+//! Contingency table and the ARI / MI / NMI / AMI family.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Contingency table between two labelings of the same points.
+///
+/// Rows index clusters of the first ("true") labeling, columns index clusters
+/// of the second ("predicted") labeling; `counts[i][j]` is the number of
+/// points assigned to true cluster `i` and predicted cluster `j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<u64>>,
+    row_sums: Vec<u64>,
+    col_sums: Vec<u64>,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Build the table from two equal-length label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn new(truth: &[i64], predicted: &[i64]) -> Self {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "labelings must cover the same points"
+        );
+        let mut row_ids: HashMap<i64, usize> = HashMap::new();
+        let mut col_ids: HashMap<i64, usize> = HashMap::new();
+        for &t in truth {
+            let next = row_ids.len();
+            row_ids.entry(t).or_insert(next);
+        }
+        for &p in predicted {
+            let next = col_ids.len();
+            col_ids.entry(p).or_insert(next);
+        }
+        let mut counts = vec![vec![0u64; col_ids.len()]; row_ids.len()];
+        for (&t, &p) in truth.iter().zip(predicted) {
+            counts[row_ids[&t]][col_ids[&p]] += 1;
+        }
+        let row_sums: Vec<u64> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col_sums: Vec<u64> = (0..col_ids.len())
+            .map(|j| counts.iter().map(|r| r[j]).sum())
+            .collect();
+        let total = truth.len() as u64;
+        Self {
+            counts,
+            row_sums,
+            col_sums,
+            total,
+        }
+    }
+
+    /// Number of distinct labels in the first labeling.
+    pub fn n_rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct labels in the second labeling.
+    pub fn n_cols(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Total number of points.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entropy (nats) of the first labeling.
+    pub fn row_entropy(&self) -> f64 {
+        entropy(&self.row_sums, self.total)
+    }
+
+    /// Entropy (nats) of the second labeling.
+    pub fn col_entropy(&self) -> f64 {
+        entropy(&self.col_sums, self.total)
+    }
+
+    /// Mutual information (nats) between the two labelings.
+    pub fn mutual_information(&self) -> f64 {
+        let n = self.total as f64;
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut mi = 0.0;
+        for (i, row) in self.counts.iter().enumerate() {
+            for (j, &nij) in row.iter().enumerate() {
+                if nij == 0 {
+                    continue;
+                }
+                let nij = nij as f64;
+                let ai = self.row_sums[i] as f64;
+                let bj = self.col_sums[j] as f64;
+                mi += (nij / n) * ((n * nij) / (ai * bj)).ln();
+            }
+        }
+        mi.max(0.0)
+    }
+
+    /// Expected mutual information under the hypergeometric null model
+    /// (Vinh et al. 2010, Eq. 24a).
+    pub fn expected_mutual_information(&self) -> f64 {
+        let n = self.total;
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let lgamma = LnFactorial::up_to(n as usize + 1);
+        let mut emi = 0.0f64;
+        for &ai in &self.row_sums {
+            for &bj in &self.col_sums {
+                if ai == 0 || bj == 0 {
+                    continue;
+                }
+                let start = (ai + bj).saturating_sub(n).max(1);
+                let end = ai.min(bj);
+                for nij in start..=end {
+                    let nij_f = nij as f64;
+                    let term1 = (nij_f / nf) * ((nf * nij_f) / (ai as f64 * bj as f64)).ln();
+                    // ln of the hypergeometric probability of nij.
+                    let ln_p = lgamma.ln_fact(ai) + lgamma.ln_fact(bj)
+                        + lgamma.ln_fact(n - ai)
+                        + lgamma.ln_fact(n - bj)
+                        - lgamma.ln_fact(n)
+                        - lgamma.ln_fact(nij)
+                        - lgamma.ln_fact(ai - nij)
+                        - lgamma.ln_fact(bj - nij)
+                        - lgamma.ln_fact(n + nij - ai - bj);
+                    emi += term1 * ln_p.exp();
+                }
+            }
+        }
+        emi
+    }
+
+    /// Adjusted Rand Index (Hubert & Arabie 1985).
+    pub fn adjusted_rand_index(&self) -> f64 {
+        let n = self.total;
+        if n < 2 {
+            return 1.0;
+        }
+        let comb2 = |x: u64| -> f64 {
+            let x = x as f64;
+            x * (x - 1.0) / 2.0
+        };
+        let sum_ij: f64 = self
+            .counts
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&c| comb2(c))
+            .sum();
+        let sum_a: f64 = self.row_sums.iter().map(|&a| comb2(a)).sum();
+        let sum_b: f64 = self.col_sums.iter().map(|&b| comb2(b)).sum();
+        let total_pairs = comb2(n);
+        let expected = sum_a * sum_b / total_pairs;
+        let max_index = 0.5 * (sum_a + sum_b);
+        let denom = max_index - expected;
+        if denom.abs() < 1e-12 {
+            // Both labelings are single clusters (or otherwise degenerate in
+            // the same way): conventionally perfect agreement.
+            return 1.0;
+        }
+        (sum_ij - expected) / denom
+    }
+
+    /// Adjusted Mutual Information with the arithmetic-mean normalization
+    /// (scikit-learn's default, which the paper's evaluation pipeline uses).
+    pub fn adjusted_mutual_information(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let h_u = self.row_entropy();
+        let h_v = self.col_entropy();
+        // Two degenerate single-cluster labelings agree perfectly.
+        if h_u == 0.0 && h_v == 0.0 {
+            return 1.0;
+        }
+        let mi = self.mutual_information();
+        let emi = self.expected_mutual_information();
+        let mean_h = 0.5 * (h_u + h_v);
+        let denom = mean_h - emi;
+        if denom.abs() < 1e-12 {
+            return 0.0;
+        }
+        (mi - emi) / denom
+    }
+
+    /// Normalized Mutual Information (arithmetic mean normalization).
+    pub fn normalized_mutual_information(&self) -> f64 {
+        let h_u = self.row_entropy();
+        let h_v = self.col_entropy();
+        if h_u == 0.0 && h_v == 0.0 {
+            return 1.0;
+        }
+        let mean_h = 0.5 * (h_u + h_v);
+        if mean_h < 1e-12 {
+            return 0.0;
+        }
+        (self.mutual_information() / mean_h).clamp(0.0, 1.0)
+    }
+}
+
+/// Shannon entropy (nats) of a marginal distribution given as counts.
+fn entropy(counts: &[u64], total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Precomputed `ln(k!)` table.
+struct LnFactorial {
+    table: Vec<f64>,
+}
+
+impl LnFactorial {
+    fn up_to(n: usize) -> Self {
+        let mut table = vec![0.0f64; n + 1];
+        for k in 2..=n {
+            table[k] = table[k - 1] + (k as f64).ln();
+        }
+        Self { table }
+    }
+
+    #[inline]
+    fn ln_fact(&self, k: u64) -> f64 {
+        self.table[k as usize]
+    }
+}
+
+/// Adjusted Rand Index between two labelings (`-1` = noise is treated as a
+/// regular cluster).
+pub fn adjusted_rand_index(truth: &[i64], predicted: &[i64]) -> f64 {
+    ContingencyTable::new(truth, predicted).adjusted_rand_index()
+}
+
+/// Adjusted Mutual Information between two labelings.
+pub fn adjusted_mutual_information(truth: &[i64], predicted: &[i64]) -> f64 {
+    ContingencyTable::new(truth, predicted).adjusted_mutual_information()
+}
+
+/// Mutual information (nats) between two labelings.
+pub fn mutual_information(truth: &[i64], predicted: &[i64]) -> f64 {
+    ContingencyTable::new(truth, predicted).mutual_information()
+}
+
+/// Normalized mutual information between two labelings.
+pub fn normalized_mutual_information(truth: &[i64], predicted: &[i64]) -> f64 {
+    ContingencyTable::new(truth, predicted).normalized_mutual_information()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_lengths_panic() {
+        let _ = ContingencyTable::new(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn identical_labelings_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2, -1, -1];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9);
+        assert!((adjusted_mutual_information(&labels, &labels) - 1.0).abs() < 1e-6);
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permuted_cluster_ids_still_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((adjusted_mutual_information(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_labelings_score_near_zero() {
+        // Labels independent of the truth: adjusted indices should hover
+        // around zero (that is what "adjusted for chance" means).
+        let truth: Vec<i64> = (0..200).map(|i| (i % 4) as i64).collect();
+        let pred: Vec<i64> = (0..200).map(|i| ((i * 7 + 3) % 5) as i64).collect();
+        let ari = adjusted_rand_index(&truth, &pred);
+        let ami = adjusted_mutual_information(&truth, &pred);
+        assert!(ari.abs() < 0.1, "ari {ari}");
+        assert!(ami.abs() < 0.1, "ami {ami}");
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: two clusterings of 6 points.
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 2, 2];
+        // Contingency: [[2,1,0],[0,1,2]]
+        // sum_ij C(nij,2) = 1 + 0 + 0 + 0 + 0 + 1 = 2
+        // sum_a = 2*C(3,2) = 6 ; sum_b = C(2,2)+C(2,2)+C(2,2) = 3
+        // expected = 6*3/15 = 1.2 ; max = 4.5 ; ari = (2-1.2)/(4.5-1.2)
+        let expected = (2.0 - 1.2) / (4.5 - 1.2);
+        assert!((adjusted_rand_index(&truth, &pred) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_is_symmetric() {
+        let a = vec![0, 0, 1, 1, 2, -1, -1, 2, 0];
+        let b = vec![1, 1, 1, 0, 0, -1, 0, 2, 2];
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+        assert!(
+            (adjusted_mutual_information(&a, &b) - adjusted_mutual_information(&b, &a)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn disagreeing_split_scores_below_one() {
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0, 0, 2, 2, 1, 1, 3, 3]; // each true cluster split in two
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari > 0.0 && ari < 1.0, "ari {ari}");
+        let ami = adjusted_mutual_information(&truth, &pred);
+        assert!(ami > 0.0 && ami < 1.0, "ami {ami}");
+    }
+
+    #[test]
+    fn single_cluster_against_itself_is_perfect() {
+        let labels = vec![0i64; 10];
+        assert_eq!(adjusted_rand_index(&labels, &labels), 1.0);
+        assert_eq!(adjusted_mutual_information(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn entropy_and_mi_basics() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 0, 1];
+        let table = ContingencyTable::new(&truth, &pred);
+        assert_eq!(table.total(), 4);
+        assert_eq!(table.n_rows(), 2);
+        assert_eq!(table.n_cols(), 2);
+        assert!((table.row_entropy() - (2.0f64).ln()).abs() < 1e-9);
+        // Independent labelings: MI = 0. With only 4 points the chance
+        // correction is large: EMI = ln2/3, so AMI = (0 − ln2/3)/(ln2 − ln2/3)
+        // = −0.5 exactly (matches scikit-learn on the same input).
+        assert!(table.mutual_information().abs() < 1e-9);
+        assert!((table.adjusted_mutual_information() + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_labelings_are_degenerate_but_defined() {
+        let table = ContingencyTable::new(&[], &[]);
+        assert_eq!(table.total(), 0);
+        assert_eq!(table.mutual_information(), 0.0);
+        assert_eq!(table.adjusted_rand_index(), 1.0);
+        assert_eq!(table.adjusted_mutual_information(), 1.0);
+    }
+
+    #[test]
+    fn ami_matches_hand_derived_value() {
+        // truth = {0,0,1,1}, pred = {0,0,1,2}:
+        //   MI   = ln 2
+        //   H(U) = ln 2, H(V) = 1.5·ln 2
+        //   EMI  = (2/3)·ln 2  (hypergeometric model, worked out by hand)
+        //   AMI  = (MI − EMI) / ((H(U)+H(V))/2 − EMI) = (1/3)/(7/12) = 4/7.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 2];
+        let table = ContingencyTable::new(&truth, &pred);
+        assert!((table.mutual_information() - std::f64::consts::LN_2).abs() < 1e-9);
+        assert!(
+            (table.expected_mutual_information() - 2.0 / 3.0 * std::f64::consts::LN_2).abs()
+                < 1e-9
+        );
+        let ami = table.adjusted_mutual_information();
+        assert!((ami - 4.0 / 7.0).abs() < 1e-9, "ami {ami}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let table = ContingencyTable::new(&[0, 1, 1], &[1, 1, 0]);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: ContingencyTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(table, back);
+    }
+}

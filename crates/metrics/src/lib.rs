@@ -1,0 +1,37 @@
+//! # laf-metrics
+//!
+//! Clustering-quality metrics used throughout the LAF-DBSCAN evaluation.
+//!
+//! The paper reports two external quality scores against the labels produced
+//! by exact DBSCAN (its ground truth):
+//!
+//! * **ARI** — the Adjusted Rand Index of Hubert & Arabie (1985);
+//! * **AMI** — the Adjusted Mutual Information of Vinh, Epps & Bailey (2010),
+//!   with the exact hypergeometric expected-MI correction.
+//!
+//! plus the dataset statistics of Table 2 (noise ratio, number of clusters)
+//! and the missed-cluster analysis of Table 6 (MC, TC, MP, TPC, ASMC).
+//!
+//! ## Label convention
+//!
+//! All metrics operate on `&[i64]` label slices: `-1` denotes noise, any
+//! other value is a cluster id. Following scikit-learn's behaviour (which the
+//! paper's evaluation scripts rely on), the noise label is treated as just
+//! another cluster when computing ARI/AMI, so two clusterings that disagree
+//! on which points are noise are penalized.
+
+#![warn(missing_docs)]
+
+pub mod contingency;
+pub mod missed;
+pub mod stats;
+pub mod vmeasure;
+
+pub use contingency::{adjusted_mutual_information, adjusted_rand_index, mutual_information,
+    normalized_mutual_information, ContingencyTable};
+pub use missed::MissedClusterReport;
+pub use stats::ClusteringStats;
+pub use vmeasure::{v_measure, VMeasure};
+
+/// The noise label used across the workspace.
+pub const NOISE: i64 = -1;

@@ -1,0 +1,167 @@
+//! Fully-missed-cluster analysis (the paper's Table 6).
+//!
+//! A ground-truth cluster is *fully missed* by an approximate clustering when
+//! every one of its points ends up labeled noise — in LAF-DBSCAN this happens
+//! when all of the cluster's core points are falsely predicted to be stop
+//! points. The paper reports, for the worst-quality settings:
+//!
+//! * **MC** — number of fully missed clusters,
+//! * **TC** — total number of ground-truth clusters,
+//! * **MP** — number of points belonging to missed clusters,
+//! * **TPC** — total number of points belonging to ground-truth clusters
+//!   (i.e. non-noise points),
+//! * **ASMC** — average size of the missed clusters,
+//!
+//! and argues the error is negligible because ASMC is tiny (3–7 points).
+
+use crate::NOISE;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The Table 6 statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissedClusterReport {
+    /// Number of ground-truth clusters every point of which is noise in the
+    /// predicted clustering (MC).
+    pub missed_clusters: usize,
+    /// Total number of ground-truth clusters (TC).
+    pub total_clusters: usize,
+    /// Number of points in fully missed clusters (MP).
+    pub missed_points: usize,
+    /// Total number of non-noise ground-truth points (TPC).
+    pub total_clustered_points: usize,
+    /// Average size of the fully missed clusters (ASMC); 0 when none are
+    /// missed.
+    pub avg_missed_cluster_size: f64,
+}
+
+impl MissedClusterReport {
+    /// Compare a predicted labeling against the ground-truth labeling
+    /// (`-1` = noise in both).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn compute(truth: &[i64], predicted: &[i64]) -> Self {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "labelings must cover the same points"
+        );
+        // Group ground-truth clusters.
+        let mut members: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, &t) in truth.iter().enumerate() {
+            if t != NOISE {
+                members.entry(t).or_default().push(i);
+            }
+        }
+        let total_clusters = members.len();
+        let total_clustered_points: usize = members.values().map(Vec::len).sum();
+
+        let mut missed_clusters = 0usize;
+        let mut missed_points = 0usize;
+        for points in members.values() {
+            if points.iter().all(|&i| predicted[i] == NOISE) {
+                missed_clusters += 1;
+                missed_points += points.len();
+            }
+        }
+        let avg_missed_cluster_size = if missed_clusters == 0 {
+            0.0
+        } else {
+            missed_points as f64 / missed_clusters as f64
+        };
+        Self {
+            missed_clusters,
+            total_clusters,
+            missed_points,
+            total_clustered_points,
+            avg_missed_cluster_size,
+        }
+    }
+
+    /// Fraction of ground-truth clusters fully missed (`MC / TC`).
+    pub fn missed_cluster_fraction(&self) -> f64 {
+        if self.total_clusters == 0 {
+            0.0
+        } else {
+            self.missed_clusters as f64 / self.total_clusters as f64
+        }
+    }
+
+    /// Fraction of clustered points lost to missed clusters (`MP / TPC`).
+    pub fn missed_point_fraction(&self) -> f64 {
+        if self.total_clustered_points == 0 {
+            0.0
+        } else {
+            self.missed_points as f64 / self.total_clustered_points as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_clusters_missed_when_predictions_match() {
+        let truth = vec![0, 0, 1, 1, -1];
+        let report = MissedClusterReport::compute(&truth, &truth);
+        assert_eq!(report.missed_clusters, 0);
+        assert_eq!(report.total_clusters, 2);
+        assert_eq!(report.missed_points, 0);
+        assert_eq!(report.total_clustered_points, 4);
+        assert_eq!(report.avg_missed_cluster_size, 0.0);
+        assert_eq!(report.missed_cluster_fraction(), 0.0);
+        assert_eq!(report.missed_point_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fully_missed_cluster_is_detected() {
+        // Truth has clusters 0 (3 pts), 1 (2 pts); prediction turns cluster 1
+        // entirely into noise but keeps cluster 0.
+        let truth = vec![0, 0, 0, 1, 1, -1];
+        let pred = vec![5, 5, 5, -1, -1, -1];
+        let report = MissedClusterReport::compute(&truth, &pred);
+        assert_eq!(report.missed_clusters, 1);
+        assert_eq!(report.total_clusters, 2);
+        assert_eq!(report.missed_points, 2);
+        assert_eq!(report.total_clustered_points, 5);
+        assert!((report.avg_missed_cluster_size - 2.0).abs() < 1e-12);
+        assert!((report.missed_cluster_fraction() - 0.5).abs() < 1e-12);
+        assert!((report.missed_point_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partially_recovered_cluster_is_not_missed() {
+        // One point of truth-cluster 1 survives in the prediction (even in a
+        // different predicted cluster id), so the cluster is not fully missed.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, -1, 7];
+        let report = MissedClusterReport::compute(&truth, &pred);
+        assert_eq!(report.missed_clusters, 0);
+    }
+
+    #[test]
+    fn all_noise_truth_is_degenerate_but_defined() {
+        let truth = vec![-1, -1];
+        let pred = vec![0, 1];
+        let report = MissedClusterReport::compute(&truth, &pred);
+        assert_eq!(report.total_clusters, 0);
+        assert_eq!(report.missed_cluster_fraction(), 0.0);
+        assert_eq!(report.missed_point_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_lengths_panic() {
+        let _ = MissedClusterReport::compute(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = MissedClusterReport::compute(&[0, 1, -1], &[-1, 1, -1]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MissedClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

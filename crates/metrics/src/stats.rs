@@ -1,0 +1,137 @@
+//! Per-clustering statistics: the quantities of the paper's Table 2.
+
+use crate::NOISE;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics of a single clustering (noise ratio and cluster count
+/// are the two quantities the paper's (ε, τ) grid search in Table 2 is based
+/// on).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringStats {
+    /// Total number of points.
+    pub n_points: usize,
+    /// Number of points labeled noise.
+    pub n_noise: usize,
+    /// Number of distinct (non-noise) clusters.
+    pub n_clusters: usize,
+    /// Sizes of the clusters, largest first.
+    pub cluster_sizes: Vec<usize>,
+}
+
+impl ClusteringStats {
+    /// Compute statistics from a label slice (`-1` = noise).
+    pub fn from_labels(labels: &[i64]) -> Self {
+        let mut sizes: HashMap<i64, usize> = HashMap::new();
+        let mut n_noise = 0usize;
+        for &l in labels {
+            if l == NOISE {
+                n_noise += 1;
+            } else {
+                *sizes.entry(l).or_insert(0) += 1;
+            }
+        }
+        let mut cluster_sizes: Vec<usize> = sizes.into_values().collect();
+        cluster_sizes.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            n_points: labels.len(),
+            n_noise,
+            n_clusters: cluster_sizes.len(),
+            cluster_sizes,
+        }
+    }
+
+    /// Fraction of points labeled noise (0 for an empty labeling).
+    pub fn noise_ratio(&self) -> f64 {
+        if self.n_points == 0 {
+            0.0
+        } else {
+            self.n_noise as f64 / self.n_points as f64
+        }
+    }
+
+    /// Number of points that belong to some cluster.
+    pub fn n_clustered(&self) -> usize {
+        self.n_points - self.n_noise
+    }
+
+    /// Size of the largest cluster (0 when there are none).
+    pub fn largest_cluster(&self) -> usize {
+        self.cluster_sizes.first().copied().unwrap_or(0)
+    }
+
+    /// Mean cluster size (0 when there are no clusters).
+    pub fn mean_cluster_size(&self) -> f64 {
+        if self.cluster_sizes.is_empty() {
+            0.0
+        } else {
+            self.cluster_sizes.iter().sum::<usize>() as f64 / self.cluster_sizes.len() as f64
+        }
+    }
+
+    /// The paper's Table 2 criterion for a "proper" (ε, τ) setting: noise
+    /// ratio below `max_noise_ratio` and at least `min_clusters` clusters.
+    pub fn is_proper(&self, max_noise_ratio: f64, min_clusters: usize) -> bool {
+        self.noise_ratio() < max_noise_ratio && self.n_clusters >= min_clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_labels() {
+        let labels = vec![0, 0, 0, 1, 1, -1, -1, -1, 2];
+        let s = ClusteringStats::from_labels(&labels);
+        assert_eq!(s.n_points, 9);
+        assert_eq!(s.n_noise, 3);
+        assert_eq!(s.n_clusters, 3);
+        assert_eq!(s.cluster_sizes, vec![3, 2, 1]);
+        assert!((s.noise_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.n_clustered(), 6);
+        assert_eq!(s.largest_cluster(), 3);
+        assert!((s.mean_cluster_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_labeling() {
+        let s = ClusteringStats::from_labels(&[]);
+        assert_eq!(s.n_points, 0);
+        assert_eq!(s.noise_ratio(), 0.0);
+        assert_eq!(s.largest_cluster(), 0);
+        assert_eq!(s.mean_cluster_size(), 0.0);
+    }
+
+    #[test]
+    fn all_noise() {
+        let s = ClusteringStats::from_labels(&[-1, -1, -1]);
+        assert_eq!(s.n_clusters, 0);
+        assert_eq!(s.noise_ratio(), 1.0);
+        assert_eq!(s.n_clustered(), 0);
+    }
+
+    #[test]
+    fn proper_criterion_mirrors_the_paper() {
+        // Paper: proper means noise ratio < 0.6 and > 20 clusters (we use >=).
+        let mut labels = Vec::new();
+        for c in 0..25i64 {
+            for _ in 0..4 {
+                labels.push(c);
+            }
+        }
+        labels.extend(std::iter::repeat(-1).take(20));
+        let s = ClusteringStats::from_labels(&labels);
+        assert!(s.is_proper(0.6, 20));
+        assert!(!s.is_proper(0.1, 20));
+        assert!(!s.is_proper(0.6, 100));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = ClusteringStats::from_labels(&[0, 1, -1]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ClusteringStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

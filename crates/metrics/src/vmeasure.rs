@@ -1,0 +1,128 @@
+//! Homogeneity, completeness and V-measure (Rosenberg & Hirschberg 2007).
+//!
+//! The paper reports ARI and AMI; homogeneity/completeness decompose the
+//! same information-theoretic comparison into "every cluster contains only
+//! members of one true class" vs "all members of a true class are in the
+//! same cluster", which is exactly the lens needed to understand LAF's two
+//! error modes (false positives fragment clusters → completeness drops;
+//! aggressive post-processing merges unrelated clusters → homogeneity
+//! drops). Used by the ablation benchmarks.
+
+use crate::contingency::ContingencyTable;
+use serde::{Deserialize, Serialize};
+
+/// Homogeneity, completeness and their harmonic mean (V-measure).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VMeasure {
+    /// 1.0 when each predicted cluster contains members of a single true
+    /// cluster.
+    pub homogeneity: f64,
+    /// 1.0 when all members of a true cluster land in a single predicted
+    /// cluster.
+    pub completeness: f64,
+    /// Harmonic mean of the two.
+    pub v_measure: f64,
+}
+
+impl VMeasure {
+    /// Compute the decomposition for `(truth, predicted)` labelings
+    /// (`-1` = noise is treated as its own cluster, consistently with the
+    /// rest of this crate).
+    pub fn compute(truth: &[i64], predicted: &[i64]) -> Self {
+        let table = ContingencyTable::new(truth, predicted);
+        Self::from_table(&table)
+    }
+
+    /// Compute the decomposition from a pre-built contingency table.
+    pub fn from_table(table: &ContingencyTable) -> Self {
+        let h_truth = table.row_entropy();
+        let h_pred = table.col_entropy();
+        let mi = table.mutual_information();
+        // Conventions follow scikit-learn: a zero-entropy reference labeling
+        // makes the corresponding score 1.
+        let homogeneity = if h_truth <= 1e-15 { 1.0 } else { (mi / h_truth).clamp(0.0, 1.0) };
+        let completeness = if h_pred <= 1e-15 { 1.0 } else { (mi / h_pred).clamp(0.0, 1.0) };
+        let v_measure = if homogeneity + completeness <= 1e-15 {
+            0.0
+        } else {
+            2.0 * homogeneity * completeness / (homogeneity + completeness)
+        };
+        Self {
+            homogeneity,
+            completeness,
+            v_measure,
+        }
+    }
+}
+
+/// Convenience wrapper returning only the V-measure.
+pub fn v_measure(truth: &[i64], predicted: &[i64]) -> f64 {
+    VMeasure::compute(truth, predicted).v_measure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_labelings_are_perfect() {
+        let labels = vec![0, 0, 1, 1, -1, 2];
+        let v = VMeasure::compute(&labels, &labels);
+        assert!((v.homogeneity - 1.0).abs() < 1e-9);
+        assert!((v.completeness - 1.0).abs() < 1e-9);
+        assert!((v.v_measure - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitting_a_cluster_hurts_completeness_not_homogeneity() {
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0, 0, 5, 5, 1, 1, 6, 6];
+        let v = VMeasure::compute(&truth, &pred);
+        assert!((v.homogeneity - 1.0).abs() < 1e-9, "{v:?}");
+        assert!(v.completeness < 1.0);
+        assert!(v.v_measure < 1.0 && v.v_measure > 0.0);
+    }
+
+    #[test]
+    fn merging_clusters_hurts_homogeneity_not_completeness() {
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0; 8];
+        let v = VMeasure::compute(&truth, &pred);
+        assert!(v.homogeneity < 1.0);
+        assert!((v.completeness - 1.0).abs() < 1e-9, "{v:?}");
+    }
+
+    #[test]
+    fn single_true_cluster_convention() {
+        let truth = vec![0; 6];
+        let pred = vec![0, 0, 1, 1, 2, 2];
+        let v = VMeasure::compute(&truth, &pred);
+        assert!((v.homogeneity - 1.0).abs() < 1e-9);
+        assert!(v.completeness < 1.0);
+    }
+
+    #[test]
+    fn independent_labelings_score_low() {
+        let truth: Vec<i64> = (0..120).map(|i| (i % 3) as i64).collect();
+        let pred: Vec<i64> = (0..120).map(|i| ((i * 7 + 1) % 4) as i64).collect();
+        let v = VMeasure::compute(&truth, &pred);
+        assert!(v.v_measure < 0.15, "{v:?}");
+    }
+
+    #[test]
+    fn wrapper_matches_struct() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 1, 1];
+        assert_eq!(
+            v_measure(&truth, &pred),
+            VMeasure::compute(&truth, &pred).v_measure
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = VMeasure::compute(&[0, 1], &[1, 1]);
+        let back: VMeasure = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the clustering-quality metrics.
+
+use laf_metrics::{
+    adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, v_measure,
+    ClusteringStats, ContingencyTable, MissedClusterReport,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random labeling with values in -1..4.
+fn labels(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1i64..4, len..len + 1)
+}
+
+/// Apply a random permutation to the cluster ids (noise stays noise).
+fn permute_ids(labels: &[i64], seed: u64) -> Vec<i64> {
+    let mut mapping: HashMap<i64, i64> = HashMap::new();
+    let mut next = 1000 + (seed % 7) as i64;
+    labels
+        .iter()
+        .map(|&l| {
+            if l == -1 {
+                -1
+            } else {
+                *mapping.entry(l).or_insert_with(|| {
+                    next += 3;
+                    next
+                })
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ari_and_ami_are_symmetric_and_bounded(a in labels(40), b in labels(40)) {
+        let ari_ab = adjusted_rand_index(&a, &b);
+        let ari_ba = adjusted_rand_index(&b, &a);
+        prop_assert!((ari_ab - ari_ba).abs() < 1e-9);
+        prop_assert!(ari_ab <= 1.0 + 1e-9);
+        let ami_ab = adjusted_mutual_information(&a, &b);
+        let ami_ba = adjusted_mutual_information(&b, &a);
+        prop_assert!((ami_ab - ami_ba).abs() < 1e-7);
+        prop_assert!(ami_ab <= 1.0 + 1e-7);
+        let nmi = normalized_mutual_information(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi));
+        let v = v_measure(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+    }
+
+    #[test]
+    fn identical_labelings_score_one(a in labels(30)) {
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((adjusted_mutual_information(&a, &a) - 1.0).abs() < 1e-7);
+        prop_assert!((v_measure(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_are_invariant_to_cluster_id_permutation(a in labels(35), b in labels(35), seed in any::<u64>()) {
+        let b_permuted = permute_ids(&b, seed);
+        prop_assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&a, &b_permuted)).abs() < 1e-9);
+        prop_assert!(
+            (adjusted_mutual_information(&a, &b) - adjusted_mutual_information(&a, &b_permuted)).abs() < 1e-7
+        );
+        prop_assert!((v_measure(&a, &b) - v_measure(&a, &b_permuted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contingency_table_marginals_are_consistent(a in labels(50), b in labels(50)) {
+        let table = ContingencyTable::new(&a, &b);
+        prop_assert_eq!(table.total() as usize, a.len());
+        // Mutual information is bounded by each entropy.
+        let mi = table.mutual_information();
+        prop_assert!(mi <= table.row_entropy() + 1e-6);
+        prop_assert!(mi <= table.col_entropy() + 1e-6);
+        prop_assert!(mi >= -1e-9);
+        // EMI is bounded by the MI upper bound as well.
+        let emi = table.expected_mutual_information();
+        prop_assert!(emi <= table.row_entropy().min(table.col_entropy()) + 1e-6);
+    }
+
+    #[test]
+    fn clustering_stats_partition_points(a in labels(60)) {
+        let stats = ClusteringStats::from_labels(&a);
+        prop_assert_eq!(stats.n_points, a.len());
+        prop_assert_eq!(stats.n_clustered() + stats.n_noise, a.len());
+        prop_assert_eq!(stats.cluster_sizes.iter().sum::<usize>(), stats.n_clustered());
+        prop_assert!(stats.noise_ratio() >= 0.0 && stats.noise_ratio() <= 1.0);
+        if !stats.cluster_sizes.is_empty() {
+            prop_assert!(stats.cluster_sizes.windows(2).all(|w| w[0] >= w[1]));
+            prop_assert_eq!(stats.largest_cluster(), stats.cluster_sizes[0]);
+        }
+    }
+
+    #[test]
+    fn missed_cluster_report_bounds(a in labels(40), b in labels(40)) {
+        let report = MissedClusterReport::compute(&a, &b);
+        prop_assert!(report.missed_clusters <= report.total_clusters);
+        prop_assert!(report.missed_points <= report.total_clustered_points);
+        prop_assert!((0.0..=1.0).contains(&report.missed_cluster_fraction()));
+        prop_assert!((0.0..=1.0).contains(&report.missed_point_fraction()));
+        // Identical labelings never miss anything.
+        let self_report = MissedClusterReport::compute(&a, &a);
+        prop_assert_eq!(self_report.missed_clusters, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # laf-synth
+//!
+//! Synthetic workload generators for the LAF-DBSCAN reproduction.
+//!
+//! The paper evaluates on three proprietary-to-download-and-heavy corpora:
+//! NYTimes bag-of-words vectors (random-projected to 256-d), 200-d GloVe
+//! tweet embeddings, and 768-d MS MARCO passage embeddings produced by a
+//! BERT-style dual encoder. None of those can be bundled here, so this crate
+//! generates **synthetic stand-ins** that (a) share the statistical features
+//! that matter to angular-distance DBSCAN — unit-normalized vectors,
+//! directional clusters of skewed sizes, a tunable noise fraction, matching
+//! dimensionality — and (b) run through the *same preprocessing pipeline*
+//! the paper uses (Gaussian random projection + L2 normalization for the
+//! bag-of-words family).
+//!
+//! The three generator families are:
+//!
+//! * [`EmbeddingMixtureConfig`] — a mixture of anisotropic Gaussian bumps on
+//!   the unit sphere (a practical stand-in for von Mises–Fisher mixtures),
+//!   used for the GloVe-like and MS MARCO-like presets.
+//! * [`BagOfWordsConfig`] — Zipf-distributed sparse term counts over planted
+//!   topics, Gaussian-random-projected and normalized, used for the
+//!   NYTimes-like preset.
+//! * [`catalog`] — named presets (`nyt_150k`, `glove_150k`, `ms_50k`,
+//!   `ms_100k`, `ms_150k`) mirroring Table 1 of the paper, each scalable by a
+//!   single factor so the full experiment suite stays laptop-feasible.
+//!
+//! Every generator is deterministic given its seed.
+
+#![warn(missing_docs)]
+
+pub mod bow;
+pub mod catalog;
+pub mod mixture;
+
+pub use bow::BagOfWordsConfig;
+pub use catalog::{DatasetCatalog, DatasetSpec, SyntheticDataset};
+pub use mixture::EmbeddingMixtureConfig;
+
+/// Ground-truth labels as assigned by a generator: `Some(cluster)` for points
+/// drawn from a planted cluster, `None` for noise points.
+///
+/// Note the paper's evaluation never uses generator labels — it treats the
+/// output of exact DBSCAN as ground truth — but the planted labels are
+/// invaluable for testing the clustering stack itself.
+pub type GeneratorLabels = Vec<Option<usize>>;

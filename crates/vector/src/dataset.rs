@@ -1,0 +1,438 @@
+//! The [`Dataset`] container: a contiguous row-major `f32` matrix.
+//!
+//! Every clustering algorithm and every range-query engine in this workspace
+//! consumes data through this type. Rows are stored contiguously so that the
+//! distance kernels in [`crate::ops`] operate on cache-friendly slices.
+
+use crate::error::VectorError;
+use crate::ops;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` vectors.
+///
+/// Invariants:
+/// * `data.len() == len * dim`
+/// * `dim > 0` once the first row has been pushed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    len: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given dimensionality.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::InvalidParameter`] if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, VectorError> {
+        if dim == 0 {
+            return Err(VectorError::InvalidParameter(
+                "dataset dimensionality must be positive".to_string(),
+            ));
+        }
+        Ok(Self {
+            dim,
+            len: 0,
+            data: Vec::new(),
+        })
+    }
+
+    /// Create an empty dataset with capacity pre-reserved for `rows` rows.
+    pub fn with_capacity(dim: usize, rows: usize) -> Result<Self, VectorError> {
+        let mut d = Self::new(dim)?;
+        d.data.reserve(rows * dim);
+        Ok(d)
+    }
+
+    /// Build a dataset from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] if the buffer length is not
+    /// a multiple of `dim`, or [`VectorError::InvalidParameter`] if `dim == 0`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self, VectorError> {
+        if dim == 0 {
+            return Err(VectorError::InvalidParameter(
+                "dataset dimensionality must be positive".to_string(),
+            ));
+        }
+        if data.len() % dim != 0 {
+            return Err(VectorError::DimensionMismatch {
+                expected: dim,
+                found: data.len() % dim,
+            });
+        }
+        let len = data.len() / dim;
+        Ok(Self { dim, len, data })
+    }
+
+    /// Build a dataset from an iterator of rows.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] if any row differs in length
+    /// from the first row, or [`VectorError::EmptyDataset`] if the iterator is
+    /// empty.
+    pub fn from_rows<I, R>(rows: I) -> Result<Self, VectorError>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f32]>,
+    {
+        let mut iter = rows.into_iter();
+        let first = iter.next().ok_or(VectorError::EmptyDataset)?;
+        let first = first.as_ref();
+        let dim = first.len();
+        let mut ds = Dataset::new(dim)?;
+        ds.push(first)?;
+        for row in iter {
+            ds.push(row.as_ref())?;
+        }
+        Ok(ds)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the dataset has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of every row.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`. Use [`Dataset::try_row`] for a checked
+    /// variant.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Checked row access.
+    pub fn try_row(&self, i: usize) -> Result<&[f32], VectorError> {
+        if i >= self.len {
+            return Err(VectorError::RowOutOfBounds {
+                index: i,
+                len: self.len,
+            });
+        }
+        Ok(self.row(i))
+    }
+
+    /// Mutable access to row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Append a row.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] if `row.len() != self.dim()`.
+    pub fn push(&mut self, row: &[f32]) -> Result<(), VectorError> {
+        if row.len() != self.dim {
+            return Err(VectorError::DimensionMismatch {
+                expected: self.dim,
+                found: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Append every row of `other`.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] if dimensionalities differ.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<(), VectorError> {
+        if other.dim != self.dim {
+            return Err(VectorError::DimensionMismatch {
+                expected: self.dim,
+                found: other.dim,
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.len += other.len;
+        Ok(())
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The flat row-major buffer backing this dataset.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consume the dataset and return the flat buffer.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// L2-normalize every row in place (rows with near-zero norm are left
+    /// unchanged). Returns the number of rows that could not be normalized.
+    pub fn normalize(&mut self) -> usize {
+        let mut degenerate = 0;
+        for i in 0..self.len {
+            let row = &mut self.data[i * self.dim..(i + 1) * self.dim];
+            if ops::normalize_in_place(row) <= 1e-12 {
+                degenerate += 1;
+            }
+        }
+        degenerate
+    }
+
+    /// `true` when every row has unit L2 norm within `tol`.
+    pub fn is_normalized(&self, tol: f32) -> bool {
+        self.rows().all(|r| (ops::norm(r) - 1.0).abs() <= tol)
+    }
+
+    /// Select the rows at `indices` (in order) into a new dataset.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::RowOutOfBounds`] for any invalid index.
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset, VectorError> {
+        let mut out = Dataset::with_capacity(self.dim, indices.len())?;
+        for &i in indices {
+            out.push(self.try_row(i)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Uniformly sample `count` distinct rows without replacement.
+    ///
+    /// If `count >= len`, a copy of the whole dataset (in shuffled order) is
+    /// returned. The returned vector contains the chosen original indices in
+    /// the order they appear in the sample.
+    pub fn sample<R: Rng>(&self, count: usize, rng: &mut R) -> (Dataset, Vec<usize>) {
+        let mut indices: Vec<usize> = (0..self.len).collect();
+        indices.shuffle(rng);
+        indices.truncate(count.min(self.len));
+        let ds = self
+            .select(&indices)
+            .expect("indices generated from 0..len are always valid");
+        (ds, indices)
+    }
+
+    /// Split into a training prefix and testing suffix after a seeded shuffle,
+    /// using `train_fraction` (paper: 0.8). Returns `(train, test)`.
+    pub fn train_test_split<R: Rng>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.len).collect();
+        indices.shuffle(rng);
+        let n_train = ((self.len as f64) * train_fraction).round() as usize;
+        let n_train = n_train.min(self.len);
+        let train = self
+            .select(&indices[..n_train])
+            .expect("split indices are valid");
+        let test = self
+            .select(&indices[n_train..])
+            .expect("split indices are valid");
+        (train, test)
+    }
+}
+
+/// Incremental builder used by the synthetic generators.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    inner: Dataset,
+}
+
+impl DatasetBuilder {
+    /// Start building a dataset of dimensionality `dim`.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::InvalidParameter`] if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, VectorError> {
+        Ok(Self {
+            inner: Dataset::new(dim)?,
+        })
+    }
+
+    /// Append a row.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] on a wrong-length row.
+    pub fn push(&mut self, row: &[f32]) -> Result<&mut Self, VectorError> {
+        self.inner.push(row)?;
+        Ok(self)
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Finish and return the dataset.
+    pub fn build(self) -> Dataset {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![1.0f32, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 4.0],
+            vec![-1.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.row(2), &[3.0, 4.0]);
+        assert_eq!(d.try_row(1).unwrap(), &[0.0, 2.0]);
+        assert!(matches!(
+            d.try_row(10),
+            Err(VectorError::RowOutOfBounds { index: 10, len: 4 })
+        ));
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(Dataset::new(0).is_err());
+        assert!(Dataset::from_flat(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn from_flat_checks_multiple() {
+        assert!(Dataset::from_flat(3, vec![1.0; 7]).is_err());
+        let d = Dataset::from_flat(3, vec![1.0; 9]).unwrap();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_and_empty() {
+        let ragged: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(Dataset::from_rows(ragged).is_err());
+        let empty: Vec<Vec<f32>> = vec![];
+        assert!(matches!(
+            Dataset::from_rows(empty),
+            Err(VectorError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut d = Dataset::new(2).unwrap();
+        d.push(&[1.0, 2.0]).unwrap();
+        assert!(d.push(&[1.0]).is_err());
+        let other = toy();
+        d.extend_from(&other).unwrap();
+        assert_eq!(d.len(), 5);
+        let mismatched = Dataset::new(3).unwrap();
+        assert!(d.extend_from(&mismatched).is_err());
+    }
+
+    #[test]
+    fn extend_from_rejects_dim_mismatch() {
+        let mut d = toy();
+        let other = Dataset::from_rows(vec![vec![1.0f32, 2.0, 3.0]]).unwrap();
+        assert!(d.extend_from(&other).is_err());
+    }
+
+    #[test]
+    fn normalize_makes_unit_rows() {
+        let mut d = toy();
+        assert!(!d.is_normalized(1e-4));
+        let degenerate = d.normalize();
+        assert_eq!(degenerate, 0);
+        assert!(d.is_normalized(1e-4));
+        assert!((crate::ops::norm(d.row(2)) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_reports_degenerate_rows() {
+        let mut d = Dataset::from_rows(vec![vec![0.0f32, 0.0], vec![1.0, 1.0]]).unwrap();
+        assert_eq!(d.normalize(), 1);
+    }
+
+    #[test]
+    fn select_and_sample() {
+        let d = toy();
+        let s = d.select(&[3, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[-1.0, 1.0]);
+        assert!(d.select(&[99]).is_err());
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let (sample, idx) = d.sample(2, &mut rng);
+        assert_eq!(sample.len(), 2);
+        assert_eq!(idx.len(), 2);
+        assert_ne!(idx[0], idx[1]);
+
+        let (all, idx_all) = d.sample(100, &mut rng);
+        assert_eq!(all.len(), 4);
+        assert_eq!(idx_all.len(), 4);
+    }
+
+    #[test]
+    fn train_test_split_partitions_rows() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = d.train_test_split(0.75, &mut rng);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.dim(), 2);
+    }
+
+    #[test]
+    fn builder_accumulates_rows() {
+        let mut b = DatasetBuilder::new(3).unwrap();
+        assert!(b.is_empty());
+        b.push(&[1.0, 2.0, 3.0]).unwrap();
+        b.push(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(b.len(), 2);
+        let d = b.build();
+        assert_eq!(d.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn rows_iterator_is_exact_size() {
+        let d = toy();
+        let it = d.rows();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = toy();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

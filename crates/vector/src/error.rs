@@ -1,0 +1,99 @@
+//! Error type shared across the vector substrate.
+
+use std::fmt;
+
+/// Errors produced by dataset construction, projection and serialization.
+#[derive(Debug)]
+pub enum VectorError {
+    /// A row with a dimensionality different from the dataset's was supplied.
+    DimensionMismatch {
+        /// Dimensionality the dataset expects.
+        expected: usize,
+        /// Dimensionality that was provided.
+        found: usize,
+    },
+    /// An operation required a non-empty dataset but the dataset had no rows.
+    EmptyDataset,
+    /// A row index outside `0..len` was requested.
+    RowOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of rows in the dataset.
+        len: usize,
+    },
+    /// The binary payload being decoded is malformed (wrong magic, truncated,
+    /// or inconsistent header).
+    MalformedPayload(String),
+    /// Wrapper around I/O failures during load/save.
+    Io(std::io::Error),
+    /// Wrapper around JSON (de)serialization failures.
+    Json(serde_json::Error),
+    /// A parameter was outside its valid domain (e.g. zero target dimension).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for VectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            VectorError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            VectorError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for dataset of {len} rows")
+            }
+            VectorError::MalformedPayload(msg) => write!(f, "malformed payload: {msg}"),
+            VectorError::Io(e) => write!(f, "I/O error: {e}"),
+            VectorError::Json(e) => write!(f, "JSON error: {e}"),
+            VectorError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VectorError::Io(e) => Some(e),
+            VectorError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VectorError {
+    fn from(e: std::io::Error) -> Self {
+        VectorError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for VectorError {
+    fn from(e: serde_json::Error) -> Self {
+        VectorError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = VectorError::DimensionMismatch {
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = VectorError::RowOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+        assert!(VectorError::EmptyDataset.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_error_converts_and_exposes_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: VectorError = io.into();
+        assert!(matches!(e, VectorError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

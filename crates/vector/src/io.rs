@@ -1,0 +1,178 @@
+//! Dataset (de)serialization.
+//!
+//! Two formats are provided:
+//!
+//! * a compact little-endian binary format (magic `LAFV`, version, header,
+//!   raw `f32` payload) built on the [`bytes`] crate — this is what the
+//!   experiment harness caches generated datasets in, and
+//! * JSON via serde, for small fixtures and debugging.
+
+use crate::dataset::Dataset;
+use crate::error::VectorError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+
+/// Magic bytes identifying the binary dataset format.
+pub const MAGIC: &[u8; 4] = b"LAFV";
+/// Current binary format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Encode a dataset into the binary format.
+pub fn encode(data: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + data.len() * data.dim() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(FORMAT_VERSION);
+    buf.put_u64_le(data.len() as u64);
+    buf.put_u32_le(data.dim() as u32);
+    for &x in data.as_flat() {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Decode a dataset from the binary format produced by [`encode`].
+///
+/// # Errors
+/// Returns [`VectorError::MalformedPayload`] on any structural problem
+/// (bad magic, unsupported version, truncated payload, trailing bytes).
+pub fn decode(mut bytes: &[u8]) -> Result<Dataset, VectorError> {
+    if bytes.len() < 20 {
+        return Err(VectorError::MalformedPayload(
+            "payload shorter than header".to_string(),
+        ));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(VectorError::MalformedPayload(format!(
+            "bad magic {magic:?}"
+        )));
+    }
+    let version = bytes.get_u32_le();
+    if version != FORMAT_VERSION {
+        return Err(VectorError::MalformedPayload(format!(
+            "unsupported format version {version}"
+        )));
+    }
+    let len = bytes.get_u64_le() as usize;
+    let dim = bytes.get_u32_le() as usize;
+    if dim == 0 {
+        return Err(VectorError::MalformedPayload(
+            "zero dimensionality".to_string(),
+        ));
+    }
+    let expected = len
+        .checked_mul(dim)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| VectorError::MalformedPayload("size overflow".to_string()))?;
+    if bytes.remaining() != expected {
+        return Err(VectorError::MalformedPayload(format!(
+            "expected {expected} payload bytes, found {}",
+            bytes.remaining()
+        )));
+    }
+    let mut flat = Vec::with_capacity(len * dim);
+    for _ in 0..len * dim {
+        flat.push(bytes.get_f32_le());
+    }
+    Dataset::from_flat(dim, flat)
+}
+
+/// Write a dataset to `path` in the binary format.
+pub fn save_binary<P: AsRef<Path>>(data: &Dataset, path: P) -> Result<(), VectorError> {
+    fs::write(path, encode(data))?;
+    Ok(())
+}
+
+/// Read a dataset previously written with [`save_binary`].
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Dataset, VectorError> {
+    let bytes = fs::read(path)?;
+    decode(&bytes)
+}
+
+/// Write a dataset to `path` as JSON.
+pub fn save_json<P: AsRef<Path>>(data: &Dataset, path: P) -> Result<(), VectorError> {
+    let json = serde_json::to_string(data)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Read a dataset previously written with [`save_json`].
+pub fn load_json<P: AsRef<Path>>(path: P) -> Result<Dataset, VectorError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![1.0f32, -2.5, 3.25],
+            vec![0.0, 0.5, -0.125],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let d = toy();
+        let bytes = encode(&d);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let d = toy();
+        let mut bytes = encode(&d).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes),
+            Err(VectorError::MalformedPayload(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing() {
+        let d = toy();
+        let bytes = encode(&d).to_vec();
+        assert!(decode(&bytes[..bytes.len() - 3]).is_err());
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(decode(&extended).is_err());
+        assert!(decode(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let d = toy();
+        let mut bytes = encode(&d).to_vec();
+        bytes[4] = 99;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let d = toy();
+        let dir = std::env::temp_dir().join("laf_vector_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("toy.lafv");
+        let json = dir.join("toy.json");
+        save_binary(&d, &bin).unwrap();
+        save_json(&d, &json).unwrap();
+        assert_eq!(load_binary(&bin).unwrap(), d);
+        assert_eq!(load_json(&json).unwrap(), d);
+        fs::remove_file(bin).ok();
+        fs::remove_file(json).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_binary("/nonexistent/definitely/not/here.lafv").unwrap_err();
+        assert!(matches!(err, VectorError::Io(_)));
+    }
+}

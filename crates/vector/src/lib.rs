@@ -1,0 +1,42 @@
+//! # laf-vector
+//!
+//! Dense vector substrate for the LAF-DBSCAN reproduction.
+//!
+//! The paper clusters high-dimensional, unit-normalized neural embeddings
+//! under the **angular (cosine) distance**. This crate provides everything
+//! the clustering and estimation layers need to talk about such data:
+//!
+//! * [`Dataset`] — a contiguous, row-major `f32` matrix with cheap row access,
+//!   normalization, sampling and serialization.
+//! * [`Distance`] — the distance-metric abstraction with [`CosineDistance`],
+//!   [`AngularDistance`], [`EuclideanDistance`], [`SquaredEuclideanDistance`]
+//!   and [`DotProductSimilarity`] implementations, plus the cosine↔Euclidean
+//!   conversion of Equation (1) in the paper.
+//! * [`GaussianRandomProjection`] — the ANN-benchmark-style dimensionality
+//!   reduction the paper applies to the NYTimes bag-of-words vectors.
+//! * low-level kernels in [`ops`] used by every other crate.
+//!
+//! All public items are documented; see the crate-level tests and the
+//! property tests under `tests/` for the invariants the substrate upholds.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod distance;
+pub mod error;
+pub mod io;
+pub mod ops;
+pub mod projection;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use distance::{
+    cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, DistanceMetric,
+    DotProductSimilarity, EuclideanDistance, Metric, SquaredEuclideanDistance,
+};
+pub use error::VectorError;
+pub use projection::GaussianRandomProjection;
+
+/// Alias kept for API clarity: every distance used in this workspace is an
+/// object-safe implementation of [`DistanceMetric`].
+pub use distance::DistanceMetric as Distance;

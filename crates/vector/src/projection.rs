@@ -1,0 +1,175 @@
+//! Gaussian random projection.
+//!
+//! The paper follows the ANN-benchmark preprocessing for the NYTimes
+//! bag-of-words corpus: sample, **Gaussian-random-project to 256 dimensions**
+//! and L2-normalize. This module implements the projection so the synthetic
+//! NYT-style workload can run through the exact same pipeline.
+
+use crate::dataset::Dataset;
+use crate::error::VectorError;
+use crate::ops;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A dense Gaussian random projection matrix `R ∈ R^{out_dim × in_dim}` with
+/// entries drawn i.i.d. from `N(0, 1/out_dim)` (the Johnson–Lindenstrauss
+/// scaling that approximately preserves pairwise distances).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianRandomProjection {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim` matrix.
+    matrix: Vec<f32>,
+}
+
+impl GaussianRandomProjection {
+    /// Draw a new projection from `in_dim` to `out_dim` dimensions.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::InvalidParameter`] if either dimension is zero.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Result<Self, VectorError> {
+        if in_dim == 0 || out_dim == 0 {
+            return Err(VectorError::InvalidParameter(
+                "projection dimensions must be positive".to_string(),
+            ));
+        }
+        let std = (1.0 / out_dim as f64).sqrt();
+        let normal = Normal::new(0.0, std).expect("std is positive and finite");
+        let matrix = (0..in_dim * out_dim)
+            .map(|_| normal.sample(rng) as f32)
+            .collect();
+        Ok(Self {
+            in_dim,
+            out_dim,
+            matrix,
+        })
+    }
+
+    /// Input dimensionality this projection accepts.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality this projection produces.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Project a single vector.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] if `v.len() != in_dim`.
+    pub fn project(&self, v: &[f32]) -> Result<Vec<f32>, VectorError> {
+        if v.len() != self.in_dim {
+            return Err(VectorError::DimensionMismatch {
+                expected: self.in_dim,
+                found: v.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.out_dim];
+        for (o, out_val) in out.iter_mut().enumerate() {
+            let row = &self.matrix[o * self.in_dim..(o + 1) * self.in_dim];
+            *out_val = ops::dot(row, v);
+        }
+        Ok(out)
+    }
+
+    /// Project an entire dataset, optionally L2-normalizing the output rows
+    /// (the paper always normalizes after projecting).
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] if the dataset dimension
+    /// differs from `in_dim`.
+    pub fn project_dataset(&self, data: &Dataset, normalize: bool) -> Result<Dataset, VectorError> {
+        if data.dim() != self.in_dim {
+            return Err(VectorError::DimensionMismatch {
+                expected: self.in_dim,
+                found: data.dim(),
+            });
+        }
+        let mut out = Dataset::with_capacity(self.out_dim, data.len())?;
+        for row in data.rows() {
+            let mut projected = self.project(row)?;
+            if normalize {
+                ops::normalize_in_place(&mut projected);
+            }
+            out.push(&projected)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(GaussianRandomProjection::new(0, 4, &mut rng).is_err());
+        assert!(GaussianRandomProjection::new(4, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn projects_to_requested_dimension() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let proj = GaussianRandomProjection::new(100, 16, &mut rng).unwrap();
+        assert_eq!(proj.in_dim(), 100);
+        assert_eq!(proj.out_dim(), 16);
+        let v = vec![1.0f32; 100];
+        let p = proj.project(&v).unwrap();
+        assert_eq!(p.len(), 16);
+        assert!(proj.project(&[1.0; 7]).is_err());
+    }
+
+    #[test]
+    fn projection_roughly_preserves_relative_distances() {
+        // Johnson–Lindenstrauss sanity check: points far apart in the input
+        // stay farther apart than nearby points, on average.
+        let mut rng = StdRng::seed_from_u64(7);
+        let dim_in = 200;
+        let proj = GaussianRandomProjection::new(dim_in, 64, &mut rng).unwrap();
+
+        let base: Vec<f32> = (0..dim_in).map(|i| (i as f32 * 0.37).sin()).collect();
+        let near: Vec<f32> = base.iter().map(|x| x + 0.01).collect();
+        let far: Vec<f32> = base.iter().map(|x| -x + 3.0).collect();
+
+        let pb = proj.project(&base).unwrap();
+        let pn = proj.project(&near).unwrap();
+        let pf = proj.project(&far).unwrap();
+
+        let d_near = ops::squared_euclidean(&pb, &pn);
+        let d_far = ops::squared_euclidean(&pb, &pf);
+        assert!(d_far > d_near * 10.0, "far={d_far}, near={d_near}");
+    }
+
+    #[test]
+    fn project_dataset_normalizes_when_requested() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let proj = GaussianRandomProjection::new(10, 4, &mut rng).unwrap();
+        let data = Dataset::from_rows(vec![vec![0.5f32; 10], vec![2.0f32; 10]]).unwrap();
+        let projected = proj.project_dataset(&data, true).unwrap();
+        assert_eq!(projected.dim(), 4);
+        assert_eq!(projected.len(), 2);
+        assert!(projected.is_normalized(1e-4));
+
+        let unnormalized = proj.project_dataset(&data, false).unwrap();
+        assert!(!unnormalized.is_normalized(1e-4));
+
+        let wrong_dim = Dataset::from_rows(vec![vec![1.0f32; 3]]).unwrap();
+        assert!(proj.project_dataset(&wrong_dim, true).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let proj = GaussianRandomProjection::new(8, 4, &mut rng).unwrap();
+        let json = serde_json::to_string(&proj).unwrap();
+        let back: GaussianRandomProjection = serde_json::from_str(&json).unwrap();
+        let v = vec![0.25f32; 8];
+        assert_eq!(proj.project(&v).unwrap(), back.project(&v).unwrap());
+    }
+}

@@ -1,0 +1,170 @@
+//! Dataset-level statistics.
+//!
+//! The synthetic generators in `laf-synth` are only useful stand-ins if the
+//! data they produce has the gross statistical shape of the corpora the
+//! paper uses: unit norms, a bimodal-ish pairwise cosine-distance profile
+//! (tight within clusters, near-orthogonal across), and a bounded distance
+//! range. This module computes those summaries so tests and the experiment
+//! harness can assert them rather than assume them.
+
+use crate::dataset::Dataset;
+use crate::distance::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of pairwise distances within a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseDistanceStats {
+    /// Metric the distances were computed under.
+    pub metric: Metric,
+    /// Number of sampled pairs.
+    pub pairs: usize,
+    /// Minimum sampled distance.
+    pub min: f32,
+    /// Mean sampled distance.
+    pub mean: f32,
+    /// Maximum sampled distance.
+    pub max: f32,
+    /// Standard deviation of the sampled distances.
+    pub std_dev: f32,
+    /// Deciles (10 values: the 10th, 20th, …, 100th percentiles).
+    pub deciles: Vec<f32>,
+}
+
+/// Norm statistics of the rows of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormStats {
+    /// Smallest row norm.
+    pub min: f32,
+    /// Mean row norm.
+    pub mean: f32,
+    /// Largest row norm.
+    pub max: f32,
+}
+
+/// Compute norm statistics for every row. Returns `None` for an empty
+/// dataset.
+pub fn norm_stats(data: &Dataset) -> Option<NormStats> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    for row in data.rows() {
+        let n = crate::ops::norm(row);
+        min = min.min(n);
+        max = max.max(n);
+        sum += n as f64;
+    }
+    Some(NormStats {
+        min,
+        mean: (sum / data.len() as f64) as f32,
+        max,
+    })
+}
+
+/// Sample `pairs` random point pairs (without self-pairs) and summarize their
+/// distances under `metric`. Returns `None` when the dataset has fewer than
+/// two rows or `pairs == 0`.
+pub fn pairwise_distance_stats(
+    data: &Dataset,
+    metric: Metric,
+    pairs: usize,
+    seed: u64,
+) -> Option<PairwiseDistanceStats> {
+    if data.len() < 2 || pairs == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut distances: Vec<f32> = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let i = rng.gen_range(0..data.len());
+        let mut j = rng.gen_range(0..data.len());
+        while j == i {
+            j = rng.gen_range(0..data.len());
+        }
+        distances.push(metric.dist(data.row(i), data.row(j)));
+    }
+    distances.sort_by(f32::total_cmp);
+    let n = distances.len();
+    let mean = distances.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    let var = distances
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    let deciles = (1..=10)
+        .map(|k| distances[((n * k) / 10).saturating_sub(1)])
+        .collect();
+    Some(PairwiseDistanceStats {
+        metric,
+        pairs: n,
+        min: distances[0],
+        mean: mean as f32,
+        max: distances[n - 1],
+        std_dev: var.sqrt() as f32,
+        deciles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..50)
+            .map(|i| {
+                let a = i as f32 * 0.12;
+                vec![a.cos(), a.sin(), 0.1 * (i as f32 % 3.0)]
+            })
+            .collect();
+        let mut d = Dataset::from_rows(rows).unwrap();
+        d.normalize();
+        d
+    }
+
+    #[test]
+    fn norm_stats_of_normalized_data_are_one() {
+        let d = data();
+        let stats = norm_stats(&d).unwrap();
+        assert!((stats.min - 1.0).abs() < 1e-4);
+        assert!((stats.mean - 1.0).abs() < 1e-4);
+        assert!((stats.max - 1.0).abs() < 1e-4);
+        assert!(norm_stats(&Dataset::new(3).unwrap()).is_none());
+    }
+
+    #[test]
+    fn pairwise_stats_are_ordered_and_bounded_for_cosine() {
+        let d = data();
+        let stats = pairwise_distance_stats(&d, Metric::Cosine, 500, 1).unwrap();
+        assert_eq!(stats.pairs, 500);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+        assert!(stats.min >= -1e-4);
+        assert!(stats.max <= 2.0 + 1e-4);
+        assert_eq!(stats.deciles.len(), 10);
+        assert!(stats
+            .deciles
+            .windows(2)
+            .all(|w| w[0] <= w[1] + 1e-6));
+        assert!((stats.deciles[9] - stats.max).abs() < 1e-6);
+        assert!(stats.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let d = data();
+        assert!(pairwise_distance_stats(&d, Metric::Cosine, 0, 1).is_none());
+        let single = Dataset::from_rows(vec![vec![1.0f32, 0.0]]).unwrap();
+        assert!(pairwise_distance_stats(&single, Metric::Cosine, 10, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = data();
+        let a = pairwise_distance_stats(&d, Metric::Cosine, 100, 9).unwrap();
+        let b = pairwise_distance_stats(&d, Metric::Cosine, 100, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}
