@@ -63,10 +63,8 @@ fn bench_clustering(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::from_parameter("LAF-DBSCAN++"), &(), |b, _| {
         b.iter(|| {
-            let laf_pp = LafDbscanPlusPlus::new(
-                LafDbscanPlusPlusConfig::new(eps, tau, 0.2),
-                &estimator,
-            );
+            let laf_pp =
+                LafDbscanPlusPlus::new(LafDbscanPlusPlusConfig::new(eps, tau, 0.2), &estimator);
             black_box(laf_pp.cluster(&data)).n_clusters()
         })
     });

@@ -34,8 +34,12 @@ fn bench_engines(c: &mut Criterion) {
         Metric::Cosine,
         cosine_to_euclidean(eps) / (data.dim() as f32).sqrt(),
     );
-    let engines: Vec<(&str, &dyn RangeQueryEngine)> =
-        vec![("linear", &linear), ("cover_tree", &cover), ("kmeans_tree", &kmeans), ("grid", &grid)];
+    let engines: Vec<(&str, &dyn RangeQueryEngine)> = vec![
+        ("linear", &linear),
+        ("cover_tree", &cover),
+        ("kmeans_tree", &kmeans),
+        ("grid", &grid),
+    ];
 
     let mut group = c.benchmark_group("range_query");
     group.sample_size(20);

@@ -72,7 +72,12 @@ pub fn estimator_ablation(
     .build(&prepared.train, &prepared.train)
     .expect("training set");
     let mlp = MlpEstimator::train(&training, &cfg.net);
-    let sampling = SamplingEstimator::new(&prepared.train, Metric::Cosine, (prepared.train.len() / 10).max(2), 7);
+    let sampling = SamplingEstimator::new(
+        &prepared.train,
+        Metric::Cosine,
+        (prepared.train.len() / 10).max(2),
+        7,
+    );
     let histogram = HistogramEstimator::from_training(&training);
     let exact = ExactEstimator::new(data, Metric::Cosine);
 
@@ -117,7 +122,10 @@ pub fn post_processing_ablation(
     let data = &prepared.test;
     let truth = Dbscan::with_params(eps, tau).cluster(data);
     let mut rows = Vec::new();
-    for (name, post) in [("with post-processing", true), ("without post-processing", false)] {
+    for (name, post) in [
+        ("with post-processing", true),
+        ("without post-processing", false),
+    ] {
         let laf = LafDbscan::new(
             LafConfig {
                 post_processing: post,
@@ -157,7 +165,13 @@ pub fn engine_ablation(prepared: &PreparedDataset, eps: f32, tau: usize) -> Vec<
                 leaf_ratio: 1.0,
             },
         ),
-        ("IVF nprobe=4/16", EngineChoice::Ivf { nlist: 16, nprobe: 4 }),
+        (
+            "IVF nprobe=4/16",
+            EngineChoice::Ivf {
+                nlist: 16,
+                nprobe: 4,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, engine) in engines {
@@ -238,7 +252,9 @@ fn print_rows(title: &str, rows: &[AblationRow]) {
         .collect();
     print_table(
         title,
-        &["Variant", "Time", "ARI", "AMI", "V", "Queries", "Skipped", "FN", "FP"],
+        &[
+            "Variant", "Time", "ARI", "AMI", "V", "Queries", "Skipped", "FN", "FP",
+        ],
         &table,
     );
 }

@@ -40,8 +40,13 @@ fn main() {
     print_table(
         "Table 1: evaluation dataset information",
         &[
-            "Dataset", "#Points (paper)", "#Points (here)", "Dim (paper)", "Dim (here)",
-            "alpha", "Type",
+            "Dataset",
+            "#Points (paper)",
+            "#Points (here)",
+            "Dim (paper)",
+            "Dim (here)",
+            "alpha",
+            "Type",
         ],
         &rows,
     );

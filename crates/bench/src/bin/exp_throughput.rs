@@ -1,0 +1,7 @@
+//! Throughput sweep of the batched, parallel query pipeline (queries/sec vs
+//! batch size vs threads). Writes `BENCH_throughput.json`.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let _ = laf_bench::throughput::run(&cfg);
+}

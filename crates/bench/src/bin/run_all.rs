@@ -20,5 +20,9 @@ fn main() {
     let _ = laf_bench::experiments::fig_tradeoff(&cfg, "Glove-150k", "fig3");
     let _ = laf_bench::experiments::fig4(&cfg);
     let _ = laf_bench::ablation::run(&cfg);
-    println!("\ncomplete experiment suite finished in {:.1?}", started.elapsed());
+    let _ = laf_bench::throughput::run(&cfg);
+    println!(
+        "\ncomplete experiment suite finished in {:.1?}",
+        started.elapsed()
+    );
 }

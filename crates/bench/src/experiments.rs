@@ -102,7 +102,11 @@ pub fn table3(cfg: &HarnessConfig) -> Vec<SettingOutcome> {
                         .iter()
                         .find(|o| o.method == method.label())
                         .expect("method was evaluated");
-                    let v = if metric == "ARI" { outcome.ari } else { outcome.ami };
+                    let v = if metric == "ARI" {
+                        outcome.ari
+                    } else {
+                        outcome.ami
+                    };
                     row.push(format!("{v:.4}"));
                 }
                 rows.push(row);
@@ -199,7 +203,11 @@ pub fn table5(cfg: &HarnessConfig) -> Vec<SettingOutcome> {
                     .iter()
                     .find(|o| o.method == method.label())
                     .expect("method evaluated");
-                let v = if metric == "ARI" { outcome.ari } else { outcome.ami };
+                let v = if metric == "ARI" {
+                    outcome.ari
+                } else {
+                    outcome.ami
+                };
                 row.push(format!("{v:.4}"));
             }
             rows.push(row);
@@ -220,7 +228,11 @@ pub fn table5(cfg: &HarnessConfig) -> Vec<SettingOutcome> {
 /// Table 6 — fully-missed-cluster statistics of LAF-DBSCAN in its
 /// worst-quality settings.
 pub fn table6(cfg: &HarnessConfig) -> Vec<serde_json::Value> {
-    let cases = [("NYT-150k", 0.5f32, 3usize), ("Glove-150k", 0.55, 5), ("MS-150k", 0.55, 5)];
+    let cases = [
+        ("NYT-150k", 0.5f32, 3usize),
+        ("Glove-150k", 0.55, 5),
+        ("MS-150k", 0.55, 5),
+    ];
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for (name, eps, tau) in cases {

@@ -477,7 +477,13 @@ pub fn tradeoff_sweep(
             ..Default::default()
         })
         .cluster(data);
-        score("KNN-BLOCK", leaf_ratio, started.elapsed().as_secs_f64(), &c, 0);
+        score(
+            "KNN-BLOCK",
+            leaf_ratio,
+            started.elapsed().as_secs_f64(),
+            &c,
+            0,
+        );
     }
 
     // BLOCK-DBSCAN: cover tree basis sweep 1.1–5.

@@ -15,6 +15,7 @@
 //! | `exp_fig2`   | Figure 2 — speed–quality trade-off on MS-150k |
 //! | `exp_fig3`   | Figure 3 — speed–quality trade-off on Glove-150k |
 //! | `exp_fig4`   | Figure 4 — scalability over MS-50k/100k/150k |
+//! | `exp_throughput` | (not a paper exhibit) queries/sec of the batched parallel kernels vs batch size vs threads |
 //! | `run_all`    | all of the above, writing JSON into `results/` |
 //!
 //! Scale is controlled by environment variables so the same binaries serve
@@ -34,6 +35,7 @@ pub mod ablation;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod throughput;
 
 pub use harness::{HarnessConfig, Method, MethodOutcome, PreparedDataset, SettingOutcome};
 pub use report::{format_seconds, print_table, write_json};

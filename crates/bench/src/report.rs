@@ -35,7 +35,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", render(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", render(row));
     }
@@ -89,7 +92,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
         );
         print_table("empty", &[], &[]);
     }

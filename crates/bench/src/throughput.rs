@@ -1,0 +1,269 @@
+//! Throughput experiment for the batched, parallel query pipeline.
+//!
+//! Not a paper exhibit: this measures the systems contribution of this
+//! repository — queries/second of the batched range kernels
+//! ([`laf_index::RangeQueryEngine::range_count_batch`],
+//! [`laf_index::RangeQueryEngine::range_batch`]) and of batched estimator
+//! inference ([`laf_cardest::CardinalityEstimator::estimate_batch`]) as a
+//! function of **batch size** and **thread count**, against the one-point-
+//! at-a-time baselines the seed implementation used.
+//!
+//! Results are printed as a table and written to
+//! `<results_dir>/BENCH_throughput.json`.
+
+use crate::harness::HarnessConfig;
+use crate::report::{print_table, write_json};
+use laf_cardest::{CardinalityEstimator, MlpEstimator, TrainingSetBuilder};
+use laf_index::{LinearScan, RangeQueryEngine};
+use laf_synth::EmbeddingMixtureConfig;
+use laf_vector::{Dataset, Metric};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRecord {
+    /// What was measured (`linear.range_count`, `mlp.estimate`, ...).
+    pub kernel: String,
+    /// `per_query` for the point-at-a-time baseline, `batch` for the
+    /// batched kernel.
+    pub mode: String,
+    /// Queries handed to one batched call (1 for the per-query baseline).
+    pub batch_size: usize,
+    /// Worker threads installed for the call.
+    pub threads: usize,
+    /// Total queries executed during the measurement.
+    pub queries: u64,
+    /// Wall-clock seconds of the measurement.
+    pub seconds: f64,
+    /// Queries per second.
+    pub queries_per_sec: f64,
+    /// Speedup over this kernel's 1-thread per-query baseline.
+    pub speedup: f64,
+}
+
+/// Thread counts swept by the experiment.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Batch sizes swept by the experiment.
+pub const BATCH_SWEEP: [usize; 3] = [16, 64, 256];
+
+fn bench_dataset(cfg: &HarnessConfig) -> Dataset {
+    // Sized so that at the default LAF_SCALE (0.008) the scan working set is
+    // ~16k x 64 dims ≈ 4 MB — large enough to stream from memory rather than
+    // cache, the regime the blocked kernels target. Smaller LAF_SCALE values
+    // shrink it proportionally (the unit test relies on this to stay fast in
+    // debug builds); the cap keeps large-scale runs to a few seconds.
+    let n_points = ((2_000_000.0 * cfg.scale) as usize).clamp(1_000, 48_000);
+    let dim = cfg.dim_cap.unwrap_or(64).clamp(8, 128);
+    EmbeddingMixtureConfig {
+        n_points,
+        dim,
+        clusters: 16,
+        noise_fraction: 0.2,
+        seed: cfg.seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid benchmark dataset config")
+    .0
+}
+
+/// Time `work` (which executes `queries_per_round` queries per call) by
+/// repeating it until ~0.2 s have elapsed; returns (queries, seconds).
+fn measure(queries_per_round: u64, mut work: impl FnMut()) -> (u64, f64) {
+    // One untimed warm-up round.
+    work();
+    let started = Instant::now();
+    let mut queries = 0u64;
+    while started.elapsed().as_secs_f64() < 0.2 {
+        work();
+        queries += queries_per_round;
+    }
+    (queries, started.elapsed().as_secs_f64())
+}
+
+fn record(
+    kernel: &str,
+    mode: &str,
+    batch_size: usize,
+    threads: usize,
+    queries: u64,
+    seconds: f64,
+    baseline_qps: f64,
+) -> ThroughputRecord {
+    let qps = queries as f64 / seconds;
+    ThroughputRecord {
+        kernel: kernel.to_string(),
+        mode: mode.to_string(),
+        batch_size,
+        threads,
+        queries,
+        seconds,
+        queries_per_sec: qps,
+        speedup: if baseline_qps > 0.0 {
+            qps / baseline_qps
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run the sweep and write `BENCH_throughput.json`.
+pub fn run(cfg: &HarnessConfig) -> Vec<ThroughputRecord> {
+    let data = bench_dataset(cfg);
+    let eps = 0.35f32;
+    let n_queries = 256.min(data.len());
+    let queries: Vec<&[f32]> = (0..n_queries).map(|i| data.row(i)).collect();
+    println!(
+        "\nthroughput sweep: {} points x {} dims, {} queries, eps {eps} \
+         ({} host cores)",
+        data.len(),
+        data.dim(),
+        n_queries,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let mut records = Vec::new();
+
+    // --- Engine kernel: LinearScan::range_count ---------------------------
+    let scan = LinearScan::new(&data, Metric::Cosine);
+    let (q, s) = measure(n_queries as u64, || {
+        for query in &queries {
+            std::hint::black_box(scan.range_count(query, eps));
+        }
+    });
+    let baseline_qps = q as f64 / s;
+    records.push(record(
+        "linear.range_count",
+        "per_query",
+        1,
+        1,
+        q,
+        s,
+        baseline_qps,
+    ));
+
+    for &threads in &THREAD_SWEEP {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        for &batch in &BATCH_SWEEP {
+            let (q, s) = measure(n_queries as u64, || {
+                pool.install(|| {
+                    for group in queries.chunks(batch) {
+                        std::hint::black_box(scan.range_count_batch(group, eps));
+                    }
+                })
+            });
+            records.push(record(
+                "linear.range_count",
+                "batch",
+                batch,
+                threads,
+                q,
+                s,
+                baseline_qps,
+            ));
+        }
+    }
+
+    // --- Estimator kernel: MLP estimate ----------------------------------
+    let training = TrainingSetBuilder {
+        max_queries: Some(cfg.train_queries.min(200)),
+        ..Default::default()
+    }
+    .build(&data, &data)
+    .expect("training set");
+    let mlp = MlpEstimator::train(&training, &cfg.net);
+    let (q, s) = measure(n_queries as u64, || {
+        for query in &queries {
+            std::hint::black_box(mlp.estimate(query, eps));
+        }
+    });
+    let mlp_baseline_qps = q as f64 / s;
+    records.push(record(
+        "mlp.estimate",
+        "per_query",
+        1,
+        1,
+        q,
+        s,
+        mlp_baseline_qps,
+    ));
+
+    for &threads in &THREAD_SWEEP {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        for &batch in &BATCH_SWEEP {
+            let (q, s) = measure(n_queries as u64, || {
+                pool.install(|| {
+                    for group in queries.chunks(batch) {
+                        std::hint::black_box(mlp.estimate_batch(group, eps));
+                    }
+                })
+            });
+            records.push(record(
+                "mlp.estimate",
+                "batch",
+                batch,
+                threads,
+                q,
+                s,
+                mlp_baseline_qps,
+            ));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.mode.clone(),
+                r.batch_size.to_string(),
+                r.threads.to_string(),
+                format!("{:.0}", r.queries_per_sec),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Throughput: batched parallel kernels vs one-point-at-a-time baselines",
+        &["kernel", "mode", "batch", "threads", "queries/s", "speedup"],
+        &rows,
+    );
+    write_json(&cfg.results_dir, "BENCH_throughput", &records);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::NetConfig;
+
+    #[test]
+    fn sweep_produces_complete_well_formed_records() {
+        let cfg = HarnessConfig {
+            scale: 0.0005,
+            dim_cap: Some(16),
+            train_queries: 40,
+            net: NetConfig::tiny(),
+            results_dir: std::env::temp_dir().join("laf_bench_throughput_test"),
+            ..Default::default()
+        };
+        let records = run(&cfg);
+        // 1 per-query baseline + threads x batches records, per kernel.
+        // Wall-clock *magnitudes* are deliberately not asserted — timing
+        // assertions flake on contended CI runners; the performance evidence
+        // lives in BENCH_throughput.json, not in the test suite.
+        let expected_per_kernel = 1 + THREAD_SWEEP.len() * BATCH_SWEEP.len();
+        assert_eq!(records.len(), 2 * expected_per_kernel);
+        assert!(records
+            .iter()
+            .all(|r| r.queries_per_sec > 0.0 && r.speedup > 0.0 && r.queries > 0));
+        assert!(cfg.results_dir.join("BENCH_throughput.json").exists());
+    }
+}

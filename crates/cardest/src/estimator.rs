@@ -16,6 +16,20 @@ pub trait CardinalityEstimator: Send + Sync {
     /// executing the range query.
     fn estimate(&self, query: &[f32], eps: f32) -> f32;
 
+    /// Predictions for a whole batch of queries at once, element-for-element
+    /// identical (bit-exact) to calling [`CardinalityEstimator::estimate`]
+    /// per query.
+    ///
+    /// The default implementation is the sequential loop (used by the RMI,
+    /// the traditional baselines and the failure-injection estimators);
+    /// [`crate::MlpEstimator`] overrides it with a single matrix-shaped
+    /// forward pass over the whole query batch, and [`ExactEstimator`]
+    /// forwards to the engine's blocked counting kernel. The LAF gate's
+    /// prescan feeds entire datasets through this entry point.
+    fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        queries.iter().map(|q| self.estimate(q, eps)).collect()
+    }
+
     /// Short name used in experiment reports.
     fn name(&self) -> &'static str;
 
@@ -29,6 +43,10 @@ pub trait CardinalityEstimator: Send + Sync {
 impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
     fn estimate(&self, query: &[f32], eps: f32) -> f32 {
         (**self).estimate(query, eps)
+    }
+
+    fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        (**self).estimate_batch(queries, eps)
     }
 
     fn name(&self) -> &'static str {
@@ -45,6 +63,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
         (**self).estimate(query, eps)
     }
 
+    fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        (**self).estimate_batch(queries, eps)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -57,6 +79,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
 impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for std::sync::Arc<T> {
     fn estimate(&self, query: &[f32], eps: f32) -> f32 {
         (**self).estimate(query, eps)
+    }
+
+    fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        (**self).estimate_batch(queries, eps)
     }
 
     fn name(&self) -> &'static str {
@@ -87,6 +113,14 @@ impl<'a> ExactEstimator<'a> {
 impl CardinalityEstimator for ExactEstimator<'_> {
     fn estimate(&self, query: &[f32], eps: f32) -> f32 {
         self.scan.range_count(query, eps) as f32
+    }
+
+    fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        self.scan
+            .range_count_batch(queries, eps)
+            .into_iter()
+            .map(|c| c as f32)
+            .collect()
     }
 
     fn name(&self) -> &'static str {

@@ -76,6 +76,31 @@ impl CardinalityEstimator for MlpEstimator {
         log_pred.exp_m1().max(0.0)
     }
 
+    fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        let features: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| {
+                assert_eq!(
+                    q.len(),
+                    self.data_dim,
+                    "query dimensionality does not match the training data"
+                );
+                let mut f = Vec::with_capacity(q.len() + 1);
+                f.extend_from_slice(q);
+                f.push(eps);
+                f
+            })
+            .collect();
+        self.predictions
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let refs: Vec<&[f32]> = features.iter().map(Vec::as_slice).collect();
+        self.net
+            .predict_batch(&refs)
+            .into_iter()
+            .map(|log_pred| log_pred.exp_m1().max(0.0))
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "mlp"
     }
@@ -175,6 +200,26 @@ mod tests {
         let data = data();
         let est = train_small(&data);
         let _ = est.estimate(&[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_exact_with_per_query_estimates() {
+        let data = data();
+        let est = train_small(&data);
+        let queries: Vec<&[f32]> = (0..data.len()).step_by(3).map(|i| data.row(i)).collect();
+        for eps in [0.1f32, 0.5, 0.9] {
+            let batched = est.estimate_batch(&queries, eps);
+            assert_eq!(batched.len(), queries.len());
+            for (qi, q) in queries.iter().enumerate() {
+                // Bit-exact: the batched forward pass computes the same dot
+                // products in the same order as the scalar path.
+                assert_eq!(batched[qi], est.estimate(q, eps), "query {qi} eps {eps}");
+            }
+        }
+        // The batch counts toward the prediction counter once per query.
+        let before = est.predictions().unwrap();
+        let _ = est.estimate_batch(&queries, 0.5);
+        assert_eq!(est.predictions().unwrap(), before + queries.len() as u64);
     }
 
     #[test]

@@ -184,6 +184,48 @@ impl Mlp {
         cur[0]
     }
 
+    /// Forward pass over a whole batch of inputs, bit-exact with calling
+    /// [`Mlp::predict`] per row (each output unit computes the same
+    /// `dot(row, x) + b` in the same order), but shaped as a matrix-matrix
+    /// sweep: every layer's weight row is streamed from memory once per batch
+    /// instead of once per sample, which is what makes the LAF gate's batched
+    /// prescan profitable.
+    ///
+    /// # Panics
+    /// Panics if any input's length differs from [`Mlp::input_dim`].
+    pub fn predict_batch(&self, xs: &[&[f32]]) -> Vec<f32> {
+        let batch = xs.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        // Activations as a row-major batch × width matrix.
+        let mut cur: Vec<f32> = Vec::with_capacity(batch * self.input_dim);
+        for x in xs {
+            assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+            cur.extend_from_slice(x);
+        }
+        let mut width = self.input_dim;
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut next = vec![0.0f32; batch * layer.out_dim];
+            for o in 0..layer.out_dim {
+                let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                let bias = layer.b[o];
+                for b in 0..batch {
+                    let x = &cur[b * width..b * width + width];
+                    let mut v = laf_vector::ops::dot(row, x) + bias;
+                    if l != last && v < 0.0 {
+                        v = 0.0;
+                    }
+                    next[b * layer.out_dim + o] = v;
+                }
+            }
+            cur = next;
+            width = layer.out_dim;
+        }
+        cur
+    }
+
     /// Forward pass keeping every layer's post-activation output (used by
     /// backprop). `activations[0]` is the input, `activations[i]` the output
     /// of layer `i-1`.
@@ -226,7 +268,11 @@ impl Mlp {
     /// Train with Adam on MSE. `inputs` and `targets` must have equal length;
     /// empty training sets return a zeroed report.
     pub fn train(&mut self, inputs: &[Vec<f32>], targets: &[f32], cfg: &NetConfig) -> TrainReport {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         if inputs.is_empty() {
             return TrainReport {
                 epochs: 0,
@@ -340,8 +386,7 @@ impl Mlp {
             if l > 0 {
                 let prev_layer_out = &acts[l]; // post-ReLU output of layer l-1
                 let mut prev_delta = vec![0.0f32; layer.in_dim];
-                for o in 0..layer.out_dim {
-                    let d = delta[o];
+                for (o, &d) in delta.iter().enumerate().take(layer.out_dim) {
                     if d == 0.0 {
                         continue;
                     }

@@ -124,8 +124,7 @@ impl RmiEstimator {
                     let next_n = cfg.stage_sizes[stage_idx + 1];
                     for &i in &member_indices {
                         let pred = net.predict(&xs[i]);
-                        next_assignment[i] =
-                            route(pred, target_min, target_max, next_n);
+                        next_assignment[i] = route(pred, target_min, target_max, next_n);
                     }
                 }
                 stage_models.push(net);

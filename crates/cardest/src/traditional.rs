@@ -130,11 +130,7 @@ impl HistogramEstimator {
 
 impl CardinalityEstimator for HistogramEstimator {
     fn estimate(&self, _query: &[f32], eps: f32) -> f32 {
-        match self
-            .thresholds
-            .iter()
-            .position(|&t| t >= eps)
-        {
+        match self.thresholds.iter().position(|&t| t >= eps) {
             // eps below the first threshold: scale the first average down.
             Some(0) => {
                 let t0 = self.thresholds[0];

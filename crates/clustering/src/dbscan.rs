@@ -70,11 +70,7 @@ impl Dbscan {
 
     /// Run DBSCAN using an externally constructed engine (used by tests and
     /// ablations; [`Clusterer::cluster`] builds the engine from the config).
-    pub fn cluster_with_engine(
-        &self,
-        data: &Dataset,
-        engine: &dyn RangeQueryEngine,
-    ) -> Clustering {
+    pub fn cluster_with_engine(&self, data: &Dataset, engine: &dyn RangeQueryEngine) -> Clustering {
         let start = Instant::now();
         let n = data.len();
         let eps = self.config.eps;
@@ -132,7 +128,12 @@ impl Dbscan {
 
 impl Clusterer for Dbscan {
     fn cluster(&self, data: &Dataset) -> Clustering {
-        let engine = build_engine(self.config.engine, data, self.config.metric, self.config.eps);
+        let engine = build_engine(
+            self.config.engine,
+            data,
+            self.config.metric,
+            self.config.eps,
+        );
         self.cluster_with_engine(data, engine.as_ref())
     }
 

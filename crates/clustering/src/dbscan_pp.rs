@@ -94,11 +94,7 @@ impl DbscanPlusPlus {
     }
 
     /// Run DBSCAN++ with an externally constructed engine.
-    pub fn cluster_with_engine(
-        &self,
-        data: &Dataset,
-        engine: &dyn RangeQueryEngine,
-    ) -> Clustering {
+    pub fn cluster_with_engine(&self, data: &Dataset, engine: &dyn RangeQueryEngine) -> Clustering {
         let start = Instant::now();
         let n = data.len();
         if n == 0 {
@@ -181,7 +177,12 @@ impl DbscanPlusPlus {
 
 impl Clusterer for DbscanPlusPlus {
     fn cluster(&self, data: &Dataset) -> Clustering {
-        let engine = build_engine(self.config.engine, data, self.config.metric, self.config.eps);
+        let engine = build_engine(
+            self.config.engine,
+            data,
+            self.config.metric,
+            self.config.eps,
+        );
         self.cluster_with_engine(data, engine.as_ref())
     }
 

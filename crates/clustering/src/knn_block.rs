@@ -94,16 +94,11 @@ impl Clusterer for KnnBlockDbscan {
 
         // Phase 1: approximate core detection via kNN with k = τ.
         let mut is_core = vec![false; n];
-        for p in 0..n {
+        for (p, core) in is_core.iter_mut().enumerate() {
             let knn = tree.knn(data.row(p), cfg.min_pts);
             range_queries += 1;
-            if knn.len() >= cfg.min_pts
-                && knn
-                    .last()
-                    .map(|nb| nb.dist < cfg.eps)
-                    .unwrap_or(false)
-            {
-                is_core[p] = true;
+            if knn.len() >= cfg.min_pts && knn.last().map(|nb| nb.dist < cfg.eps).unwrap_or(false) {
+                *core = true;
             }
         }
 

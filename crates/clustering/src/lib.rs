@@ -30,5 +30,5 @@ pub use block::{BlockDbscan, BlockDbscanConfig};
 pub use dbscan::{Dbscan, DbscanConfig};
 pub use dbscan_pp::{DbscanPlusPlus, DbscanPlusPlusConfig};
 pub use knn_block::{KnnBlockDbscan, KnnBlockDbscanConfig};
-pub use result::{Clustering, Clusterer, NOISE, UNDEFINED};
+pub use result::{Clusterer, Clustering, NOISE, UNDEFINED};
 pub use rho_approx::{RhoApproxDbscan, RhoApproxDbscanConfig};

@@ -212,7 +212,11 @@ impl Clusterer for RhoApproxDbscan {
                 labels[p] = NOISE;
                 continue;
             }
-            let cluster = labels.iter().filter(|&&l| l >= 0).max().map_or(0, |m| m + 1);
+            let cluster = labels
+                .iter()
+                .filter(|&&l| l >= 0)
+                .max()
+                .map_or(0, |m| m + 1);
             labels[p] = cluster;
             let mut seeds: Vec<u32> = first
                 .neighbors
@@ -336,7 +340,9 @@ mod tests {
     #[test]
     fn empty_dataset() {
         let empty = Dataset::new(4).unwrap();
-        assert!(RhoApproxDbscan::with_params(0.3, 3).cluster(&empty).is_empty());
+        assert!(RhoApproxDbscan::with_params(0.3, 3)
+            .cluster(&empty)
+            .is_empty());
     }
 
     #[test]

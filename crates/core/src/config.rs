@@ -24,6 +24,12 @@ pub struct LafConfig {
     /// benchmarks that quantify how much quality the module recovers.
     #[serde(default = "default_post_processing")]
     pub post_processing: bool,
+    /// Number of worker threads for the batched phases (the gate prescan and
+    /// any batched range kernels). `0` means "use all available cores". The
+    /// BFS expansion of Algorithm 1 is inherently sequential and unaffected;
+    /// cluster assignments are byte-identical for every thread count.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 fn default_post_processing() -> bool {
@@ -39,6 +45,7 @@ impl Default for LafConfig {
             metric: Metric::Cosine,
             engine: EngineChoice::Linear,
             post_processing: true,
+            threads: 0,
         }
     }
 }
@@ -58,6 +65,27 @@ impl LafConfig {
     pub fn skip_threshold(&self) -> f32 {
         self.alpha * self.min_pts as f32
     }
+
+    /// Thread pool honoring the [`LafConfig::threads`] knob, or `None` when
+    /// pool construction fails (e.g. thread spawning denied) — callers
+    /// degrade to the ambient pool instead of panicking. Built at most a
+    /// couple of times per clustering run, which is negligible next to the
+    /// run itself.
+    pub(crate) fn thread_pool(&self) -> Option<rayon::ThreadPool> {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .ok()
+    }
+
+    /// Run `op` inside the configured pool (see [`LafConfig::threads`]),
+    /// falling back to the ambient pool when construction fails.
+    pub(crate) fn run_batched<R>(&self, op: impl FnOnce() -> R) -> R {
+        match self.thread_pool() {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
+    }
 }
 
 /// Counters describing how much work LAF saved and how much repair the
@@ -76,6 +104,14 @@ pub struct LafStats {
     pub detected_false_negatives: u64,
     /// Number of cluster-merge operations the post-processing performed.
     pub merged_clusters: u64,
+    /// Number of estimator batches issued by the gate prescan (0 when the
+    /// run had no prescan, e.g. on an empty dataset).
+    #[serde(default)]
+    pub prescan_batches: u64,
+    /// Batch size the prescan fed to `estimate_batch` (the last batch of a
+    /// run may be smaller).
+    #[serde(default)]
+    pub prescan_batch_size: u64,
 }
 
 impl LafStats {

@@ -39,6 +39,16 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
     }
 
     /// Run the clustering and also return the LAF bookkeeping counters.
+    ///
+    /// Execution model: the gate decisions for **all** points are computed
+    /// up front by a parallel, batched prescan
+    /// ([`CardEstGate::prescan`] — one `estimate_batch` call per chunk of
+    /// points, chunks fanned out over the [`LafConfig::threads`] pool). The
+    /// BFS expansion below then consumes the precomputed decisions through
+    /// [`CardEstGate::decide`]. Because batched estimation is bit-exact with
+    /// per-point estimation and the counters advance at consumption time,
+    /// labels *and* statistics are byte-identical to the sequential
+    /// point-at-a-time gating this method used before.
     pub fn cluster_with_stats(&self, data: &Dataset) -> (Clustering, LafStats) {
         let start = Instant::now();
         let n = data.len();
@@ -50,6 +60,9 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
         let gate = CardEstGate::new(&self.estimator, cfg);
         let tau = cfg.min_pts;
         let eps = cfg.eps;
+
+        // LAF: batch-predict every point's cardinality before the main loop.
+        let prescan = cfg.run_batched(|| gate.prescan(data));
 
         // Algorithm 1, lines 1–3.
         let mut labels = vec![UNDEFINED; n];
@@ -64,7 +77,7 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
                 continue;
             }
             // LAF, lines 6–9: skip the range query for predicted stop points.
-            if gate.predicts_stop_point(data.row(p)) {
+            if gate.decide(&prescan, p) {
                 labels[p] = NOISE;
                 partial.register_stop_point(p as u32);
                 continue;
@@ -99,7 +112,7 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
                 // Line 21.
                 labels[q] = next_cluster;
                 // LAF, line 22: gate the expansion query too.
-                if !gate.predicts_stop_point(data.row(q)) {
+                if !gate.decide(&prescan, q) {
                     // Line 23.
                     let q_neighbors = engine.range(data.row(q), eps);
                     executed_queries += 1;
@@ -131,6 +144,8 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
             predicted_stop_points: partial.len() as u64,
             detected_false_negatives: report.detected_false_negatives,
             merged_clusters: report.merged_clusters,
+            prescan_batches: prescan.batches,
+            prescan_batch_size: prescan.batch_size,
         };
 
         let mut clustering = Clustering::new(labels);
@@ -156,7 +171,9 @@ impl<E: CardinalityEstimator> Clusterer for LafDbscan<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use laf_cardest::{ConstantEstimator, ExactEstimator, MlpEstimator, NetConfig, TrainingSetBuilder};
+    use laf_cardest::{
+        ConstantEstimator, ExactEstimator, MlpEstimator, NetConfig, TrainingSetBuilder,
+    };
     use laf_clustering::Dbscan;
     use laf_metrics::{adjusted_mutual_information, adjusted_rand_index};
     use laf_synth::EmbeddingMixtureConfig;
@@ -228,7 +245,10 @@ mod tests {
     fn nan_estimator_is_harmless() {
         let data = data();
         let truth = Dbscan::with_params(0.25, 4).cluster(&data);
-        let laf = LafDbscan::new(LafConfig::new(0.25, 4, 1.0), ConstantEstimator::new(f32::NAN));
+        let laf = LafDbscan::new(
+            LafConfig::new(0.25, 4, 1.0),
+            ConstantEstimator::new(f32::NAN),
+        );
         let result = laf.cluster(&data);
         assert_eq!(result.labels(), truth.labels());
     }

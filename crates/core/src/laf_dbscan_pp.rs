@@ -17,7 +17,9 @@ use crate::gate::CardEstGate;
 use crate::partial::PartialNeighborMap;
 use crate::post::PostProcessor;
 use laf_cardest::CardinalityEstimator;
-use laf_clustering::{Clusterer, Clustering, DbscanPlusPlus, DbscanPlusPlusConfig, NOISE, UNDEFINED};
+use laf_clustering::{
+    Clusterer, Clustering, DbscanPlusPlus, DbscanPlusPlusConfig, NOISE, UNDEFINED,
+};
 use laf_index::build_engine;
 use laf_vector::Dataset;
 use serde::{Deserialize, Serialize};
@@ -70,6 +72,14 @@ impl LafDbscanPlusPlusConfig {
     }
 }
 
+/// Run `op` inside `pool` when one was built, on the ambient pool otherwise.
+fn install_in<R>(pool: &Option<rayon::ThreadPool>, op: impl FnOnce() -> R) -> R {
+    match pool {
+        Some(p) => p.install(op),
+        None => op(),
+    }
+}
+
 /// DBSCAN++ accelerated by the LAF plugin.
 pub struct LafDbscanPlusPlus<E: CardinalityEstimator> {
     /// Algorithm parameters.
@@ -90,6 +100,10 @@ impl<E: CardinalityEstimator> LafDbscanPlusPlus<E> {
 
     /// Estimate the predicted-core ratio `R_c` over a probe of the dataset
     /// and derive the sample fraction `p = δ + R_c` (clamped into (0, 1]).
+    ///
+    /// The probe rows are estimated with one batched
+    /// [`CardinalityEstimator::estimate_batch`] call (bit-exact with the
+    /// per-point loop this method used before).
     pub fn sample_fraction(&self, data: &Dataset) -> f64 {
         if data.is_empty() {
             return self.config.delta.clamp(0.05, 1.0);
@@ -98,16 +112,20 @@ impl<E: CardinalityEstimator> LafDbscanPlusPlus<E> {
         let probe = cfg.core_ratio_probe.max(1).min(data.len());
         let stride = (data.len() / probe).max(1);
         let threshold = cfg.laf.skip_threshold();
-        let mut predicted_core = 0usize;
-        let mut probed = 0usize;
-        for i in (0..data.len()).step_by(stride) {
-            let est = self.estimator.estimate(data.row(i), cfg.laf.eps);
-            if !est.is_finite() || est >= threshold {
-                predicted_core += 1;
-            }
-            probed += 1;
-        }
-        let r_c = predicted_core as f64 / probed.max(1) as f64;
+        let rows: Vec<&[f32]> = (0..data.len())
+            .step_by(stride)
+            .map(|i| data.row(i))
+            .collect();
+        // Inside the configured pool so an estimator that fans out internally
+        // (e.g. the exact oracle's blocked scan) honors the threads knob.
+        let estimates = cfg
+            .laf
+            .run_batched(|| self.estimator.estimate_batch(&rows, cfg.laf.eps));
+        let predicted_core = estimates
+            .iter()
+            .filter(|est| !est.is_finite() || **est >= threshold)
+            .count();
+        let r_c = predicted_core as f64 / rows.len().max(1) as f64;
         (cfg.delta + r_c).clamp(0.05, 1.0)
     }
 
@@ -139,11 +157,21 @@ impl<E: CardinalityEstimator> LafDbscanPlusPlus<E> {
         });
         let sample = sampler.sample_indices(n);
 
+        // LAF: batch-predict the sampled points' cardinalities up front
+        // (parallel, batched; see `LafDbscan::cluster_with_stats` for the
+        // execution model). Only the sample is prescanned — estimating the
+        // whole dataset would re-introduce the O(n) estimator cost that
+        // sampling exists to avoid. Decisions are indexed by sample slot.
+        // One pool serves both this prescan and the phase-3 fan-out.
+        let pool = cfg.laf.thread_pool();
+        let sample_rows: Vec<&[f32]> = sample.iter().map(|&s| data.row(s)).collect();
+        let prescan = install_in(&pool, || gate.prescan_rows(&sample_rows));
+
         // Phase 1: gated core detection inside the sample.
         let mut core_points: Vec<usize> = Vec::new();
         let mut core_neighbors: Vec<Vec<u32>> = Vec::new();
-        for &s in &sample {
-            if gate.predicts_stop_point(data.row(s)) {
+        for (slot, &s) in sample.iter().enumerate() {
+            if gate.decide(&prescan, slot) {
                 partial.register_stop_point(s as u32);
                 continue;
             }
@@ -184,24 +212,34 @@ impl<E: CardinalityEstimator> LafDbscanPlusPlus<E> {
         }
 
         // Phase 3: assign the remaining points to the closest core point
-        // within ε, otherwise noise.
-        for p in 0..n {
-            if labels[p] != UNDEFINED {
-                continue;
-            }
-            let row = data.row(p);
-            let mut best: Option<(f32, i64)> = None;
-            for &c in &core_points {
-                let d = cfg.laf.metric.dist(row, data.row(c));
-                if d < eps {
-                    match best {
-                        Some((bd, _)) if bd <= d => {}
-                        _ => best = Some((d, labels[c])),
+        // within ε, otherwise noise. Each point's assignment only reads the
+        // (already final) core labels, so the points fan out in parallel and
+        // the result is identical to the sequential loop.
+        labels = install_in(&pool, || {
+            use rayon::prelude::*;
+            let labels = &labels;
+            let core_points = &core_points;
+            (0..n)
+                .into_par_iter()
+                .map(|p| {
+                    if labels[p] != UNDEFINED {
+                        return labels[p];
                     }
-                }
-            }
-            labels[p] = best.map(|(_, l)| l).unwrap_or(NOISE);
-        }
+                    let row = data.row(p);
+                    let mut best: Option<(f32, i64)> = None;
+                    for &c in core_points {
+                        let d = cfg.laf.metric.dist(row, data.row(c));
+                        if d < eps {
+                            match best {
+                                Some((bd, _)) if bd <= d => {}
+                                _ => best = Some((d, labels[c])),
+                            }
+                        }
+                    }
+                    best.map(|(_, l)| l).unwrap_or(NOISE)
+                })
+                .collect()
+        });
 
         // Phase 4: post-processing merges clusters separated by false
         // negatives among the skipped sampled points (switchable only for
@@ -219,6 +257,8 @@ impl<E: CardinalityEstimator> LafDbscanPlusPlus<E> {
             predicted_stop_points: partial.len() as u64,
             detected_false_negatives: report.detected_false_negatives,
             merged_clusters: report.merged_clusters,
+            prescan_batches: prescan.batches,
+            prescan_batch_size: prescan.batch_size,
         };
 
         let mut clustering = Clustering::new(labels);
@@ -244,7 +284,9 @@ impl<E: CardinalityEstimator> Clusterer for LafDbscanPlusPlus<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use laf_cardest::{ConstantEstimator, ExactEstimator, MlpEstimator, NetConfig, TrainingSetBuilder};
+    use laf_cardest::{
+        ConstantEstimator, ExactEstimator, MlpEstimator, NetConfig, TrainingSetBuilder,
+    };
     use laf_clustering::Dbscan;
     use laf_metrics::adjusted_rand_index;
     use laf_synth::EmbeddingMixtureConfig;

@@ -23,6 +23,37 @@
 //! The error factor α exposes the speed/quality trade-off the paper studies
 //! in its Figures 2–3: larger α ⇒ more skipped queries ⇒ faster and less
 //! accurate; smaller α ⇒ fewer false negatives ⇒ slower and more accurate.
+//!
+//! # Prescan / batch execution model
+//!
+//! Algorithm 1 as written is one-point-at-a-time: each point asks the
+//! estimator for one prediction just before its range query. Since every
+//! point is predicted at most once and the prediction does not depend on any
+//! clustering state, the predictions can all be computed **before** the main
+//! loop. Both [`LafDbscan`] and [`LafDbscanPlusPlus`] therefore run in two
+//! stages:
+//!
+//! 1. **Prescan** ([`CardEstGate::prescan`]): the dataset's rows are chunked
+//!    into batches (of [`gate::PRESCAN_BATCH`] points), the batches fan out
+//!    over a rayon thread pool, and each batch runs a single
+//!    [`laf_cardest::CardinalityEstimator::estimate_batch`] call — for the
+//!    MLP/RMI estimators a matrix-shaped forward pass that streams each
+//!    weight row once per batch instead of once per point. The raw
+//!    predictions are folded into per-point [`GateDecision`]s.
+//! 2. **Sequential expansion**: the BFS cluster growth of Algorithm 1 runs
+//!    unchanged, reading precomputed decisions via [`CardEstGate::decide`]
+//!    instead of invoking the estimator.
+//!
+//! Batched estimation is bit-exact with per-point estimation and the gate's
+//! call/skip counters advance when a decision is *consumed*, not when it is
+//! precomputed — so cluster assignments and [`LafStats`] are byte-identical
+//! to the sequential execution model, at a fraction of the inference cost.
+//!
+//! The [`LafConfig::threads`] knob bounds the worker threads of the batched
+//! stages (`0` = all cores). It composes with the α trade-off discussed
+//! above but is orthogonal to it: α changes *what* is computed (which range
+//! queries run, and therefore the output); `threads` only changes *how fast*
+//! the prescan and batched kernels run, never the output.
 
 #![warn(missing_docs)]
 
@@ -34,7 +65,7 @@ pub mod partial;
 pub mod post;
 
 pub use config::{LafConfig, LafStats};
-pub use gate::CardEstGate;
+pub use gate::{CardEstGate, GateDecision, Prescan};
 pub use laf_dbscan::LafDbscan;
 pub use laf_dbscan_pp::{LafDbscanPlusPlus, LafDbscanPlusPlusConfig};
 pub use partial::PartialNeighborMap;

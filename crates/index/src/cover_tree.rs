@@ -14,9 +14,9 @@
 //! over the (unit-normalized) vectors and converts thresholds through
 //! Equation (1). Results are reported back in the engine's public metric.
 
-use crate::engine::{Neighbor, RangeQueryEngine};
-use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, EuclideanDistance, Metric};
+use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
 use laf_vector::distance::DistanceMetric;
+use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, EuclideanDistance, Metric};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const LEAF_SIZE: usize = 16;
@@ -270,7 +270,7 @@ impl<'a> CoverTree<'a> {
         let push = |idx: u32, dist: f32, heap: &mut Vec<Neighbor>| {
             if heap.len() < k || dist < heap.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                 heap.push(Neighbor::new(idx, dist));
-                heap.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+                heap.sort_unstable();
                 heap.truncate(k);
             }
         };
@@ -290,16 +290,16 @@ impl<'a> CoverTree<'a> {
 
         // Visit children closest-first for better pruning (the center is a
         // member of one child's subtree, so it is not pushed here).
-        let mut order: Vec<(f32, u32)> = node
+        let mut order: Vec<(TotalDist, u32)> = node
             .children
             .iter()
             .map(|&c| {
                 let cn = &self.nodes[c as usize];
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
-                (self.euc(q, self.data.row(cn.center as usize)), c)
+                (TotalDist(self.euc(q, self.data.row(cn.center as usize))), c)
             })
             .collect();
-        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        order.sort_unstable();
         for (_, c) in order {
             self.knn_rec(c, q, heap, k);
         }
@@ -426,7 +426,10 @@ mod tests {
             let got_idx: Vec<u32> = got.iter().map(|n| n.index).collect();
             // Distances must agree; ties may permute indices.
             for (e, g) in expected.iter().zip(&got) {
-                assert!((e.dist - g.dist).abs() < 1e-4, "q={q} {exp_idx:?} vs {got_idx:?}");
+                assert!(
+                    (e.dist - g.dist).abs() < 1e-4,
+                    "q={q} {exp_idx:?} vs {got_idx:?}"
+                );
             }
         }
     }

@@ -1,10 +1,42 @@
 //! The [`RangeQueryEngine`] abstraction and engine selection.
 
 use laf_vector::{Dataset, Metric};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// NaN-safe total order over `f32` distances (IEEE 754 `totalOrder`, via
+/// [`f32::total_cmp`]). Wrapping a distance in `TotalDist` makes it usable as
+/// a sort key or inside [`Ord`]-requiring collections; NaNs sort after every
+/// finite value instead of poisoning the comparison.
+///
+/// Equality follows the same total order (so `-0.0 != 0.0` and
+/// `NaN == NaN`), keeping the `Eq`/`Ord` contract `a == b ⟺ cmp == Equal`
+/// that derived IEEE `PartialEq` would violate.
+#[derive(Debug, Clone, Copy)]
+pub struct TotalDist(pub f32);
+
+impl PartialEq for TotalDist {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for TotalDist {}
+
+impl PartialOrd for TotalDist {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalDist {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
 /// A neighbor returned by a k-nearest-neighbor query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct Neighbor {
     /// Row index of the neighbor in the indexed dataset.
     pub index: u32,
@@ -16,6 +48,34 @@ impl Neighbor {
     /// Convenience constructor.
     pub fn new(index: u32, dist: f32) -> Self {
         Self { index, dist }
+    }
+}
+
+// Neighbors order by distance (NaN-safe, through [`TotalDist`]) with the row
+// index as tie-breaker, so `sort`/`sort_unstable` on a neighbor list is
+// total, deterministic, and equivalent to the stable by-distance sorts the
+// knn paths previously open-coded (candidates are generated in index order).
+// Equality is defined through the same total order so the `Eq`/`Ord`
+// contract holds even for NaN / signed-zero distances.
+impl PartialEq for Neighbor {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        TotalDist(self.dist)
+            .cmp(&TotalDist(other.dist))
+            .then_with(|| self.index.cmp(&other.index))
     }
 }
 
@@ -48,6 +108,34 @@ pub trait RangeQueryEngine: Send + Sync {
     /// of indexed points.
     fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor>;
 
+    /// Batched ε-range query: one neighbor list per query, identical to
+    /// calling [`RangeQueryEngine::range`] per query.
+    ///
+    /// The default implementation fans the queries out over the current
+    /// rayon thread pool (engines are `Sync`, so concurrent `&self` queries
+    /// are safe); `linear` and `grid` override it with cache-blocked kernels
+    /// that additionally amortize dataset traversal across queries.
+    fn range_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<Vec<u32>> {
+        queries.par_iter().map(|q| self.range(q, eps)).collect()
+    }
+
+    /// Batched neighbor count: one count per query, identical to calling
+    /// [`RangeQueryEngine::range_count`] per query. Parallel by default, see
+    /// [`RangeQueryEngine::range_batch`].
+    fn range_count_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<usize> {
+        queries
+            .par_iter()
+            .map(|q| self.range_count(q, eps))
+            .collect()
+    }
+
+    /// Batched k-nearest-neighbor query: one neighbor list per query,
+    /// identical to calling [`RangeQueryEngine::knn`] per query. Parallel by
+    /// default, see [`RangeQueryEngine::range_batch`].
+    fn knn_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        queries.par_iter().map(|q| self.knn(q, k)).collect()
+    }
+
     /// Total number of query-to-point distance evaluations performed so far.
     /// Used by the benchmark harness to report computation saved.
     fn distance_evaluations(&self) -> u64;
@@ -60,8 +148,10 @@ pub trait RangeQueryEngine: Send + Sync {
 /// ablation benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case", tag = "kind")]
+#[derive(Default)]
 pub enum EngineChoice {
     /// Exact brute-force scan.
+    #[default]
     Linear,
     /// Cover-tree style metric tree. `basis` mirrors BLOCK-DBSCAN's cover
     /// tree basis parameter (paper default 2.0).
@@ -91,12 +181,6 @@ pub enum EngineChoice {
         /// Number of lists probed per query.
         nprobe: usize,
     },
-}
-
-impl Default for EngineChoice {
-    fn default() -> Self {
-        EngineChoice::Linear
-    }
 }
 
 /// Build the engine described by `choice` over `data` under `metric`.

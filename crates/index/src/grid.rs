@@ -14,12 +14,18 @@
 //! Like the cover tree, the grid operates internally in Euclidean space over
 //! the normalized vectors and converts cosine thresholds via Equation (1).
 
-use crate::engine::{Neighbor, RangeQueryEngine};
-use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric};
+use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
 use laf_vector::distance::DistanceMetric;
 use laf_vector::EuclideanDistance;
+use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Queries per cache block in the batched kernels: every populated cell's
+/// bounding box and point list is visited once per block instead of once per
+/// query. See `laf_index::linear` for the same technique on the flat scan.
+const QUERY_BLOCK: usize = 16;
 
 /// A populated grid cell.
 #[derive(Debug)]
@@ -186,16 +192,16 @@ impl RangeQueryEngine for GridIndex<'_> {
         }
         // Visit cells in order of box distance; stop when the k-th best
         // distance is closer than the next cell could possibly be.
-        let mut order: Vec<(f32, u32)> = self
+        let mut order: Vec<(TotalDist, u32)> = self
             .cells
             .iter()
             .enumerate()
-            .map(|(i, c)| (self.box_distance(q, &c.coords), i as u32))
+            .map(|(i, c)| (TotalDist(self.box_distance(q, &c.coords)), i as u32))
             .collect();
-        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        order.sort_unstable();
         let k = k.min(self.data.len());
         let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        for (box_d, cell_id) in order {
+        for (TotalDist(box_d), cell_id) in order {
             if best.len() == k && box_d >= best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                 break;
             }
@@ -204,7 +210,7 @@ impl RangeQueryEngine for GridIndex<'_> {
                 let d = EuclideanDistance.dist(q, self.data.row(p as usize));
                 if best.len() < k || d < best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                     best.push(Neighbor::new(p, d));
-                    best.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+                    best.sort_unstable();
                     best.truncate(k);
                 }
             }
@@ -213,6 +219,73 @@ impl RangeQueryEngine for GridIndex<'_> {
             n.dist = self.dist_to_public(n.dist);
         }
         best
+    }
+
+    fn range_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<Vec<u32>> {
+        let eps_euc = self.eps_to_internal(eps);
+        let per_block: Vec<(Vec<Vec<u32>>, u64)> = queries
+            .par_chunks(QUERY_BLOCK)
+            .map(|block| {
+                let mut hits: Vec<Vec<u32>> = vec![Vec::new(); block.len()];
+                let mut evals = 0u64;
+                // Cells outer, queries inner: each cell's bounding box and
+                // point list is traversed once per block.
+                for cell in &self.cells {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.box_distance(q, &cell.coords) >= eps_euc {
+                            continue;
+                        }
+                        for &p in &cell.points {
+                            evals += 1;
+                            if EuclideanDistance.dist(q, self.data.row(p as usize)) < eps_euc {
+                                hits[slot].push(p);
+                            }
+                        }
+                    }
+                }
+                for h in hits.iter_mut() {
+                    h.sort_unstable();
+                }
+                (hits, evals)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(queries.len());
+        for (hits, evals) in per_block {
+            self.evaluations.fetch_add(evals, Ordering::Relaxed);
+            out.extend(hits);
+        }
+        out
+    }
+
+    fn range_count_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<usize> {
+        let eps_euc = self.eps_to_internal(eps);
+        let per_block: Vec<(Vec<usize>, u64)> = queries
+            .par_chunks(QUERY_BLOCK)
+            .map(|block| {
+                let mut counts = vec![0usize; block.len()];
+                let mut evals = 0u64;
+                for cell in &self.cells {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.box_distance(q, &cell.coords) >= eps_euc {
+                            continue;
+                        }
+                        for &p in &cell.points {
+                            evals += 1;
+                            if EuclideanDistance.dist(q, self.data.row(p as usize)) < eps_euc {
+                                counts[slot] += 1;
+                            }
+                        }
+                    }
+                }
+                (counts, evals)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(queries.len());
+        for (counts, evals) in per_block {
+            self.evaluations.fetch_add(evals, Ordering::Relaxed);
+            out.extend(counts);
+        }
+        out
     }
 
     fn distance_evaluations(&self) -> u64 {

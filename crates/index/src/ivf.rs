@@ -8,7 +8,7 @@
 //! the cover tree it gives up exactness, and unlike the k-means *tree* its
 //! recall knob is the **number of probed lists** rather than a leaf ratio.
 
-use crate::engine::{Neighbor, RangeQueryEngine};
+use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
 use laf_vector::{ops, Dataset, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -119,16 +119,16 @@ impl<'a> IvfIndex<'a> {
 
     /// The posting lists to probe for a query, closest centroid first.
     fn probe_order(&self, q: &[f32]) -> Vec<usize> {
-        let mut order: Vec<(f32, usize)> = self
+        let mut order: Vec<(TotalDist, usize)> = self
             .centroids
             .iter()
             .enumerate()
             .map(|(i, c)| {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
-                (self.metric.dist(q, c), i)
+                (TotalDist(self.metric.dist(q, c)), i)
             })
             .collect();
-        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        order.sort_unstable();
         order.truncate(self.nprobe);
         order.into_iter().map(|(_, i)| i).collect()
     }
@@ -171,7 +171,7 @@ impl RangeQueryEngine for IvfIndex<'_> {
                 let d = self.metric.dist(q, self.data.row(p as usize));
                 if best.len() < k || d < best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                     best.push(Neighbor::new(p, d));
-                    best.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+                    best.sort_unstable();
                     best.truncate(k);
                 }
             }
@@ -250,7 +250,11 @@ mod tests {
             total += exact.len();
         }
         assert!(total > 0);
-        assert!(found as f64 / total as f64 > 0.6, "recall {}", found as f64 / total as f64);
+        assert!(
+            found as f64 / total as f64 > 0.6,
+            "recall {}",
+            found as f64 / total as f64
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! neighbors that live in unvisited leaves. The exact-oracle comparison lives
 //! in the tests, which check recall rather than equality.
 
-use crate::engine::{Neighbor, RangeQueryEngine};
+use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
 use laf_vector::{ops, Dataset, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,21 +24,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 const LEAF_SIZE: usize = 24;
 const KMEANS_ITERS: usize = 6;
-
-/// f32 wrapper with a total order so it can live in a [`BinaryHeap`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF32(f32);
-impl Eq for OrdF32 {}
-impl PartialOrd for OrdF32 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF32 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 #[derive(Debug)]
 struct KmNode {
@@ -65,7 +50,13 @@ impl<'a> KMeansTree<'a> {
     ///
     /// `branching` is clamped to at least 2; `leaf_ratio` is clamped into
     /// `(0, 1]`.
-    pub fn new(data: &'a Dataset, metric: Metric, branching: usize, leaf_ratio: f64, seed: u64) -> Self {
+    pub fn new(
+        data: &'a Dataset,
+        metric: Metric,
+        branching: usize,
+        leaf_ratio: f64,
+        seed: u64,
+    ) -> Self {
         let branching = branching.max(2);
         let leaf_ratio = if leaf_ratio <= 0.0 {
             0.01
@@ -148,10 +139,7 @@ impl<'a> KMeansTree<'a> {
             return id;
         }
 
-        let children: Vec<u32> = non_empty
-            .into_iter()
-            .map(|b| self.build(b, rng))
-            .collect();
+        let children: Vec<u32> = non_empty.into_iter().map(|b| self.build(b, rng)).collect();
         let id = self.nodes.len() as u32;
         self.nodes.push(KmNode {
             centroid,
@@ -217,8 +205,8 @@ impl<'a> KMeansTree<'a> {
         let Some(root) = self.root else { return };
         let leaf_budget = ((self.n_leaves as f64) * self.leaf_ratio).ceil().max(1.0) as usize;
         let mut visited = 0usize;
-        let mut pq: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
-        pq.push(Reverse((OrdF32(0.0), root)));
+        let mut pq: BinaryHeap<Reverse<(TotalDist, u32)>> = BinaryHeap::new();
+        pq.push(Reverse((TotalDist(0.0), root)));
         while let Some(Reverse((_, node_id))) = pq.pop() {
             if visited >= leaf_budget {
                 break;
@@ -232,7 +220,7 @@ impl<'a> KMeansTree<'a> {
             for &child in &node.children {
                 let c = &self.nodes[child as usize];
                 let d = self.dist(q, &c.centroid);
-                pq.push(Reverse((OrdF32(d), child)));
+                pq.push(Reverse((TotalDist(d), child)));
             }
         }
     }
@@ -270,7 +258,7 @@ impl RangeQueryEngine for KMeansTree<'_> {
                 let d = self.dist(q, self.data.row(p as usize));
                 if best.len() < k || d < best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                     best.push(Neighbor::new(p, d));
-                    best.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+                    best.sort_unstable();
                     best.truncate(k);
                 }
             }

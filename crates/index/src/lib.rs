@@ -30,7 +30,7 @@ pub mod kmeans_tree;
 pub mod linear;
 
 pub use cover_tree::CoverTree;
-pub use engine::{build_engine, EngineChoice, Neighbor, RangeQueryEngine};
+pub use engine::{build_engine, EngineChoice, Neighbor, RangeQueryEngine, TotalDist};
 pub use grid::GridIndex;
 pub use ivf::IvfIndex;
 pub use kmeans_tree::KMeansTree;

@@ -10,6 +10,12 @@ use laf_vector::{Dataset, Metric};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of queries processed per cache block in the batched kernels: each
+/// dataset row is loaded from memory once and scored against a whole block of
+/// queries while it is hot, amortizing the dominant memory traffic of a
+/// brute-force scan across the block.
+const QUERY_BLOCK: usize = 16;
+
 /// Exact linear-scan engine.
 pub struct LinearScan<'a> {
     data: &'a Dataset,
@@ -32,9 +38,10 @@ impl<'a> LinearScan<'a> {
         self.data
     }
 
-    /// Exact range query executed in parallel across the dataset. Produces
-    /// the same result as [`RangeQueryEngine::range`]; used by the benchmark
-    /// harness when a single query dominates wall-clock time.
+    /// Exact range query executed in parallel across the **dataset rows**.
+    /// Produces the same result as [`RangeQueryEngine::range`]; used when a
+    /// single query dominates wall-clock time — the batch kernels cannot
+    /// help there because they parallelize across *queries*.
     pub fn par_range(&self, q: &[f32], eps: f32) -> Vec<u32> {
         self.evaluations
             .fetch_add(self.data.len() as u64, Ordering::Relaxed);
@@ -47,22 +54,12 @@ impl<'a> LinearScan<'a> {
         hits
     }
 
-    /// Exact range queries for a batch of dataset rows, in parallel.
-    /// Returns one neighbor list per requested row index.
+    /// Exact range queries for a batch of dataset rows. Returns one neighbor
+    /// list per requested row index. Thin wrapper over the blocked
+    /// [`RangeQueryEngine::range_batch`] kernel.
     pub fn batch_range_rows(&self, rows: &[usize], eps: f32) -> Vec<Vec<u32>> {
-        self.evaluations.fetch_add(
-            (rows.len() as u64) * (self.data.len() as u64),
-            Ordering::Relaxed,
-        );
-        rows.par_iter()
-            .map(|&r| {
-                let q = self.data.row(r);
-                (0..self.data.len())
-                    .filter(|&i| self.metric.dist(q, self.data.row(i)) < eps)
-                    .map(|i| i as u32)
-                    .collect()
-            })
-            .collect()
+        let queries: Vec<&[f32]> = rows.iter().map(|&r| self.data.row(r)).collect();
+        self.range_batch(&queries, eps)
     }
 }
 
@@ -105,9 +102,85 @@ impl RangeQueryEngine for LinearScan<'_> {
             .enumerate()
             .map(|(i, row)| Neighbor::new(i as u32, self.metric.dist(q, row)))
             .collect();
-        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        all.sort_unstable();
         all.truncate(k.min(self.data.len()));
         all
+    }
+
+    fn range_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<Vec<u32>> {
+        // Below one cache block there is nothing to amortize; fan the
+        // queries out individually so small batches still parallelize.
+        if queries.len() < QUERY_BLOCK {
+            return queries.par_iter().map(|q| self.range(q, eps)).collect();
+        }
+        self.evaluations.fetch_add(
+            (queries.len() as u64) * (self.data.len() as u64),
+            Ordering::Relaxed,
+        );
+        let per_block: Vec<Vec<Vec<u32>>> = queries
+            .par_chunks(QUERY_BLOCK)
+            .map(|block| {
+                let mut hits: Vec<Vec<u32>> = vec![Vec::new(); block.len()];
+                for (i, row) in self.data.rows().enumerate() {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.metric.dist(q, row) < eps {
+                            hits[slot].push(i as u32);
+                        }
+                    }
+                }
+                hits
+            })
+            .collect();
+        per_block.into_iter().flatten().collect()
+    }
+
+    fn range_count_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<usize> {
+        if queries.len() < QUERY_BLOCK {
+            return queries
+                .par_iter()
+                .map(|q| self.range_count(q, eps))
+                .collect();
+        }
+        self.evaluations.fetch_add(
+            (queries.len() as u64) * (self.data.len() as u64),
+            Ordering::Relaxed,
+        );
+        let per_block: Vec<Vec<usize>> = queries
+            .par_chunks(QUERY_BLOCK)
+            .map(|block| {
+                let mut counts = vec![0usize; block.len()];
+                for row in self.data.rows() {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.metric.dist(q, row) < eps {
+                            counts[slot] += 1;
+                        }
+                    }
+                }
+                counts
+            })
+            .collect();
+        per_block.into_iter().flatten().collect()
+    }
+
+    fn knn_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        self.evaluations.fetch_add(
+            (queries.len() as u64) * (self.data.len() as u64),
+            Ordering::Relaxed,
+        );
+        queries
+            .par_iter()
+            .map(|q| {
+                let mut all: Vec<Neighbor> = self
+                    .data
+                    .rows()
+                    .enumerate()
+                    .map(|(i, row)| Neighbor::new(i as u32, self.metric.dist(q, row)))
+                    .collect();
+                all.sort_unstable();
+                all.truncate(k.min(self.data.len()));
+                all
+            })
+            .collect()
     }
 
     fn distance_evaluations(&self) -> u64 {

@@ -80,12 +80,12 @@ pub mod prelude {
         RhoApproxDbscan, RhoApproxDbscanConfig,
     };
     pub use laf_core::{
-        CardEstGate, LafConfig, LafDbscan, LafDbscanPlusPlus, LafDbscanPlusPlusConfig, LafStats,
-        PartialNeighborMap, PostProcessor,
+        CardEstGate, GateDecision, LafConfig, LafDbscan, LafDbscanPlusPlus,
+        LafDbscanPlusPlusConfig, LafStats, PartialNeighborMap, PostProcessor, Prescan,
     };
     pub use laf_index::{
         build_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan, Neighbor,
-        RangeQueryEngine,
+        RangeQueryEngine, TotalDist,
     };
     pub use laf_metrics::{
         adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,

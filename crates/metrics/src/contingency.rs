@@ -121,7 +121,8 @@ impl ContingencyTable {
                     let nij_f = nij as f64;
                     let term1 = (nij_f / nf) * ((nf * nij_f) / (ai as f64 * bj as f64)).ln();
                     // ln of the hypergeometric probability of nij.
-                    let ln_p = lgamma.ln_fact(ai) + lgamma.ln_fact(bj)
+                    let ln_p = lgamma.ln_fact(ai)
+                        + lgamma.ln_fact(bj)
                         + lgamma.ln_fact(n - ai)
                         + lgamma.ln_fact(n - bj)
                         - lgamma.ln_fact(n)
@@ -315,9 +316,7 @@ mod tests {
     fn ari_is_symmetric() {
         let a = vec![0, 0, 1, 1, 2, -1, -1, 2, 0];
         let b = vec![1, 1, 1, 0, 0, -1, 0, 2, 2];
-        assert!(
-            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
         assert!(
             (adjusted_mutual_information(&a, &b) - adjusted_mutual_information(&b, &a)).abs()
                 < 1e-9
@@ -378,8 +377,7 @@ mod tests {
         let table = ContingencyTable::new(&truth, &pred);
         assert!((table.mutual_information() - std::f64::consts::LN_2).abs() < 1e-9);
         assert!(
-            (table.expected_mutual_information() - 2.0 / 3.0 * std::f64::consts::LN_2).abs()
-                < 1e-9
+            (table.expected_mutual_information() - 2.0 / 3.0 * std::f64::consts::LN_2).abs() < 1e-9
         );
         let ami = table.adjusted_mutual_information();
         assert!((ami - 4.0 / 7.0).abs() < 1e-9, "ami {ami}");

@@ -27,8 +27,10 @@ pub mod missed;
 pub mod stats;
 pub mod vmeasure;
 
-pub use contingency::{adjusted_mutual_information, adjusted_rand_index, mutual_information,
-    normalized_mutual_information, ContingencyTable};
+pub use contingency::{
+    adjusted_mutual_information, adjusted_rand_index, mutual_information,
+    normalized_mutual_information, ContingencyTable,
+};
 pub use missed::MissedClusterReport;
 pub use stats::ClusteringStats;
 pub use vmeasure::{v_measure, VMeasure};

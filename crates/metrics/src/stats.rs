@@ -120,7 +120,7 @@ mod tests {
                 labels.push(c);
             }
         }
-        labels.extend(std::iter::repeat(-1).take(20));
+        labels.extend(std::iter::repeat_n(-1, 20));
         let s = ClusteringStats::from_labels(&labels);
         assert!(s.is_proper(0.6, 20));
         assert!(!s.is_proper(0.1, 20));

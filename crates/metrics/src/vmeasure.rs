@@ -40,8 +40,16 @@ impl VMeasure {
         let mi = table.mutual_information();
         // Conventions follow scikit-learn: a zero-entropy reference labeling
         // makes the corresponding score 1.
-        let homogeneity = if h_truth <= 1e-15 { 1.0 } else { (mi / h_truth).clamp(0.0, 1.0) };
-        let completeness = if h_pred <= 1e-15 { 1.0 } else { (mi / h_pred).clamp(0.0, 1.0) };
+        let homogeneity = if h_truth <= 1e-15 {
+            1.0
+        } else {
+            (mi / h_truth).clamp(0.0, 1.0)
+        };
+        let completeness = if h_pred <= 1e-15 {
+            1.0
+        } else {
+            (mi / h_pred).clamp(0.0, 1.0)
+        };
         let v_measure = if homogeneity + completeness <= 1e-15 {
             0.0
         } else {

@@ -199,15 +199,42 @@ mod tests {
     fn invalid_configs_rejected() {
         let base = small();
         for cfg in [
-            BagOfWordsConfig { n_docs: 0, ..base.clone() },
-            BagOfWordsConfig { vocab_size: 0, ..base.clone() },
-            BagOfWordsConfig { projected_dim: 0, ..base.clone() },
-            BagOfWordsConfig { topics: 0, ..base.clone() },
-            BagOfWordsConfig { topics: 10_000, ..base.clone() },
-            BagOfWordsConfig { avg_doc_len: 0, ..base.clone() },
-            BagOfWordsConfig { topic_affinity: 1.5, ..base.clone() },
-            BagOfWordsConfig { offtopic_fraction: 1.0, ..base.clone() },
-            BagOfWordsConfig { zipf_exponent: 0.0, ..base },
+            BagOfWordsConfig {
+                n_docs: 0,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                vocab_size: 0,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                projected_dim: 0,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                topics: 0,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                topics: 10_000,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                avg_doc_len: 0,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                topic_affinity: 1.5,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                offtopic_fraction: 1.0,
+                ..base.clone()
+            },
+            BagOfWordsConfig {
+                zipf_exponent: 0.0,
+                ..base
+            },
         ] {
             assert!(cfg.generate().is_err(), "should reject {cfg:?}");
         }

@@ -196,7 +196,9 @@ fn skewed_sizes(total: usize, clusters: usize, skew: f64) -> Vec<usize> {
     if total == 0 {
         return vec![0; clusters];
     }
-    let weights: Vec<f64> = (0..clusters).map(|k| ((k + 1) as f64).powf(-skew)).collect();
+    let weights: Vec<f64> = (0..clusters)
+        .map(|k| ((k + 1) as f64).powf(-skew))
+        .collect();
     let weight_sum: f64 = weights.iter().sum();
     let mut sizes: Vec<usize> = weights
         .iter()
@@ -249,18 +251,51 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let base = EmbeddingMixtureConfig::default();
         for cfg in [
-            EmbeddingMixtureConfig { n_points: 0, ..base.clone() },
-            EmbeddingMixtureConfig { dim: 0, ..base.clone() },
-            EmbeddingMixtureConfig { clusters: 0, ..base.clone() },
-            EmbeddingMixtureConfig { noise_fraction: 1.0, ..base.clone() },
-            EmbeddingMixtureConfig { noise_fraction: -0.1, ..base.clone() },
-            EmbeddingMixtureConfig { spread: 0.0, ..base.clone() },
-            EmbeddingMixtureConfig { spread: f32::NAN, ..base.clone() },
-            EmbeddingMixtureConfig { subspace_fraction: 0.0, ..base.clone() },
-            EmbeddingMixtureConfig { subspace_fraction: 1.5, ..base.clone() },
-            EmbeddingMixtureConfig { size_skew: -1.0, ..base },
+            EmbeddingMixtureConfig {
+                n_points: 0,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                dim: 0,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                clusters: 0,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                noise_fraction: 1.0,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                noise_fraction: -0.1,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                spread: 0.0,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                spread: f32::NAN,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                subspace_fraction: 0.0,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                subspace_fraction: 1.5,
+                ..base.clone()
+            },
+            EmbeddingMixtureConfig {
+                size_skew: -1.0,
+                ..base
+            },
         ] {
-            assert!(cfg.generate().is_err(), "config should be rejected: {cfg:?}");
+            assert!(
+                cfg.generate().is_err(),
+                "config should be rejected: {cfg:?}"
+            );
         }
     }
 

@@ -58,7 +58,7 @@ impl Dataset {
                 "dataset dimensionality must be positive".to_string(),
             ));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(VectorError::DimensionMismatch {
                 expected: dim,
                 found: data.len() % dim,

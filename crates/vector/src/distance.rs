@@ -135,8 +135,10 @@ impl DistanceMetric for DotProductSimilarity {
 /// [`Metric::dist`] directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
+#[derive(Default)]
 pub enum Metric {
     /// `1 - cos(a, b)`.
+    #[default]
     Cosine,
     /// `acos(cos(a, b)) / pi`.
     Angular,
@@ -175,12 +177,6 @@ impl Metric {
     /// Name of the metric, matching [`DistanceMetric::name`].
     pub fn name(&self) -> &'static str {
         self.boxed().name()
-    }
-}
-
-impl Default for Metric {
-    fn default() -> Self {
-        Metric::Cosine
     }
 }
 

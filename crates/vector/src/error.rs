@@ -40,7 +40,10 @@ impl fmt::Display for VectorError {
             }
             VectorError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             VectorError::RowOutOfBounds { index, len } => {
-                write!(f, "row index {index} out of bounds for dataset of {len} rows")
+                write!(
+                    f,
+                    "row index {index} out of bounds for dataset of {len} rows"
+                )
             }
             VectorError::MalformedPayload(msg) => write!(f, "malformed payload: {msg}"),
             VectorError::Io(e) => write!(f, "I/O error: {e}"),

@@ -161,11 +161,7 @@ mod tests {
     fn squared_euclidean_matches_naive() {
         let a = [1.0f32, -2.0, 3.5, 0.0, 7.25];
         let b = [0.5f32, 2.0, -3.5, 1.0, 7.25];
-        let naive: f32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!((squared_euclidean(&a, &b) - naive).abs() < 1e-5);
     }
 

@@ -144,10 +144,7 @@ mod tests {
         assert!(stats.min >= -1e-4);
         assert!(stats.max <= 2.0 + 1e-4);
         assert_eq!(stats.deciles.len(), 10);
-        assert!(stats
-            .deciles
-            .windows(2)
-            .all(|w| w[0] <= w[1] + 1e-6));
+        assert!(stats.deciles.windows(2).all(|w| w[0] <= w[1] + 1e-6));
         assert!((stats.deciles[9] - stats.max).abs() < 1e-6);
         assert!(stats.std_dev >= 0.0);
     }

@@ -8,9 +8,7 @@ use proptest::prelude::*;
 
 /// Strategy producing a non-degenerate vector of the given dimension.
 fn vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-10.0f32..10.0, dim).prop_filter("non-zero norm", |v| {
-        ops::norm(v) > 1e-3
-    })
+    prop::collection::vec(-10.0f32..10.0, dim).prop_filter("non-zero norm", |v| ops::norm(v) > 1e-3)
 }
 
 fn unit_vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {

@@ -126,11 +126,14 @@ fn main() {
 
     // Cluster with each estimator and compare against DBSCAN.
     let truth = Dbscan::with_params(eps, tau).cluster(&data);
-    println!("\n{:<22} {:>8} {:>8} {:>10}", "method", "ARI", "AMI", "skipped");
+    println!(
+        "\n{:<22} {:>8} {:>8} {:>10}",
+        "method", "ARI", "AMI", "skipped"
+    );
     for (name, result, skipped) in [
         {
-            let (c, s) = LafDbscan::new(LafConfig::new(eps, tau, 1.0), &exact)
-                .cluster_with_stats(&data);
+            let (c, s) =
+                LafDbscan::new(LafConfig::new(eps, tau, 1.0), &exact).cluster_with_stats(&data);
             ("LAF-DBSCAN + exact", c, s.skipped_range_queries)
         },
         {

@@ -103,7 +103,10 @@ fn main() {
         );
     }
 
-    println!("\ntraining time: MLP {:.2?}, RMI {:.2?}", mlp_time, rmi_time);
+    println!(
+        "\ntraining time: MLP {:.2?}, RMI {:.2?}",
+        mlp_time, rmi_time
+    );
     println!(
         "model sizes  : MLP {} params, RMI {} member models",
         mlp.net().param_count(),

@@ -45,7 +45,10 @@ fn main() {
 
     // LAF-DBSCAN: sweep the error factor α (the paper varies 1.1–15).
     println!("\nLAF-DBSCAN trade-off (varying alpha):");
-    println!("{:>7} {:>10} {:>8} {:>8} {:>14}", "alpha", "time (s)", "ARI", "AMI", "skipped");
+    println!(
+        "{:>7} {:>10} {:>8} {:>8} {:>14}",
+        "alpha", "time (s)", "ARI", "AMI", "skipped"
+    );
     for alpha in [0.5f32, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0] {
         let laf = LafDbscan::new(LafConfig::new(eps, tau, alpha), &estimator);
         let started = Instant::now();

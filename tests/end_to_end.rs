@@ -116,8 +116,7 @@ fn all_methods_produce_complete_labelings_on_the_same_dataset() {
         ),
         (
             "LAF-DBSCAN++",
-            LafDbscanPlusPlus::new(LafDbscanPlusPlusConfig::new(eps, tau, 0.2), &rmi)
-                .cluster(data),
+            LafDbscanPlusPlus::new(LafDbscanPlusPlusConfig::new(eps, tau, 0.2), &rmi).cluster(data),
         ),
     ];
 

@@ -1,0 +1,169 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the macro / builder API surface the bench targets use, with a
+//! simple wall-clock measurement loop (short warm-up, then a time-boxed
+//! measurement phase reporting mean ns/iteration). No statistics machinery,
+//! no HTML reports — numbers print to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up briefly, then run it repeatedly for a
+    /// fixed time budget and record the mean latency.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: at least 3 iterations or 20 ms, whichever comes first.
+        let warmup_deadline = Instant::now() + Duration::from_millis(20);
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        while Instant::now() < warmup_deadline {
+            black_box(routine());
+        }
+        // Measurement: run for ~200 ms.
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = started.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sample-size knob (accepted for API parity; the time-boxed loop
+    /// ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time knob (accepted for API parity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `routine` against `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        routine(&mut bencher, input);
+        report(&format!("{}/{id}", self.name), bencher.ns_per_iter);
+        self
+    }
+
+    /// Benchmark `routine` without an explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        routine(&mut bencher);
+        report(&format!("{}/{id}", self.name), bencher.ns_per_iter);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        routine(&mut bencher);
+        report(&name.to_string(), bencher.ns_per_iter);
+        self
+    }
+}
+
+fn report(label: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{label:<60} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{label:<60} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{label:<60} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

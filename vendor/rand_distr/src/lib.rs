@@ -1,0 +1,121 @@
+//! Offline vendored stand-in for `rand_distr`: the [`Normal`] and [`Zipf`]
+//! distributions this workspace samples from.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Float types [`Normal`] can produce.
+pub trait NormalFloat: Copy {
+    /// Widen to `f64` for the Box–Muller computation.
+    fn to_f64(self) -> f64;
+    /// Narrow back from `f64`.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl NormalFloat for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+impl NormalFloat for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+/// Gaussian distribution sampled with Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: NormalFloat = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// `N(mean, std_dev²)`. `std_dev` must be finite and non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, ParamError> {
+        let s = std_dev.to_f64();
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("standard deviation must be finite and >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; the paired value is discarded to keep `&self` stateless.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`: `P(k) ∝ k^(-s)`.
+///
+/// Samples by inverse transform over a precomputed cumulative table, which is
+/// exact and fast for the vocabulary sizes this workspace generates.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `1..=n` with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("Zipf exponent must be finite and >= 0"));
+        }
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Ok(Self { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        (idx.min(self.cumulative.len() - 1) + 1) as f64
+    }
+}

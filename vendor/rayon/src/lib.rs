@@ -1,0 +1,645 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Provides genuinely parallel iterators (not sequential fakes) over scoped
+//! OS threads: a parallel iterator is a splittable description of work; at a
+//! `collect`/`for_each`/`sum` sink it is split into pieces and the pieces are
+//! distributed round-robin over `current_num_threads()` scoped threads, then
+//! reassembled in order. There is no work stealing — fine for the uniform
+//! workloads (distance-kernel batches) this workspace parallelizes.
+//!
+//! The `ThreadPool` is a lightweight configuration handle: `install` pins the
+//! number of threads sinks use via a thread-local, it does not own threads.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel sinks on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (never produced; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the thread count; `0` = auto (available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A configured degree of parallelism. `install` scopes it onto the calling
+/// thread: any parallel sink run inside uses this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let guard = RestoreGuard { previous };
+        let result = op();
+        drop(guard);
+        result
+    }
+
+    /// The configured thread count (0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+struct RestoreGuard {
+    previous: usize,
+}
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.previous));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator abstraction.
+// ---------------------------------------------------------------------------
+
+/// A splittable, sendable description of a sequence of items.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Upper-bound estimate of the number of items (used to decide splits).
+    fn len_hint(&self) -> usize;
+
+    /// Split into two halves, or return `self` unchanged if indivisible.
+    fn split(self) -> Result<(Self, Self), Self>;
+
+    /// Evaluate sequentially, appending produced items to `out`.
+    fn drive(self, out: &mut Vec<Self::Item>);
+
+    /// Map each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep items satisfying `p`.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send + Clone,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Map each item to a sequential iterator and flatten.
+    fn flat_map_iter<It, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        It: IntoIterator,
+        It::Item: Send,
+        F: Fn(Self::Item) -> It + Sync + Send + Clone,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Evaluate in parallel and collect into `C`.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(execute(self))
+    }
+
+    /// Evaluate in parallel, discarding items after applying `f`.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send + Clone,
+    {
+        let _ = execute(self.map(move |item| {
+            f(item);
+        }));
+    }
+
+    /// Sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        execute(self).into_iter().sum()
+    }
+
+    /// Count the items.
+    fn count(self) -> usize {
+        execute(self).len()
+    }
+
+    /// Smallest item under `total_cmp`-style ordering via `f`.
+    fn min_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        execute(self).into_iter().min_by(f)
+    }
+}
+
+/// Conversion into a parallel iterator (owning).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel sinks a collection can be built from.
+pub trait FromParallelIterator<T> {
+    /// Assemble from the evaluated items.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+/// Evaluate a parallel iterator, preserving item order.
+fn execute<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+    let threads = current_num_threads();
+    if threads <= 1 || iter.len_hint() < 2 {
+        let mut out = Vec::new();
+        iter.drive(&mut out);
+        return out;
+    }
+
+    // Split into ~4 pieces per thread so uneven pieces still balance.
+    // `pieces` stays in sequence order: a split replaces one piece with its
+    // two ordered halves in place, so enumeration keys reassemble the output
+    // in the original item order.
+    let target_pieces = threads.saturating_mul(4).max(2);
+    let mut pieces: Vec<I> = vec![iter];
+    while pieces.len() < target_pieces {
+        // Split the piece with the largest remaining hint.
+        let (idx, hint) = match pieces
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.len_hint()))
+            .max_by_key(|&(_, hint)| hint)
+        {
+            Some(best) => best,
+            None => break,
+        };
+        if hint < 2 {
+            break;
+        }
+        let piece = pieces.remove(idx);
+        match piece.split() {
+            Ok((a, b)) => {
+                pieces.insert(idx, b);
+                pieces.insert(idx, a);
+            }
+            Err(original) => {
+                pieces.insert(idx, original);
+                break;
+            }
+        }
+    }
+
+    let tagged: Vec<(usize, I)> = pieces.into_iter().enumerate().collect();
+    let mut results: Vec<(usize, Vec<I::Item>)> = Vec::with_capacity(tagged.len());
+    std::thread::scope(|scope| {
+        let mut buckets: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, piece) in tagged {
+            buckets[i % threads].push((i, piece));
+        }
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    // Nested parallel sinks inside a worker run sequentially:
+                    // the configured thread count bounds the *total* number
+                    // of workers, so e.g. a batched estimator kernel invoked
+                    // from inside a parallel prescan cannot oversubscribe
+                    // the machine. (Real rayon reuses its pool via work
+                    // stealing; pinning workers to 1 is this shim's
+                    // equivalent bound.)
+                    INSTALLED_THREADS.with(|c| c.set(1));
+                    bucket
+                        .into_iter()
+                        .map(|(key, piece)| {
+                            let mut out = Vec::new();
+                            piece.drive(&mut out);
+                            (key, out)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results.sort_by_key(|&(key, _)| key);
+    let mut out = Vec::new();
+    for (_, mut chunk) in results {
+        out.append(&mut chunk);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `usize` range.
+#[derive(Debug, Clone)]
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len_hint(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn split(self) -> Result<(Self, Self), Self> {
+        if self.len_hint() < 2 {
+            return Err(self);
+        }
+        let mid = self.start + self.len_hint() / 2;
+        Ok((
+            RangeIter {
+                start: self.start,
+                end: mid,
+            },
+            RangeIter {
+                start: mid,
+                end: self.end,
+            },
+        ))
+    }
+
+    fn drive(self, out: &mut Vec<usize>) {
+        out.extend(self.start..self.end);
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over slice elements.
+#[derive(Debug)]
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self) -> Result<(Self, Self), Self> {
+        if self.slice.len() < 2 {
+            return Err(self);
+        }
+        let (a, b) = self.slice.split_at(self.slice.len() / 2);
+        Ok((SliceIter { slice: a }, SliceIter { slice: b }))
+    }
+
+    fn drive(self, out: &mut Vec<&'a T>) {
+        out.extend(self.slice.iter());
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over owned `Vec` elements.
+#[derive(Debug)]
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split(mut self) -> Result<(Self, Self), Self> {
+        if self.items.len() < 2 {
+            return Err(self);
+        }
+        let tail = self.items.split_off(self.items.len() / 2);
+        Ok((self, VecIter { items: tail }))
+    }
+
+    fn drive(self, out: &mut Vec<T>) {
+        out.extend(self.items);
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice.
+#[derive(Debug)]
+pub struct ChunksIter<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split(self) -> Result<(Self, Self), Self> {
+        let chunks = self.len_hint();
+        if chunks < 2 {
+            return Err(self);
+        }
+        let mid = (chunks / 2) * self.chunk;
+        let (a, b) = self.slice.split_at(mid);
+        Ok((
+            ChunksIter {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksIter {
+                slice: b,
+                chunk: self.chunk,
+            },
+        ))
+    }
+
+    fn drive(self, out: &mut Vec<&'a [T]>) {
+        out.extend(self.slice.chunks(self.chunk));
+    }
+}
+
+/// `par_chunks` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIter {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// Map adapter.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split(self) -> Result<(Self, Self), Self> {
+        match self.base.split() {
+            Ok((a, b)) => Ok((
+                Map {
+                    base: a,
+                    f: self.f.clone(),
+                },
+                Map { base: b, f: self.f },
+            )),
+            Err(base) => Err(Map { base, f: self.f }),
+        }
+    }
+
+    fn drive(self, out: &mut Vec<R>) {
+        let mut items = Vec::new();
+        self.base.drive(&mut items);
+        out.extend(items.into_iter().map(self.f));
+    }
+}
+
+/// Flat-map adapter over sequential inner iterators.
+#[derive(Debug)]
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, It, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    It: IntoIterator,
+    It::Item: Send,
+    F: Fn(I::Item) -> It + Sync + Send + Clone,
+{
+    type Item = It::Item;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split(self) -> Result<(Self, Self), Self> {
+        match self.base.split() {
+            Ok((a, b)) => Ok((
+                FlatMapIter {
+                    base: a,
+                    f: self.f.clone(),
+                },
+                FlatMapIter { base: b, f: self.f },
+            )),
+            Err(base) => Err(FlatMapIter { base, f: self.f }),
+        }
+    }
+
+    fn drive(self, out: &mut Vec<It::Item>) {
+        let mut items = Vec::new();
+        self.base.drive(&mut items);
+        for item in items {
+            out.extend((self.f)(item));
+        }
+    }
+}
+
+/// Filter adapter.
+#[derive(Debug)]
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync + Send + Clone,
+{
+    type Item = I::Item;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split(self) -> Result<(Self, Self), Self> {
+        match self.base.split() {
+            Ok((a, b)) => Ok((
+                Filter {
+                    base: a,
+                    p: self.p.clone(),
+                },
+                Filter { base: b, p: self.p },
+            )),
+            Err(base) => Err(Filter { base, p: self.p }),
+        }
+    }
+
+    fn drive(self, out: &mut Vec<I::Item>) {
+        let mut items = Vec::new();
+        self.base.drive(&mut items);
+        out.extend(items.into_iter().filter(|x| (self.p)(x)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Deserialization error type.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Error produced when a [`Value`](crate::value::Value) tree cannot be
+/// converted into the requested type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Error with a custom message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::msg(format!("expected {what}, found {}", found.type_name()))
+    }
+
+    /// Missing-field error.
+    pub fn missing_field(field: &str, container: &str) -> Self {
+        Self::msg(format!("missing field `{field}` in {container}"))
+    }
+
+    /// Unknown-variant error.
+    pub fn unknown_variant(variant: &str, container: &str) -> Self {
+        Self::msg(format!("unknown variant `{variant}` for {container}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,141 @@
+//! The owned value tree all (de)serialization flows through.
+
+use std::fmt;
+
+/// A JSON-shaped value.
+///
+/// Objects preserve insertion order (they are association lists, not hash
+/// maps); lookups are linear, which is fine for the small documents this
+/// workspace persists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered association list.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving the integer/float distinction like `serde_json`
+/// so `u64`/`i64` round-trip without precision loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Value {
+    /// The value as `u64`, if it is a non-negative integer (floats with an
+    /// exact integer value are accepted, mirroring serde_json's lenient
+    /// numeric coercions used via `as_u64` chains).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::I(n)) if *n >= 0 => Some(*n as u64),
+            Value::Number(Number::F(f))
+                if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n),
+            Value::Number(Number::U(n)) if *n <= i64::MAX as u64 => Some(*n as i64),
+            Value::Number(Number::F(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F(f)) => Some(*f),
+            Value::Number(Number::U(n)) => Some(*n as f64),
+            Value::Number(Number::I(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object association list, if it is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Short type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Look up `key` in an object association list.
+pub fn find<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U(n) => write!(f, "{n}"),
+            Number::I(n) => write!(f, "{n}"),
+            Number::F(x) => {
+                if !x.is_finite() {
+                    // serde_json refuses non-finite floats; emitting null keeps
+                    // the output parseable, matching serde_json's Value path.
+                    write!(f, "null")
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep integral floats recognizable as floats.
+                    write!(f, "{x:.1}")
+                } else {
+                    // Rust's shortest round-trip formatting.
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input item is parsed directly from [`proc_macro::TokenStream`] token
+//! trees, and the generated impls are assembled as source strings and parsed
+//! back into a token stream.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * named-field structs, unit structs, single-field newtype structs;
+//! * enums with unit variants and/or named-field variants, externally tagged
+//!   by default or internally tagged via `#[serde(tag = "...")]`;
+//! * container attributes `rename_all = "snake_case"`, `tag = "..."`;
+//! * field attributes `skip`, `default`, `default = "path"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model.
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    rename_all_snake: bool,
+    tag: Option<String>,
+}
+
+#[derive(Default, Debug)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` = bare `default`, `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    let mut attrs = ContainerAttrs::default();
+    collect_attrs(&tokens, &mut pos, |key, val| match (key, val) {
+        ("rename_all", Some(v)) => {
+            assert_eq!(
+                v, "snake_case",
+                "only rename_all = \"snake_case\" is supported"
+            );
+            attrs.rename_all_snake = true;
+        }
+        ("tag", Some(v)) => attrs.tag = Some(v.to_string()),
+        other => panic!("unsupported container serde attribute {other:?}"),
+    });
+
+    skip_visibility(&tokens, &mut pos);
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        panic!("generic parameters are not supported by the vendored serde derive ({name})");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            None => Body::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = top_level_commas(&inner);
+                assert_eq!(
+                    commas, 0,
+                    "only single-field tuple structs are supported ({name})"
+                );
+                Body::Newtype
+            }
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for item kind `{other}`"),
+    };
+
+    Item { name, attrs, body }
+}
+
+/// Consume leading `#[...]` attributes, reporting `serde(...)` entries as
+/// `(key, Option<value>)` pairs to `on_serde`.
+fn collect_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    mut on_serde: impl FnMut(&str, Option<&str>),
+) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        let group = match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("expected attribute group after #, found {other:?}"),
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("expected serde(...) arguments, found {other:?}"),
+        };
+        let arg_tokens: Vec<TokenTree> = args.into_iter().collect();
+        let mut i = 0usize;
+        while i < arg_tokens.len() {
+            let key = match &arg_tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected serde attribute key, found {other:?}"),
+            };
+            i += 1;
+            let mut value: Option<String> = None;
+            if let Some(TokenTree::Punct(p)) = arg_tokens.get(i) {
+                if p.as_char() == '=' {
+                    i += 1;
+                    value = Some(match &arg_tokens[i] {
+                        TokenTree::Literal(l) => strip_quotes(&l.to_string()),
+                        other => panic!("expected string literal, found {other:?}"),
+                    });
+                    i += 1;
+                }
+            }
+            on_serde(&key, value.as_deref());
+            if let Some(TokenTree::Punct(p)) = arg_tokens.get(i) {
+                if p.as_char() == ',' {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Number of commas at angle-bracket depth zero (token groups are atomic, so
+/// only `<`/`>` nesting needs tracking).
+fn top_level_commas(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        collect_attrs(&tokens, &mut pos, |key, val| match (key, val) {
+            ("skip", None) => attrs.skip = true,
+            ("default", None) => attrs.default = Some(None),
+            ("default", Some(path)) => attrs.default = Some(Some(path.to_string())),
+            other => panic!("unsupported field serde attribute {other:?}"),
+        });
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        if pos < tokens.len() {
+            pos += 1; // consume the comma
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        collect_attrs(&tokens, &mut pos, |key, _| {
+            panic!("unsupported variant serde attribute `{key}`")
+        });
+        let name = expect_ident(&tokens, &mut pos);
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream()));
+                    pos += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("tuple enum variants are not supported ({name})")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// serde's `rename_all = "snake_case"` conversion.
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn variant_wire_name(item: &Item, variant: &str) -> String {
+    if item.attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "::serde::value::Value::Null".to_string(),
+        Body::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Named(fields) => {
+            let mut code = String::from(
+                "{ let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                code.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            code.push_str("::serde::value::Value::Object(obj) }");
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(item, &v.name);
+                match (&v.fields, &item.attrs.tag) {
+                    (None, None) => {
+                        // Externally tagged unit variant: plain string.
+                        arms.push_str(&format!(
+                            "Self::{v} => ::serde::value::Value::String(\"{wire}\".to_string()),\n",
+                            v = v.name
+                        ));
+                    }
+                    (None, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "Self::{v} => ::serde::value::Value::Object(vec![(\"{tag}\".to_string(), ::serde::value::Value::String(\"{wire}\".to_string()))]),\n",
+                            v = v.name
+                        ));
+                    }
+                    (Some(fields), tag) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pattern = bindings.join(", ");
+                        let mut inner = String::new();
+                        match tag {
+                            Some(tag) => {
+                                inner.push_str(&format!(
+                                    "let mut obj = vec![(\"{tag}\".to_string(), ::serde::value::Value::String(\"{wire}\".to_string()))];\n"
+                                ));
+                                for f in fields {
+                                    if f.attrs.skip {
+                                        continue;
+                                    }
+                                    inner.push_str(&format!(
+                                        "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                        n = f.name
+                                    ));
+                                }
+                                inner.push_str("::serde::value::Value::Object(obj)");
+                            }
+                            None => {
+                                inner.push_str(
+                                    "let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                                );
+                                for f in fields {
+                                    if f.attrs.skip {
+                                        continue;
+                                    }
+                                    inner.push_str(&format!(
+                                        "inner.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                        n = f.name
+                                    ));
+                                }
+                                inner.push_str(&format!(
+                                    "::serde::value::Value::Object(vec![(\"{wire}\".to_string(), ::serde::value::Value::Object(inner))])"
+                                ));
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {pattern} }} => {{ {inner} }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_field_extractor(container: &str, f: &Field, source: &str) -> String {
+    if f.attrs.skip {
+        return format!("{n}: ::std::default::Default::default(),\n", n = f.name);
+    }
+    let fallback = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::de::Error::missing_field(\"{n}\", \"{container}\"))",
+            n = f.name
+        ),
+    };
+    format!(
+        "{n}: match ::serde::value::find({source}, \"{n}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {fallback},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!(
+            "match v {{\n\
+                 ::serde::value::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Body::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Body::Named(fields) => {
+            let mut code = format!(
+                "let obj = match v {{\n\
+                     ::serde::value::Value::Object(o) => o,\n\
+                     other => return ::std::result::Result::Err(::serde::de::Error::expected(\"object\", other)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                code.push_str(&gen_field_extractor(name, f, "obj"));
+            }
+            code.push_str("})");
+            code
+        }
+        Body::Enum(variants) => {
+            let all_unit = variants.iter().all(|v| v.fields.is_none());
+            match (&item.attrs.tag, all_unit) {
+                (None, true) => {
+                    // Plain string enum.
+                    let mut arms = String::new();
+                    for v in variants {
+                        let wire = variant_wire_name(item, &v.name);
+                        arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok(Self::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                    format!(
+                        "let s = match v {{\n\
+                             ::serde::value::Value::String(s) => s,\n\
+                             other => return ::std::result::Result::Err(::serde::de::Error::expected(\"string\", other)),\n\
+                         }};\n\
+                         match s.as_str() {{\n{arms}\
+                             other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                         }}"
+                    )
+                }
+                (Some(tag), _) => {
+                    // Internally tagged.
+                    let mut arms = String::new();
+                    for v in variants {
+                        let wire = variant_wire_name(item, &v.name);
+                        match &v.fields {
+                            None => arms.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok(Self::{v}),\n",
+                                v = v.name
+                            )),
+                            Some(fields) => {
+                                let mut extract = String::new();
+                                for f in fields {
+                                    extract.push_str(&gen_field_extractor(name, f, "obj"));
+                                }
+                                arms.push_str(&format!(
+                                    "\"{wire}\" => ::std::result::Result::Ok(Self::{v} {{\n{extract}}}),\n",
+                                    v = v.name
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "let obj = match v {{\n\
+                             ::serde::value::Value::Object(o) => o,\n\
+                             other => return ::std::result::Result::Err(::serde::de::Error::expected(\"object\", other)),\n\
+                         }};\n\
+                         let tag = match ::serde::value::find(obj, \"{tag}\") {{\n\
+                             ::std::option::Option::Some(::serde::value::Value::String(s)) => s.as_str(),\n\
+                             _ => return ::std::result::Result::Err(::serde::de::Error::missing_field(\"{tag}\", \"{name}\")),\n\
+                         }};\n\
+                         match tag {{\n{arms}\
+                             other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                         }}"
+                    )
+                }
+                (None, false) => {
+                    // Externally tagged with data variants: unit variants are
+                    // strings, data variants are single-key objects.
+                    let mut string_arms = String::new();
+                    let mut object_arms = String::new();
+                    for v in variants {
+                        let wire = variant_wire_name(item, &v.name);
+                        match &v.fields {
+                            None => string_arms.push_str(&format!(
+                                "\"{wire}\" => return ::std::result::Result::Ok(Self::{v}),\n",
+                                v = v.name
+                            )),
+                            Some(fields) => {
+                                let mut extract = String::new();
+                                for f in fields {
+                                    extract.push_str(&gen_field_extractor(name, f, "inner"));
+                                }
+                                object_arms.push_str(&format!(
+                                    "\"{wire}\" => {{\n\
+                                         let inner = match payload {{\n\
+                                             ::serde::value::Value::Object(o) => o,\n\
+                                             other => return ::std::result::Result::Err(::serde::de::Error::expected(\"object\", other)),\n\
+                                         }};\n\
+                                         return ::std::result::Result::Ok(Self::{v} {{\n{extract}}});\n\
+                                     }}\n",
+                                    v = v.name
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "match v {{\n\
+                             ::serde::value::Value::String(s) => match s.as_str() {{\n{string_arms}\
+                                 other => return ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                             }},\n\
+                             ::serde::value::Value::Object(o) if o.len() == 1 => {{\n\
+                                 let (key, payload) = &o[0];\n\
+                                 match key.as_str() {{\n{object_arms}\
+                                     other => return ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             other => return ::std::result::Result::Err(::serde::de::Error::expected(\"string or single-key object\", other)),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

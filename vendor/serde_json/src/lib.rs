@@ -1,0 +1,363 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Works over the vendored `serde` crate's [`Value`] tree: serialization
+//! converts `T: Serialize` to a `Value` and renders JSON text; deserialization
+//! parses JSON text into a `Value` and converts with `T: Deserialize`.
+//!
+//! Numeric fidelity: integers keep the `u64`/`i64` distinction, and floats
+//! are rendered with Rust's shortest round-trip formatting, so every finite
+//! `f32`/`f64` survives a round trip bit-exactly.
+
+use std::fmt;
+
+pub use serde::value::{Number, Value};
+
+/// Error produced by JSON parsing or rendering.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::msg(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserialize `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Convert a [`Value`] tree into `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    Ok(T::from_value(value)?)
+}
+
+/// Helper used by the [`json!`] macro.
+pub fn value_of<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports the object / array /
+/// scalar-expression forms this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> = vec![
+            $( ($key.to_string(), $crate::value_of(&$val)) ),*
+        ];
+        $crate::Value::Object(obj)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::value_of(&$val) ),* ])
+    };
+    ($other:expr) => { $crate::value_of(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            use fmt::Write;
+            write!(out, "{n}").expect("writing to String cannot fail");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+/// Parse a JSON document into a [`Value`]. Trailing non-whitespace is an
+/// error.
+pub fn parse(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => expect_literal(bytes, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect_literal(bytes, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected , or ] at offset {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::msg(format!("expected : at offset {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::msg(format!("expected , or }} at offset {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::msg(format!("invalid literal at offset {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at offset {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        // Surrogate pairs are not produced by our writer; map
+                        // lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::msg("invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::msg("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("invalid number at offset {start}")));
+    }
+    if !is_float {
+        if text.starts_with('-') {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::F(f)))
+        .map_err(|_| Error::msg(format!("invalid number {text:?}")))
+}
