@@ -1,0 +1,13 @@
+//! Cold (train + save) vs warm (load) startup of the snapshot pipeline,
+//! with a bit-exactness check between the two paths. Writes
+//! `BENCH_snapshot.json`.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let report = laf_bench::snapshot_bench::run(&cfg);
+    assert!(
+        report.bit_exact.labels && report.bit_exact.stats && report.bit_exact.estimates,
+        "warm pipeline diverged from the cold one: {:?}",
+        report.bit_exact
+    );
+}

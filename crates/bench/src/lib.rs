@@ -16,6 +16,7 @@
 //! | `exp_fig3`   | Figure 3 — speed–quality trade-off on Glove-150k |
 //! | `exp_fig4`   | Figure 4 — scalability over MS-50k/100k/150k |
 //! | `exp_throughput` | (not a paper exhibit) queries/sec of the batched parallel kernels vs batch size vs threads |
+//! | `exp_snapshot` | (not a paper exhibit) cold (train+save) vs warm (load) startup to first served clustering |
 //! | `run_all`    | all of the above, writing JSON into `results/` |
 //!
 //! Scale is controlled by environment variables so the same binaries serve
@@ -35,6 +36,7 @@ pub mod ablation;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod snapshot_bench;
 pub mod throughput;
 
 pub use harness::{HarnessConfig, Method, MethodOutcome, PreparedDataset, SettingOutcome};

@@ -1,0 +1,227 @@
+//! Cold-vs-warm startup benchmark for the snapshot subsystem.
+//!
+//! The train-once/serve-many story only holds if warm startup (load a
+//! snapshot, cluster) is materially cheaper than cold startup (build the
+//! training set, train the estimator, save, cluster). This experiment
+//! measures both paths end-to-end, verifies the warm pipeline is bit-exact
+//! with the cold one (labels, [`laf_core::LafStats`] and per-point
+//! estimates), and writes `<results_dir>/BENCH_snapshot.json`.
+
+use crate::harness::HarnessConfig;
+use crate::report::{format_seconds, print_table, write_json};
+use laf_cardest::TrainingSetBuilder;
+use laf_core::{LafConfig, LafPipeline};
+use laf_synth::EmbeddingMixtureConfig;
+use laf_vector::Dataset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock breakdown of one startup path.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PhaseTimings {
+    /// Training-set construction + estimator fitting (cold path only).
+    pub train_seconds: f64,
+    /// Snapshot encode + write (cold) or read + decode (warm).
+    pub snapshot_seconds: f64,
+    /// First clustering run after startup.
+    pub first_cluster_seconds: f64,
+    /// Sum of the above: time from process start to first served result.
+    pub total_seconds: f64,
+}
+
+/// Bit-exactness verdict between the cold and warm pipelines.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BitExactness {
+    /// Cluster labels byte-identical.
+    pub labels: bool,
+    /// `LafStats` counters identical.
+    pub stats: bool,
+    /// Per-point estimates bit-identical (compared as raw `f32` bits).
+    pub estimates: bool,
+}
+
+/// The full experiment record written to `BENCH_snapshot.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotBenchReport {
+    /// Dataset rows.
+    pub n_points: usize,
+    /// Dataset dimensionality.
+    pub dim: usize,
+    /// Encoded snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Cold path: train → save → first clustering.
+    pub cold: PhaseTimings,
+    /// Warm path: load → first clustering.
+    pub warm: PhaseTimings,
+    /// `cold.total_seconds / warm.total_seconds` — the startup amortization
+    /// a serving fleet gains per process after one training run.
+    pub warm_startup_speedup: f64,
+    /// Cold-vs-warm result comparison (all must be `true`).
+    pub bit_exact: BitExactness,
+}
+
+fn bench_dataset(cfg: &HarnessConfig) -> Dataset {
+    let n_points = ((1_000_000.0 * cfg.scale) as usize).clamp(500, 24_000);
+    let dim = cfg.dim_cap.unwrap_or(64).clamp(8, 128);
+    EmbeddingMixtureConfig {
+        n_points,
+        dim,
+        clusters: 12,
+        noise_fraction: 0.2,
+        seed: cfg.seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid benchmark dataset config")
+    .0
+}
+
+/// Run the cold and warm paths and write `BENCH_snapshot.json`.
+pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
+    let data = bench_dataset(cfg);
+    let n_points = data.len();
+    let dim = data.dim();
+    let laf_config = LafConfig::new(0.35, 4, 1.0);
+    let snapshot_path = std::env::temp_dir().join(format!(
+        "laf_bench_snapshot_{n_points}x{dim}_{}.lafs",
+        std::process::id()
+    ));
+    println!("\nsnapshot cold-vs-warm startup: {n_points} points x {dim} dims");
+
+    // --- Cold path: train, save, first clustering --------------------------
+    let t = Instant::now();
+    let cold_pipeline = LafPipeline::builder(laf_config.clone())
+        .net(cfg.net.clone())
+        .training(TrainingSetBuilder {
+            max_queries: Some(cfg.train_queries),
+            ..Default::default()
+        })
+        .train(data)
+        .expect("cold training");
+    let cold_train = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    cold_pipeline
+        .save(&snapshot_path)
+        .expect("snapshot save must succeed");
+    let cold_save = t.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&snapshot_path).map_or(0, |m| m.len());
+
+    let t = Instant::now();
+    let (cold_clustering, cold_stats) = cold_pipeline.cluster_with_stats();
+    let cold_cluster = t.elapsed().as_secs_f64();
+
+    // --- Warm path: load, first clustering ---------------------------------
+    let t = Instant::now();
+    let warm_pipeline = LafPipeline::load(&snapshot_path).expect("snapshot load must succeed");
+    let warm_load = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let (warm_clustering, warm_stats) = warm_pipeline.cluster_with_stats();
+    let warm_cluster = t.elapsed().as_secs_f64();
+    std::fs::remove_file(&snapshot_path).ok();
+
+    // --- Bit-exactness -----------------------------------------------------
+    let rows: Vec<&[f32]> = cold_pipeline.data().rows().collect();
+    let cold_estimates = cold_pipeline.estimate_batch(&rows, laf_config.eps);
+    let warm_rows: Vec<&[f32]> = warm_pipeline.data().rows().collect();
+    let warm_estimates = warm_pipeline.estimate_batch(&warm_rows, laf_config.eps);
+    let bit_exact = BitExactness {
+        labels: cold_clustering.labels() == warm_clustering.labels(),
+        stats: cold_stats == warm_stats,
+        estimates: cold_estimates.len() == warm_estimates.len()
+            && cold_estimates
+                .iter()
+                .zip(&warm_estimates)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+    };
+
+    let cold = PhaseTimings {
+        train_seconds: cold_train,
+        snapshot_seconds: cold_save,
+        first_cluster_seconds: cold_cluster,
+        total_seconds: cold_train + cold_save + cold_cluster,
+    };
+    let warm = PhaseTimings {
+        train_seconds: 0.0,
+        snapshot_seconds: warm_load,
+        first_cluster_seconds: warm_cluster,
+        total_seconds: warm_load + warm_cluster,
+    };
+    let report = SnapshotBenchReport {
+        n_points,
+        dim,
+        snapshot_bytes,
+        cold,
+        warm,
+        warm_startup_speedup: if warm.total_seconds > 0.0 {
+            cold.total_seconds / warm.total_seconds
+        } else {
+            0.0
+        },
+        bit_exact,
+    };
+
+    let rows = vec![
+        vec![
+            "cold (train+save+cluster)".to_string(),
+            format_seconds(cold.train_seconds),
+            format_seconds(cold.snapshot_seconds),
+            format_seconds(cold.first_cluster_seconds),
+            format_seconds(cold.total_seconds),
+        ],
+        vec![
+            "warm (load+cluster)".to_string(),
+            "-".to_string(),
+            format_seconds(warm.snapshot_seconds),
+            format_seconds(warm.first_cluster_seconds),
+            format_seconds(warm.total_seconds),
+        ],
+    ];
+    print_table(
+        "Snapshot: cold vs warm startup to first served clustering",
+        &["path", "train", "snapshot", "cluster", "total"],
+        &rows,
+    );
+    println!(
+        "snapshot size {} bytes; warm startup speedup {:.1}x; bit-exact: labels={} stats={} estimates={}",
+        report.snapshot_bytes,
+        report.warm_startup_speedup,
+        bit_exact.labels,
+        bit_exact.stats,
+        bit_exact.estimates,
+    );
+    write_json(&cfg.results_dir, "BENCH_snapshot", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::NetConfig;
+
+    #[test]
+    fn cold_and_warm_paths_are_measured_and_bit_exact() {
+        let cfg = HarnessConfig {
+            scale: 0.001,
+            dim_cap: Some(12),
+            train_queries: 60,
+            net: NetConfig::tiny(),
+            results_dir: std::env::temp_dir().join("laf_bench_snapshot_test"),
+            ..Default::default()
+        };
+        let report = run(&cfg);
+        assert!(report.snapshot_bytes > 0);
+        assert!(report.cold.train_seconds > 0.0);
+        assert!(report.warm.total_seconds > 0.0);
+        // The acceptance bar of the whole subsystem: a loaded pipeline is
+        // indistinguishable from the one that trained.
+        assert!(report.bit_exact.labels, "labels must be byte-identical");
+        assert!(report.bit_exact.stats, "stats must be identical");
+        assert!(
+            report.bit_exact.estimates,
+            "estimates must be bit-identical"
+        );
+        assert!(cfg.results_dir.join("BENCH_snapshot.json").exists());
+    }
+}

@@ -59,6 +59,60 @@ impl MlpEstimator {
     pub fn data_dim(&self) -> usize {
         self.data_dim
     }
+
+    /// Append the estimator (training report, data dimensionality and the
+    /// network's raw weight bits) to `buf` in the little-endian binary form.
+    ///
+    /// Exists alongside the serde JSON representation for the snapshot
+    /// subsystem: the binary form is both compact (4 bytes per weight instead
+    /// of decimal text) and **bit-exact**, which is what makes loaded
+    /// snapshots produce byte-identical estimates, gate decisions and cluster
+    /// labels. See [`crate::Mlp::encode_binary`].
+    pub fn encode_binary(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_u32_le(self.data_dim as u32);
+        buf.put_u64_le(self.report.epochs as u64);
+        buf.put_f32_le(self.report.initial_loss);
+        buf.put_f32_le(self.report.final_loss);
+        self.net.encode_binary(buf);
+    }
+
+    /// Inverse of [`MlpEstimator::encode_binary`], advancing the cursor.
+    ///
+    /// # Errors
+    /// Returns [`laf_vector::VectorError::MalformedPayload`] on truncation or
+    /// when the embedded network's input width does not equal
+    /// `data_dim + 1` (query features plus the ε threshold).
+    pub fn decode_binary(bytes: &mut &[u8]) -> Result<Self, laf_vector::VectorError> {
+        use bytes::Buf;
+        if bytes.remaining() < 20 {
+            return Err(laf_vector::VectorError::MalformedPayload(format!(
+                "truncated estimator header: {} bytes",
+                bytes.remaining()
+            )));
+        }
+        let data_dim = bytes.get_u32_le() as usize;
+        let epochs = bytes.get_u64_le() as usize;
+        let initial_loss = bytes.get_f32_le();
+        let final_loss = bytes.get_f32_le();
+        let net = Mlp::decode_binary(bytes)?;
+        if net.input_dim() != data_dim + 1 {
+            return Err(laf_vector::VectorError::MalformedPayload(format!(
+                "network input width {} does not match data_dim {} + 1",
+                net.input_dim(),
+                data_dim
+            )));
+        }
+        Ok(Self {
+            net,
+            data_dim,
+            report: TrainReport {
+                epochs,
+                initial_loss,
+                final_loss,
+            },
+            predictions: AtomicU64::new(0),
+        })
+    }
 }
 
 impl CardinalityEstimator for MlpEstimator {
@@ -231,5 +285,38 @@ mod tests {
         let q = data.row(0);
         assert_eq!(est.estimate(q, 0.5), back.estimate(q, 0.5));
         assert_eq!(est.name(), "mlp");
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact() {
+        let data = data();
+        let est = train_small(&data);
+        let mut buf: Vec<u8> = Vec::new();
+        est.encode_binary(&mut buf);
+        let back = MlpEstimator::decode_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.data_dim(), est.data_dim());
+        assert_eq!(back.report(), est.report());
+        for i in (0..data.len()).step_by(11) {
+            for eps in [0.1f32, 0.5, 0.9] {
+                assert_eq!(
+                    est.estimate(data.row(i), eps).to_bits(),
+                    back.estimate(data.row(i), eps).to_bits(),
+                    "row {i} eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_dim_mismatch_and_truncation() {
+        let data = data();
+        let est = train_small(&data);
+        let mut buf: Vec<u8> = Vec::new();
+        est.encode_binary(&mut buf);
+        assert!(MlpEstimator::decode_binary(&mut &buf[..10]).is_err());
+        // Lie about data_dim: the embedded net expects data_dim + 1 inputs.
+        let mut bad = buf.clone();
+        bad[0] = bad[0].wrapping_add(1);
+        assert!(MlpEstimator::decode_binary(&mut bad.as_slice()).is_err());
     }
 }

@@ -11,10 +11,24 @@
 //! the CPU-friendly default used by the reproduction's experiments (the
 //! substitution is documented in DESIGN.md §4).
 
+use bytes::{Buf, BufMut};
+use laf_vector::VectorError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
+
+/// Read-guard: error (instead of panicking) when fewer than `needed` bytes
+/// remain in a binary payload being decoded.
+fn ensure_remaining(bytes: &&[u8], needed: usize, what: &str) -> Result<(), VectorError> {
+    if bytes.remaining() < needed {
+        return Err(VectorError::MalformedPayload(format!(
+            "truncated {what}: need {needed} bytes, found {}",
+            bytes.remaining()
+        )));
+    }
+    Ok(())
+}
 
 /// Hyper-parameters for building and training an [`Mlp`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,6 +136,45 @@ impl Dense {
     fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
     }
+
+    /// Append this layer's shape and raw IEEE-754 parameter bits to `buf`
+    /// (little-endian; exact — no text round-trip).
+    fn encode_binary(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.in_dim as u32);
+        buf.put_u32_le(self.out_dim as u32);
+        for &w in &self.w {
+            buf.put_f32_le(w);
+        }
+        for &b in &self.b {
+            buf.put_f32_le(b);
+        }
+    }
+
+    /// Inverse of [`Dense::encode_binary`], advancing the cursor.
+    fn decode_binary(bytes: &mut &[u8]) -> Result<Self, VectorError> {
+        ensure_remaining(bytes, 8, "dense layer header")?;
+        let in_dim = bytes.get_u32_le() as usize;
+        let out_dim = bytes.get_u32_le() as usize;
+        if in_dim == 0 || out_dim == 0 {
+            return Err(VectorError::MalformedPayload(format!(
+                "dense layer with zero dimension ({in_dim} x {out_dim})"
+            )));
+        }
+        let param_bytes = in_dim
+            .checked_mul(out_dim)
+            .and_then(|n| n.checked_add(out_dim))
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| VectorError::MalformedPayload("layer size overflow".to_string()))?;
+        ensure_remaining(bytes, param_bytes, "dense layer parameters")?;
+        let w = (0..in_dim * out_dim).map(|_| bytes.get_f32_le()).collect();
+        let b = (0..out_dim).map(|_| bytes.get_f32_le()).collect();
+        Ok(Self {
+            in_dim,
+            out_dim,
+            w,
+            b,
+        })
+    }
 }
 
 /// Multi-layer perceptron with ReLU hidden activations and a single linear
@@ -224,6 +277,68 @@ impl Mlp {
             width = layer.out_dim;
         }
         cur
+    }
+
+    /// Append the network's architecture and raw IEEE-754 weight bits to
+    /// `buf` (little-endian).
+    ///
+    /// Unlike the serde JSON path — which renders every weight through
+    /// decimal text — this encoding copies the exact `f32` bit patterns, so a
+    /// decoded network is **bit-exact**: every prediction it makes is
+    /// byte-identical to the network that was encoded. The snapshot subsystem
+    /// in `laf-core` persists estimators through this entry point.
+    pub fn encode_binary(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.input_dim as u32);
+        buf.put_u32_le(self.layers.len() as u32);
+        for layer in &self.layers {
+            layer.encode_binary(buf);
+        }
+    }
+
+    /// Inverse of [`Mlp::encode_binary`], advancing the cursor past the
+    /// encoded network.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::MalformedPayload`] on truncation, zero
+    /// dimensions, or an inconsistent layer chain (adjacent layer widths must
+    /// line up and the output layer must have a single unit).
+    pub fn decode_binary(bytes: &mut &[u8]) -> Result<Self, VectorError> {
+        ensure_remaining(bytes, 8, "network header")?;
+        let input_dim = bytes.get_u32_le() as usize;
+        let n_layers = bytes.get_u32_le() as usize;
+        if input_dim == 0 {
+            return Err(VectorError::MalformedPayload(
+                "network input dimension is zero".to_string(),
+            ));
+        }
+        if n_layers == 0 {
+            return Err(VectorError::MalformedPayload(
+                "network with no layers".to_string(),
+            ));
+        }
+        // Bound the layer count by the bytes actually present (every layer
+        // occupies at least its 8-byte header) before reserving: a malformed
+        // header must produce an error, not a multi-gigabyte allocation.
+        ensure_remaining(bytes, n_layers.saturating_mul(8), "layer list")?;
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut prev = input_dim;
+        for l in 0..n_layers {
+            let layer = Dense::decode_binary(bytes)?;
+            if layer.in_dim != prev {
+                return Err(VectorError::MalformedPayload(format!(
+                    "layer {l} expects input width {} but the previous layer produces {prev}",
+                    layer.in_dim
+                )));
+            }
+            prev = layer.out_dim;
+            layers.push(layer);
+        }
+        if prev != 1 {
+            return Err(VectorError::MalformedPayload(format!(
+                "output layer must have a single unit, found {prev}"
+            )));
+        }
+        Ok(Self { input_dim, layers })
     }
 
     /// Forward pass keeping every layer's post-activation output (used by
@@ -498,5 +613,60 @@ mod tests {
         let back: Mlp = serde_json::from_str(&json).unwrap();
         let x = [0.3f32, 0.1, -0.7];
         assert_eq!(net.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact_and_advances_cursor() {
+        let mut net = Mlp::new(4, &[8, 4], 9);
+        // Train a little so weights are not just the init distribution.
+        let inputs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 / 25.0; 4]).collect();
+        let targets: Vec<f32> = inputs.iter().map(|v| v[0] * 2.0).collect();
+        net.train(&inputs, &targets, &NetConfig::tiny());
+
+        let mut buf: Vec<u8> = Vec::new();
+        net.encode_binary(&mut buf);
+        buf.extend_from_slice(&[0xEE; 3]); // trailing bytes belong to the caller
+        let mut cursor: &[u8] = &buf;
+        let back = Mlp::decode_binary(&mut cursor).unwrap();
+        assert_eq!(cursor, &[0xEE; 3], "decode must stop at the network's end");
+        assert_eq!(back.input_dim(), net.input_dim());
+        assert_eq!(back.param_count(), net.param_count());
+        for i in 0..20 {
+            let x = [i as f32 * 0.17, -0.3, 0.9, i as f32];
+            assert_eq!(
+                net.predict(&x).to_bits(),
+                back.predict(&x).to_bits(),
+                "prediction must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_malformed_payloads() {
+        let net = Mlp::new(3, &[4], 2);
+        let mut buf: Vec<u8> = Vec::new();
+        net.encode_binary(&mut buf);
+
+        // Truncation anywhere inside the payload.
+        for cut in [0, 4, 8, 12, buf.len() - 1] {
+            let mut cursor = &buf[..cut];
+            assert!(Mlp::decode_binary(&mut cursor).is_err(), "cut at {cut}");
+        }
+        // Zero layers.
+        let mut bad: Vec<u8> = Vec::new();
+        bad.put_u32_le(3);
+        bad.put_u32_le(0);
+        assert!(Mlp::decode_binary(&mut bad.as_slice()).is_err());
+        // A header claiming u32::MAX layers must error out before reserving
+        // gigabytes for the layer vector.
+        let mut bad: Vec<u8> = Vec::new();
+        bad.put_u32_le(3);
+        bad.put_u32_le(u32::MAX);
+        assert!(Mlp::decode_binary(&mut bad.as_slice()).is_err());
+        // Inconsistent layer chain: claim input_dim 5 against a net built
+        // for 3 inputs.
+        let mut bad = buf.clone();
+        bad[0] = 5;
+        assert!(Mlp::decode_binary(&mut bad.as_slice()).is_err());
     }
 }

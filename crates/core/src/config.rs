@@ -108,10 +108,15 @@ pub struct LafStats {
     /// run had no prescan, e.g. on an empty dataset).
     #[serde(default)]
     pub prescan_batches: u64,
-    /// Batch size the prescan fed to `estimate_batch` (the last batch of a
-    /// run may be smaller).
+    /// Size of every prescan batch except possibly the last: the prescanned
+    /// row count capped at [`crate::gate::PRESCAN_BATCH`].
     #[serde(default)]
     pub prescan_batch_size: u64,
+    /// Size of the final prescan batch actually fed to `estimate_batch`
+    /// (smaller than `prescan_batch_size` when the row count does not divide
+    /// evenly into full batches; 0 when the run had no prescan).
+    #[serde(default)]
+    pub prescan_last_batch_size: u64,
 }
 
 impl LafStats {

@@ -35,8 +35,14 @@ pub struct Prescan {
     decisions: Vec<GateDecision>,
     /// Number of estimator batches the prescan issued.
     pub batches: u64,
-    /// Batch size used (the last batch may be smaller).
+    /// Size of every batch except possibly the last: the prescanned row count
+    /// capped at [`PRESCAN_BATCH`] (0 when nothing was prescanned).
     pub batch_size: u64,
+    /// Size of the final batch actually fed to `estimate_batch`. Equals
+    /// [`Prescan::batch_size`] when the row count divides evenly into full
+    /// batches; smaller when the tail batch is short; 0 when nothing was
+    /// prescanned.
+    pub last_batch_size: u64,
 }
 
 impl Prescan {
@@ -150,12 +156,17 @@ impl<'a> CardEstGate<'a> {
             })
             .collect();
         let batches = decisions.len() as u64;
+        // Per-run batch accounting: every batch is PRESCAN_BATCH long (capped
+        // at the row count) except the final one, which holds the remainder.
+        let last_batch_size = match rows.len() % PRESCAN_BATCH {
+            0 => rows.len().min(PRESCAN_BATCH) as u64,
+            tail => tail as u64,
+        };
         Prescan {
             decisions: decisions.into_iter().flatten().collect(),
             batches,
-            // The size actually fed to `estimate_batch`: one short batch when
-            // the row set is smaller than the batch capacity.
             batch_size: rows.len().min(PRESCAN_BATCH) as u64,
+            last_batch_size,
         }
     }
 
@@ -250,6 +261,10 @@ mod tests {
         assert_eq!(prescan.len(), data.len());
         assert!(prescan.batches >= 2, "600 points should span >= 2 batches");
         assert_eq!(prescan.batch_size, PRESCAN_BATCH as u64);
+        // 600 = 2 full batches of 256 + a short tail of 88: the accounting
+        // must report the tail, not the capped first-batch size.
+        assert_eq!(prescan.batches, 3);
+        assert_eq!(prescan.last_batch_size, 88);
         // Prescan does not advance the decision counters.
         assert_eq!(gate.calls(), 0);
         assert_eq!(gate.skips(), 0);
@@ -276,5 +291,31 @@ mod tests {
         assert!(!prescan.is_empty());
         assert_eq!(prescan.predicted_stop_points(), 2);
         assert_eq!(prescan.decision(0), GateDecision::Skip);
+        // A single short batch: full and last sizes coincide.
+        assert_eq!(prescan.batches, 1);
+        assert_eq!(prescan.batch_size, 2);
+        assert_eq!(prescan.last_batch_size, 2);
+    }
+
+    #[test]
+    fn prescan_batch_accounting_on_exact_multiples_and_empty_sets() {
+        let zero = ConstantEstimator::new(0.0);
+        let cfg = LafConfig::new(0.5, 3, 1.0);
+        let gate = CardEstGate::new(&zero, &cfg);
+
+        // Exactly 2 full batches: the last batch is a full one.
+        let row = vec![1.0f32, 0.0];
+        let rows: Vec<&[f32]> = (0..2 * PRESCAN_BATCH).map(|_| row.as_slice()).collect();
+        let prescan = gate.prescan_rows(&rows);
+        assert_eq!(prescan.batches, 2);
+        assert_eq!(prescan.batch_size, PRESCAN_BATCH as u64);
+        assert_eq!(prescan.last_batch_size, PRESCAN_BATCH as u64);
+
+        // Nothing prescanned: all counts are zero.
+        let prescan = gate.prescan_rows(&[]);
+        assert!(prescan.is_empty());
+        assert_eq!(prescan.batches, 0);
+        assert_eq!(prescan.batch_size, 0);
+        assert_eq!(prescan.last_batch_size, 0);
     }
 }

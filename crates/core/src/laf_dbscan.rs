@@ -146,6 +146,7 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
             merged_clusters: report.merged_clusters,
             prescan_batches: prescan.batches,
             prescan_batch_size: prescan.batch_size,
+            prescan_last_batch_size: prescan.last_batch_size,
         };
 
         let mut clustering = Clustering::new(labels);

@@ -54,6 +54,16 @@
 //! above but is orthogonal to it: α changes *what* is computed (which range
 //! queries run, and therefore the output); `threads` only changes *how fast*
 //! the prescan and batched kernels run, never the output.
+//!
+//! # Train once, serve many
+//!
+//! The estimator is trained offline and amortized across clustering runs.
+//! The [`snapshot`] module persists a trained pipeline (dataset, estimator
+//! weights, configuration) in a versioned, checksummed binary format, and
+//! [`LafPipeline`] wraps the two lifecycle paths: a **cold** start trains and
+//! optionally saves ([`LafPipelineBuilder::train_and_save`]); a **warm**
+//! start restores from a snapshot ([`LafPipeline::load`]) and serves
+//! immediately, bit-exact with the process that trained it.
 
 #![warn(missing_docs)]
 
@@ -62,11 +72,15 @@ pub mod gate;
 pub mod laf_dbscan;
 pub mod laf_dbscan_pp;
 pub mod partial;
+pub mod pipeline;
 pub mod post;
+pub mod snapshot;
 
 pub use config::{LafConfig, LafStats};
 pub use gate::{CardEstGate, GateDecision, Prescan};
 pub use laf_dbscan::LafDbscan;
 pub use laf_dbscan_pp::{LafDbscanPlusPlus, LafDbscanPlusPlusConfig};
 pub use partial::PartialNeighborMap;
+pub use pipeline::{LafPipeline, LafPipelineBuilder};
 pub use post::PostProcessor;
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

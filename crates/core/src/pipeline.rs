@@ -1,0 +1,446 @@
+//! Train-once / serve-many pipeline over the snapshot boundary.
+//!
+//! [`LafPipeline`] packages a [`LafConfig`], the indexed [`Dataset`] and a
+//! trained [`MlpEstimator`] behind one handle with two ways in:
+//!
+//! * **Cold start** — [`LafPipelineBuilder::train`] builds the training set,
+//!   fits the estimator and (optionally, via
+//!   [`LafPipelineBuilder::train_and_save`]) persists a [`Snapshot`], paying
+//!   the full offline training cost once;
+//! * **Warm start** — [`LafPipeline::load`] restores a snapshot and is ready
+//!   to serve immediately, rebuilding the range-query engine from the
+//!   restored [`laf_index::EngineChoice`] on demand.
+//!
+//! Because the snapshot stores the estimator's raw weight bits, a warm
+//! pipeline is **bit-exact** with the process that trained it: per-point
+//! estimates, gate decisions, cluster labels and [`LafStats`] are
+//! byte-identical between the cold and warm paths.
+
+use crate::config::{LafConfig, LafStats};
+use crate::laf_dbscan::LafDbscan;
+use crate::snapshot::{Snapshot, SnapshotError};
+use laf_cardest::{
+    CardinalityEstimator, EstimatorCalibrator, MlpEstimator, NetConfig, QErrorReport,
+    TrainingSetBuilder,
+};
+use laf_clustering::Clustering;
+use laf_index::{build_engine, RangeQueryEngine};
+use laf_vector::Dataset;
+use std::path::Path;
+
+/// Number of calibration queries sampled when
+/// [`LafPipelineBuilder::calibrate`] is enabled.
+const CALIBRATION_QUERIES: usize = 256;
+
+/// Builder for the **cold** (training) path of a [`LafPipeline`].
+#[derive(Debug, Clone)]
+pub struct LafPipelineBuilder {
+    config: LafConfig,
+    net: NetConfig,
+    training: TrainingSetBuilder,
+    calibrate: bool,
+}
+
+impl LafPipelineBuilder {
+    /// Start a builder for the given clustering configuration. The training
+    /// set is counted under the config's metric by default.
+    pub fn new(config: LafConfig) -> Self {
+        let training = TrainingSetBuilder {
+            metric: config.metric,
+            ..TrainingSetBuilder::default()
+        };
+        Self {
+            config,
+            net: NetConfig::small(),
+            training,
+            calibrate: false,
+        }
+    }
+
+    /// Network architecture / optimizer hyper-parameters (default
+    /// [`NetConfig::small`]).
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Training-set construction parameters (threshold grid, query cap,
+    /// seed). The builder's `metric` field is ignored:
+    /// [`LafPipelineBuilder::train`] always counts cardinalities under the
+    /// [`LafConfig`]'s metric, because an estimator trained under a different
+    /// metric than the gate queries would be systematically wrong.
+    pub fn training(mut self, training: TrainingSetBuilder) -> Self {
+        self.training = training;
+        self
+    }
+
+    /// Also compute a q-error calibration report over a sample of the
+    /// training data and carry it in the pipeline (and its snapshots) as a
+    /// serving-time diagnostic. Off by default: calibration runs exact range
+    /// counts, which is measurable on large datasets.
+    pub fn calibrate(mut self, on: bool) -> Self {
+        self.calibrate = on;
+        self
+    }
+
+    /// **Cold start**: fit the estimator on `data` and assemble the pipeline.
+    ///
+    /// # Errors
+    /// Propagates training-set construction failures (empty dataset, empty
+    /// threshold grid) as [`SnapshotError::Vector`].
+    pub fn train(self, data: Dataset) -> Result<LafPipeline, SnapshotError> {
+        // The estimator must predict cardinalities under the metric the gate
+        // will query with, whatever the supplied training builder says — a
+        // `..Default::default()` override must not silently flip the metric
+        // back to cosine under a euclidean config.
+        let training_builder = TrainingSetBuilder {
+            metric: self.config.metric,
+            ..self.training
+        };
+        let training = training_builder.build(&data, &data)?;
+        let estimator = MlpEstimator::train(&training, &self.net);
+        let calibration = if self.calibrate {
+            use rand::SeedableRng;
+            // Distinct stream from the training-query sampler (which seeds
+            // `StdRng` from the seed directly): calibrating on the exact
+            // query set the network was fitted to would overstate serving
+            // accuracy.
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(training_builder.seed ^ 0xCA11_B8A7_E5EE_D000);
+            let (queries, _) = data.sample(CALIBRATION_QUERIES, &mut rng);
+            Some(EstimatorCalibrator::new(&data, self.config.metric).q_error(
+                &estimator,
+                &queries,
+                &training.thresholds,
+            ))
+        } else {
+            None
+        };
+        Ok(LafPipeline {
+            snapshot: Snapshot {
+                config: self.config,
+                data,
+                estimator,
+                calibration,
+            },
+        })
+    }
+
+    /// Cold start plus persistence: train on `data`, save the snapshot to
+    /// `path`, return the live pipeline.
+    pub fn train_and_save<P: AsRef<Path>>(
+        self,
+        data: Dataset,
+        path: P,
+    ) -> Result<LafPipeline, SnapshotError> {
+        let pipeline = self.train(data)?;
+        pipeline.save(path)?;
+        Ok(pipeline)
+    }
+}
+
+/// A trained, servable LAF clustering pipeline (see the
+/// [module documentation](self)).
+#[derive(Debug)]
+pub struct LafPipeline {
+    snapshot: Snapshot,
+}
+
+impl LafPipeline {
+    /// Builder for the cold (training) path.
+    pub fn builder(config: LafConfig) -> LafPipelineBuilder {
+        LafPipelineBuilder::new(config)
+    }
+
+    /// Assemble a pipeline from already-constructed parts (e.g. an estimator
+    /// trained under a custom regime).
+    pub fn from_parts(config: LafConfig, data: Dataset, estimator: MlpEstimator) -> Self {
+        Self {
+            snapshot: Snapshot {
+                config,
+                data,
+                estimator,
+                calibration: None,
+            },
+        }
+    }
+
+    /// Wrap a decoded [`Snapshot`].
+    pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        Self { snapshot }
+    }
+
+    /// **Warm start**: restore a pipeline from a snapshot file and be ready
+    /// to serve without retraining.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        Ok(Self::from_snapshot(Snapshot::load(path)?))
+    }
+
+    /// Restore a pipeline from in-memory snapshot bytes.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Ok(Self::from_snapshot(Snapshot::decode(bytes)?))
+    }
+
+    /// Persist the pipeline as a versioned binary snapshot.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        self.snapshot.save(path)
+    }
+
+    /// Encode the pipeline into in-memory snapshot bytes.
+    pub fn to_snapshot_bytes(&self) -> Result<bytes::Bytes, SnapshotError> {
+        self.snapshot.encode()
+    }
+
+    /// Consume the pipeline, releasing its snapshot parts.
+    pub fn into_snapshot(self) -> Snapshot {
+        self.snapshot
+    }
+
+    /// The clustering configuration (including the engine choice).
+    pub fn config(&self) -> &LafConfig {
+        &self.snapshot.config
+    }
+
+    /// The indexed dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.snapshot.data
+    }
+
+    /// The trained estimator.
+    pub fn estimator(&self) -> &MlpEstimator {
+        &self.snapshot.estimator
+    }
+
+    /// Calibration summary captured at training time, if any.
+    pub fn calibration(&self) -> Option<&QErrorReport> {
+        self.snapshot.calibration.as_ref()
+    }
+
+    /// Rebuild the range-query engine described by the restored
+    /// configuration over the restored dataset. Engines index borrowed data,
+    /// so serving layers typically build one per pipeline and reuse it.
+    pub fn engine(&self) -> Box<dyn RangeQueryEngine + '_> {
+        let cfg = self.config();
+        build_engine(cfg.engine, self.data(), cfg.metric, cfg.eps)
+    }
+
+    /// Predicted cardinality of `query` at radius `eps` (serving-plane entry
+    /// point for callers that gate their own queries).
+    pub fn estimate(&self, query: &[f32], eps: f32) -> f32 {
+        self.snapshot.estimator.estimate(query, eps)
+    }
+
+    /// Batched [`LafPipeline::estimate`], bit-exact with the per-query form.
+    pub fn estimate_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<f32> {
+        self.snapshot.estimator.estimate_batch(queries, eps)
+    }
+
+    /// Run LAF-DBSCAN over the pipeline's dataset.
+    pub fn cluster(&self) -> Clustering {
+        self.cluster_with_stats().0
+    }
+
+    /// Run LAF-DBSCAN over the pipeline's dataset, returning the LAF
+    /// bookkeeping counters alongside the clustering.
+    pub fn cluster_with_stats(&self) -> (Clustering, LafStats) {
+        LafDbscan::new(self.snapshot.config.clone(), &self.snapshot.estimator)
+            .cluster_with_stats(&self.snapshot.data)
+    }
+
+    /// Run LAF-DBSCAN with this pipeline's estimator over a **different**
+    /// dataset of the same dimensionality (e.g. the latest batch of
+    /// embeddings in a serve loop).
+    ///
+    /// Deliberately *not* a [`laf_clustering::Clusterer`] impl: the trait's
+    /// one-arg `cluster` would be shadowed by the inherent zero-arg
+    /// [`LafPipeline::cluster`] and become uncallable through method syntax.
+    pub fn cluster_dataset(&self, data: &Dataset) -> (Clustering, LafStats) {
+        LafDbscan::new(self.snapshot.config.clone(), &self.snapshot.estimator)
+            .cluster_with_stats(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_index::EngineChoice;
+    use laf_synth::EmbeddingMixtureConfig;
+
+    fn data() -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 220,
+            dim: 10,
+            clusters: 4,
+            noise_fraction: 0.2,
+            seed: 41,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    fn builder() -> LafPipelineBuilder {
+        LafPipeline::builder(LafConfig::new(0.3, 4, 1.0))
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(100),
+                ..Default::default()
+            })
+    }
+
+    #[test]
+    fn warm_pipeline_is_bit_exact_with_the_cold_one() {
+        let dir = std::env::temp_dir().join("laf_core_pipeline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.lafs");
+
+        let cold = builder().train_and_save(data(), &path).unwrap();
+        let warm = LafPipeline::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(warm.config(), cold.config());
+        assert_eq!(warm.data(), cold.data());
+
+        let (cold_clustering, cold_stats) = cold.cluster_with_stats();
+        let (warm_clustering, warm_stats) = warm.cluster_with_stats();
+        assert_eq!(cold_clustering.labels(), warm_clustering.labels());
+        assert_eq!(cold_stats, warm_stats);
+
+        let rows: Vec<&[f32]> = cold.data().rows().collect();
+        let cold_estimates = cold.estimate_batch(&rows, cold.config().eps);
+        let warm_estimates = warm.estimate_batch(&rows, warm.config().eps);
+        for (i, (a, b)) in cold_estimates.iter().zip(&warm_estimates).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "estimate {i} differs");
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_in_memory() {
+        let cold = builder().train(data()).unwrap();
+        let bytes = cold.to_snapshot_bytes().unwrap();
+        let warm = LafPipeline::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(
+            cold.cluster().labels(),
+            warm.cluster().labels(),
+            "in-memory snapshot must preserve labels"
+        );
+    }
+
+    #[test]
+    fn calibration_is_captured_and_persisted_when_requested() {
+        let cold = builder().calibrate(true).train(data()).unwrap();
+        let report = cold.calibration().expect("calibration requested");
+        assert!(report.evaluated > 0);
+        assert!(report.mean >= 1.0);
+        let bytes = cold.to_snapshot_bytes().unwrap();
+        let warm = LafPipeline::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(warm.calibration(), cold.calibration());
+    }
+
+    #[test]
+    fn engine_is_rebuilt_from_the_restored_choice() {
+        let config = LafConfig {
+            engine: EngineChoice::Grid { cell_side: 0.5 },
+            ..LafConfig::new(0.3, 4, 1.0)
+        };
+        let cold = LafPipeline::builder(config)
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .train(data())
+            .unwrap();
+        let warm = LafPipeline::from_snapshot_bytes(&cold.to_snapshot_bytes().unwrap()).unwrap();
+        assert_eq!(
+            warm.config().engine,
+            EngineChoice::Grid { cell_side: 0.5 },
+            "engine choice must survive the snapshot"
+        );
+        let engine = warm.engine();
+        assert_eq!(engine.num_points(), warm.data().len());
+        let hits = engine.range(warm.data().row(0), 0.3);
+        assert!(hits.contains(&0));
+    }
+
+    #[test]
+    fn pipeline_clusters_fresh_datasets() {
+        let pipeline = builder().train(data()).unwrap();
+        let fresh = EmbeddingMixtureConfig {
+            n_points: 80,
+            dim: 10,
+            clusters: 2,
+            seed: 99,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0;
+        let (labels, stats) = pipeline.cluster_dataset(&fresh);
+        assert_eq!(labels.len(), fresh.len());
+        assert_eq!(stats.cardest_calls as usize, fresh.len());
+    }
+
+    #[test]
+    fn training_builder_override_cannot_flip_the_metric() {
+        // The idiomatic `..Default::default()` override resets the builder's
+        // metric field to cosine; the pipeline must still train under the
+        // config's metric, or gate decisions would be systematically wrong.
+        let config = LafConfig {
+            metric: laf_vector::Metric::Euclidean,
+            eps: 0.6,
+            ..LafConfig::new(0.6, 4, 1.0)
+        };
+        let euclidean = LafPipeline::builder(config.clone())
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default() // metric: Cosine — must be overridden
+            })
+            .train(data())
+            .unwrap();
+        // Train a cosine pipeline from the identical builder inputs: if the
+        // metric override worked, the learned weights must differ.
+        let cosine = LafPipeline::builder(LafConfig::new(0.6, 4, 1.0))
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .train(data())
+            .unwrap();
+        let q = data();
+        let q = q.row(0);
+        assert_ne!(
+            euclidean.estimate(q, 0.6).to_bits(),
+            cosine.estimate(q, 0.6).to_bits(),
+            "estimator must have been trained under the config's metric"
+        );
+    }
+
+    #[test]
+    fn calibration_queries_use_a_distinct_stream_from_training() {
+        // Calibrating on the exact query sample the network was fitted to
+        // would overstate accuracy. The calibration sampler must not replay
+        // the training sampler's permutation.
+        use rand::SeedableRng;
+        let seed = TrainingSetBuilder::default().seed;
+        let d = data();
+        let mut train_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (_, train_idx) = d.sample(super::CALIBRATION_QUERIES, &mut train_rng);
+        let mut calib_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xCA11_B8A7_E5EE_D000);
+        let (_, calib_idx) = d.sample(super::CALIBRATION_QUERIES, &mut calib_rng);
+        assert_ne!(
+            train_idx, calib_idx,
+            "calibration must not replay the training sample order"
+        );
+    }
+
+    #[test]
+    fn training_on_an_empty_dataset_fails_cleanly() {
+        let empty = Dataset::new(8).unwrap();
+        let err = builder().train(empty).unwrap_err();
+        assert!(matches!(err, SnapshotError::Vector(_)));
+    }
+}

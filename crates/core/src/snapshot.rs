@@ -1,0 +1,524 @@
+//! Versioned, checksummed binary snapshots — the boundary between the
+//! offline training plane and the online serving plane.
+//!
+//! The paper's premise is *train once, serve many*: the cardinality estimator
+//! is fitted offline and then amortized across clustering runs. A
+//! [`Snapshot`] persists everything a serving process needs to rebuild the
+//! exact training-time pipeline:
+//!
+//! * the [`LafConfig`] (ε, τ, α, metric and the [`laf_index::EngineChoice`]
+//!   needed to rebuild the range-query engine),
+//! * the [`Dataset`] (flat-buffer encoded via [`laf_vector::io`]),
+//! * the trained [`MlpEstimator`] (raw IEEE-754 weight bits via
+//!   [`MlpEstimator::encode_binary`] — **bit-exact**, not a text round-trip),
+//! * optionally a [`QErrorReport`] calibration summary captured at train
+//!   time.
+//!
+//! # Wire format (version 1)
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! magic              4 bytes   b"LAFS"
+//! format version     u32       currently 1
+//! section count      u32
+//! section table      count x { id: u32, offset: u64, len: u64 }
+//!                              (offsets relative to the payload start,
+//!                               i.e. the first byte after the table)
+//! payload            concatenated section bodies
+//! checksum           u32       CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! Compatibility rules: a reader **rejects** an unknown format version or a
+//! checksum mismatch, **ignores** unknown section ids (so a newer writer may
+//! append sections without breaking older readers of the same version), and
+//! **requires** the config, dataset and estimator sections.
+
+use crate::config::LafConfig;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use laf_cardest::{MlpEstimator, QErrorReport};
+use laf_vector::{io as vio, Dataset, VectorError};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Magic bytes identifying a LAF snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"LAFS";
+/// Current snapshot format version. Readers reject any other version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Section id: JSON-encoded [`LafConfig`] (JSON inside the binary container
+/// so configuration fields can evolve under serde's defaulting rules without
+/// a format-version bump).
+const SECTION_CONFIG: u32 = 1;
+/// Section id: flat-buffer encoded [`Dataset`] (`laf_vector::io` format).
+const SECTION_DATASET: u32 = 2;
+/// Section id: binary [`MlpEstimator`] (raw weight bits).
+const SECTION_ESTIMATOR: u32 = 3;
+/// Section id: JSON-encoded [`QErrorReport`] calibration summary (optional).
+const SECTION_CALIBRATION: u32 = 4;
+
+/// Errors produced while encoding, decoding or (de)serializing snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Structural problem in the snapshot bytes (bad magic, unsupported
+    /// version, checksum mismatch, a section spilling past the payload,
+    /// missing required sections). Overlapping or duplicate-id sections are
+    /// *not* rejected: each lookup bounds-checks independently and the first
+    /// table entry with a matching id wins.
+    Malformed(String),
+    /// A section body failed to decode (dataset payload, estimator weights).
+    Vector(VectorError),
+    /// A JSON section failed to (de)serialize.
+    Json(serde_json::Error),
+    /// Filesystem failure during load/save.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            SnapshotError::Vector(e) => write!(f, "snapshot section error: {e}"),
+            SnapshotError::Json(e) => write!(f, "snapshot JSON section error: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Vector(e) => Some(e),
+            SnapshotError::Json(e) => Some(e),
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<VectorError> for SnapshotError {
+    fn from(e: VectorError) -> Self {
+        SnapshotError::Vector(e)
+    }
+}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+///
+/// Implemented bitwise: the snapshot checksum runs once per save/load over a
+/// buffer the filesystem I/O dominates anyway, so a lookup table would buy
+/// nothing measurable.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Everything a serving process needs to rebuild a trained LAF pipeline.
+///
+/// See the [module documentation](self) for the wire format. Snapshots are
+/// usually handled through [`crate::LafPipeline`]; the raw type is exposed
+/// for tooling that inspects or rewrites snapshot files.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The configuration the pipeline was trained under, including the
+    /// engine choice used to rebuild the range-query index at load time.
+    pub config: LafConfig,
+    /// The indexed dataset.
+    pub data: Dataset,
+    /// The trained estimator (bit-exact across save/load).
+    pub estimator: MlpEstimator,
+    /// Calibration summary captured at training time, when requested.
+    pub calibration: Option<QErrorReport>,
+}
+
+impl Snapshot {
+    /// Encode into the version-1 binary snapshot format.
+    pub fn encode(&self) -> Result<Bytes, SnapshotError> {
+        let config_json = serde_json::to_string(&self.config)?;
+        let calibration_json = self
+            .calibration
+            .as_ref()
+            .map(serde_json::to_string)
+            .transpose()?;
+
+        let mut estimator_bytes: Vec<u8> = Vec::new();
+        self.estimator.encode_binary(&mut estimator_bytes);
+
+        // (id, body) pairs in payload order.
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(4);
+        sections.push((SECTION_CONFIG, config_json.into_bytes()));
+        let mut dataset_bytes: Vec<u8> = Vec::with_capacity(vio::encoded_len(&self.data));
+        vio::encode_into(&self.data, &mut dataset_bytes);
+        sections.push((SECTION_DATASET, dataset_bytes));
+        sections.push((SECTION_ESTIMATOR, estimator_bytes));
+        if let Some(json) = calibration_json {
+            sections.push((SECTION_CALIBRATION, json.into_bytes()));
+        }
+
+        let table_len = sections.len() * 20;
+        let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
+        let mut buf = BytesMut::with_capacity(12 + table_len + payload_len + 4);
+        buf.put_slice(SNAPSHOT_MAGIC);
+        buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in &sections {
+            buf.put_u32_le(*id);
+            buf.put_u64_le(offset);
+            buf.put_u64_le(body.len() as u64);
+            offset += body.len() as u64;
+        }
+        for (_, body) in &sections {
+            buf.put_slice(body);
+        }
+        let checksum = crc32(&buf);
+        buf.put_u32_le(checksum);
+        Ok(buf.freeze())
+    }
+
+    /// Decode a snapshot produced by [`Snapshot::encode`].
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Malformed`] on any structural problem and the
+    /// wrapped section error when a section body fails to decode. The
+    /// checksum is verified **before** any section is parsed, so a corrupted
+    /// file is rejected wholesale rather than half-loaded.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 16 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} bytes is shorter than the fixed header",
+                bytes.len()
+            )));
+        }
+        let (body, stored) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(stored.try_into().expect("4-byte split"));
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(SnapshotError::Malformed(format!(
+                "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )));
+        }
+
+        let mut cursor: &[u8] = body;
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Malformed(format!("bad magic {magic:?}")));
+        }
+        let version = cursor.get_u32_le();
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Malformed(format!(
+                "unsupported snapshot version {version} (this reader supports {SNAPSHOT_VERSION})"
+            )));
+        }
+        let count = cursor.get_u32_le() as usize;
+        if cursor.remaining() < count * 20 {
+            return Err(SnapshotError::Malformed(format!(
+                "section table for {count} sections exceeds the payload"
+            )));
+        }
+        let mut table: Vec<(u32, usize, usize)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = cursor.get_u32_le();
+            let offset = cursor.get_u64_le() as usize;
+            let len = cursor.get_u64_le() as usize;
+            table.push((id, offset, len));
+        }
+        let payload = cursor;
+
+        let section = |wanted: u32| -> Result<Option<&[u8]>, SnapshotError> {
+            for &(id, offset, len) in &table {
+                if id != wanted {
+                    continue;
+                }
+                let end = offset.checked_add(len).ok_or_else(|| {
+                    SnapshotError::Malformed(format!("section {id} length overflow"))
+                })?;
+                if end > payload.len() {
+                    return Err(SnapshotError::Malformed(format!(
+                        "section {id} spans {offset}..{end} but the payload holds {} bytes",
+                        payload.len()
+                    )));
+                }
+                return Ok(Some(&payload[offset..end]));
+            }
+            Ok(None)
+        };
+        let required = |wanted: u32, name: &str| -> Result<&[u8], SnapshotError> {
+            section(wanted)?.ok_or_else(|| {
+                SnapshotError::Malformed(format!("missing required section {name} (id {wanted})"))
+            })
+        };
+
+        let config: LafConfig = serde_json::from_str(
+            std::str::from_utf8(required(SECTION_CONFIG, "config")?)
+                .map_err(|e| SnapshotError::Malformed(format!("config is not UTF-8: {e}")))?,
+        )?;
+        let data = vio::decode(required(SECTION_DATASET, "dataset")?)?;
+        let mut estimator_bytes = required(SECTION_ESTIMATOR, "estimator")?;
+        let estimator = MlpEstimator::decode_binary(&mut estimator_bytes)?;
+        if !estimator_bytes.is_empty() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after the estimator section",
+                estimator_bytes.len()
+            )));
+        }
+        if estimator.data_dim() != data.dim() {
+            return Err(SnapshotError::Malformed(format!(
+                "estimator expects {}-dimensional queries but the dataset is {}-dimensional",
+                estimator.data_dim(),
+                data.dim()
+            )));
+        }
+        let calibration = section(SECTION_CALIBRATION)?
+            .map(|b| -> Result<QErrorReport, SnapshotError> {
+                Ok(serde_json::from_str(std::str::from_utf8(b).map_err(
+                    |e| SnapshotError::Malformed(format!("calibration is not UTF-8: {e}")),
+                )?)?)
+            })
+            .transpose()?;
+
+        Ok(Self {
+            config,
+            data,
+            estimator,
+            calibration,
+        })
+    }
+
+    /// Write the encoded snapshot to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        fs::write(path, self.encode()?)?;
+        Ok(())
+    }
+
+    /// Read and decode a snapshot previously written with [`Snapshot::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let bytes = fs::read(path)?;
+        Self::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::{CardinalityEstimator, NetConfig, TrainingSetBuilder};
+    use laf_synth::EmbeddingMixtureConfig;
+
+    fn trained_snapshot() -> Snapshot {
+        let (data, _) = EmbeddingMixtureConfig {
+            n_points: 120,
+            dim: 6,
+            clusters: 3,
+            seed: 77,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let training = TrainingSetBuilder {
+            max_queries: Some(60),
+            ..Default::default()
+        }
+        .build(&data, &data)
+        .unwrap();
+        let estimator = MlpEstimator::train(&training, &NetConfig::tiny());
+        Snapshot {
+            config: LafConfig::new(0.3, 4, 1.5),
+            data,
+            estimator,
+            calibration: None,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_bit_exact() {
+        let snap = trained_snapshot();
+        let bytes = snap.encode().unwrap();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.data, snap.data);
+        assert!(back.calibration.is_none());
+        for i in 0..snap.data.len() {
+            assert_eq!(
+                snap.estimator.estimate(snap.data.row(i), 0.4).to_bits(),
+                back.estimator.estimate(back.data.row(i), 0.4).to_bits(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_section_round_trips() {
+        let mut snap = trained_snapshot();
+        snap.calibration = Some(QErrorReport {
+            evaluated: 42,
+            mean: 1.5,
+            median: 1.2,
+            p95: 3.0,
+            max: 9.0,
+        });
+        let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(back.calibration, snap.calibration);
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let snap = trained_snapshot();
+        let bytes = snap.encode().unwrap().to_vec();
+        // Flip one byte at a sample of positions spread over the whole file:
+        // the checksum (or, for the trailer itself, the stored-vs-computed
+        // comparison) must reject every single one.
+        let stride = (bytes.len() / 64).max(1);
+        for pos in (0..bytes.len()).step_by(stride) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            assert!(
+                Snapshot::decode(&corrupt).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected_with_a_clear_error() {
+        let snap = trained_snapshot();
+        let mut bytes = snap.encode().unwrap().to_vec();
+        bytes[4] = 99; // bump the version field...
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]); // ...and re-seal the checksum
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        let err = Snapshot::decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("version 99"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_and_oversized_inputs_are_rejected() {
+        let snap = trained_snapshot();
+        let bytes = snap.encode().unwrap();
+        assert!(Snapshot::decode(&bytes[..8]).is_err());
+        assert!(Snapshot::decode(&[]).is_err());
+        let mut extended = bytes.to_vec();
+        extended.extend_from_slice(&[0u8; 16]);
+        assert!(Snapshot::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored_for_forward_compat() {
+        // Hand-build a snapshot with an extra section id 999 appended: a
+        // same-version reader must skip it and load the rest normally.
+        let snap = trained_snapshot();
+        let config_json = serde_json::to_string(&snap.config).unwrap();
+        let mut dataset_bytes: Vec<u8> = Vec::new();
+        vio::encode_into(&snap.data, &mut dataset_bytes);
+        let mut estimator_bytes: Vec<u8> = Vec::new();
+        snap.estimator.encode_binary(&mut estimator_bytes);
+        let mystery = b"from-the-future".to_vec();
+
+        let sections: Vec<(u32, &[u8])> = vec![
+            (SECTION_CONFIG, config_json.as_bytes()),
+            (SECTION_DATASET, &dataset_bytes),
+            (SECTION_ESTIMATOR, &estimator_bytes),
+            (999, &mystery),
+        ];
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(SNAPSHOT_MAGIC);
+        buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in &sections {
+            buf.put_u32_le(*id);
+            buf.put_u64_le(offset);
+            buf.put_u64_le(body.len() as u64);
+            offset += body.len() as u64;
+        }
+        for (_, body) in &sections {
+            buf.put_slice(body);
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+
+        let back = Snapshot::decode(&buf).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.data, snap.data);
+    }
+
+    #[test]
+    fn missing_required_section_is_named_in_the_error() {
+        // Rebuild with only config + dataset: the estimator must be reported.
+        let snap = trained_snapshot();
+        let config_json = serde_json::to_string(&snap.config).unwrap();
+        let mut dataset_bytes: Vec<u8> = Vec::new();
+        vio::encode_into(&snap.data, &mut dataset_bytes);
+        let sections: Vec<(u32, &[u8])> = vec![
+            (SECTION_CONFIG, config_json.as_bytes()),
+            (SECTION_DATASET, &dataset_bytes),
+        ];
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(SNAPSHOT_MAGIC);
+        buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in &sections {
+            buf.put_u32_le(*id);
+            buf.put_u64_le(offset);
+            buf.put_u64_le(body.len() as u64);
+            offset += body.len() as u64;
+        }
+        for (_, body) in &sections {
+            buf.put_slice(body);
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+
+        let err = Snapshot::decode(&buf).unwrap_err();
+        assert!(
+            err.to_string().contains("estimator"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snap = trained_snapshot();
+        let dir = std::env::temp_dir().join("laf_core_snapshot_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.lafs");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.data, snap.data);
+        fs::remove_file(path).ok();
+        assert!(matches!(
+            Snapshot::load("/nonexistent/nope.lafs"),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+}

@@ -204,10 +204,14 @@ pub fn build_engine<'a>(
         } => Box::new(crate::kmeans_tree::KMeansTree::new(
             data, metric, branching, leaf_ratio, 0xC0FFEE,
         )),
+        // The product is passed through unguarded: the single degenerate
+        // cell-side guard lives in `GridIndex::new` (see
+        // `crate::grid::MIN_CELL_SIDE`), so a tiny-but-valid product keeps
+        // its requested geometry instead of being silently coarsened.
         EngineChoice::Grid { cell_side } => Box::new(crate::grid::GridIndex::new(
             data,
             metric,
-            eps_hint.max(1e-6) * cell_side,
+            eps_hint * cell_side,
         )),
         EngineChoice::Ivf { nlist, nprobe } => Box::new(crate::ivf::IvfIndex::new(
             data, metric, nlist, nprobe, 0xC0FFEE,

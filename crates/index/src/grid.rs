@@ -27,11 +27,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// query. See `laf_index::linear` for the same technique on the flat scan.
 const QUERY_BLOCK: usize = 16;
 
+/// Smallest usable cell side length (internal Euclidean units).
+///
+/// This is the **single** degenerate-cell-side guard of the grid engine:
+/// [`GridIndex::new`] clamps any non-finite or smaller requested side up to
+/// this value, and [`crate::engine::build_engine`] passes its
+/// `eps_hint * cell_side` product through unguarded so the clamp applied here
+/// is the only one. A clamped side still yields a correct (merely
+/// finer-than-requested) grid; it never silently swaps in a coarser geometry.
+pub const MIN_CELL_SIDE: f32 = 1e-6;
+
 /// A populated grid cell.
 #[derive(Debug)]
 struct Cell {
     /// Quantized coordinates of the cell (one entry per dimension).
-    coords: Vec<i16>,
+    coords: Vec<i32>,
     /// Dataset rows falling in this cell.
     points: Vec<u32>,
 }
@@ -44,17 +54,22 @@ pub struct GridIndex<'a> {
     cell_side: f32,
     cells: Vec<Cell>,
     /// Map from quantized coordinates to position in `cells`.
-    lookup: HashMap<Vec<i16>, u32>,
+    lookup: HashMap<Vec<i32>, u32>,
     evaluations: AtomicU64,
 }
 
 impl<'a> GridIndex<'a> {
     /// Build a grid with the given cell side length (internal Euclidean
     /// units). Gan & Tao use `ε/√d`; [`crate::engine::build_engine`] computes
-    /// the side from its `eps_hint`.
+    /// the side from its `eps_hint`. Sides below [`MIN_CELL_SIDE`] (or
+    /// non-finite) are clamped up to it — see the constant's documentation.
     pub fn new(data: &'a Dataset, metric: Metric, cell_side: f32) -> Self {
-        let cell_side = if cell_side <= 1e-6 { 1e-3 } else { cell_side };
-        let mut lookup: HashMap<Vec<i16>, u32> = HashMap::new();
+        let cell_side = if cell_side.is_finite() && cell_side >= MIN_CELL_SIDE {
+            cell_side
+        } else {
+            MIN_CELL_SIDE
+        };
+        let mut lookup: HashMap<Vec<i32>, u32> = HashMap::new();
         let mut cells: Vec<Cell> = Vec::new();
         for (i, row) in data.rows().enumerate() {
             let coords = quantize(row, cell_side);
@@ -131,7 +146,7 @@ impl<'a> GridIndex<'a> {
 
     /// Minimum possible Euclidean distance from `q` to any point inside the
     /// cell's bounding box.
-    fn box_distance(&self, q: &[f32], coords: &[i16]) -> f32 {
+    fn box_distance(&self, q: &[f32], coords: &[i32]) -> f32 {
         let mut sum = 0.0f32;
         for (d, &c) in coords.iter().enumerate() {
             let lo = c as f32 * self.cell_side;
@@ -150,11 +165,17 @@ impl<'a> GridIndex<'a> {
     }
 }
 
-fn quantize(v: &[f32], cell_side: f32) -> Vec<i16> {
+// i32 coordinates: with the normalized vectors every engine indexes (|x| <= 1)
+// and a cell side clamped to MIN_CELL_SIDE = 1e-6, quantized coordinates reach
+// at most ~1e6 — comfortably inside i32. The previous i16 coordinates
+// saturated at 32767, collapsing distinct points into boundary cells whose
+// bounding boxes did not contain them, which made box-distance pruning skip
+// cells holding true neighbors.
+fn quantize(v: &[f32], cell_side: f32) -> Vec<i32> {
     v.iter()
         .map(|&x| {
             let q = (x / cell_side).floor();
-            q.clamp(i16::MIN as f32, i16::MAX as f32) as i16
+            q.clamp(i32::MIN as f32, i32::MAX as f32) as i32
         })
         .collect()
 }
@@ -403,9 +424,41 @@ mod tests {
     #[test]
     fn degenerate_cell_side_is_clamped() {
         let data = sample_data(4);
-        let grid = GridIndex::new(&data, Metric::Cosine, 0.0);
-        assert!(grid.cell_side() > 0.0);
-        assert_eq!(grid.num_points(), data.len());
+        for degenerate in [0.0f32, -1.0, f32::NAN, f32::INFINITY, 1e-9] {
+            let grid = GridIndex::new(&data, Metric::Cosine, degenerate);
+            assert_eq!(grid.cell_side(), MIN_CELL_SIDE, "input {degenerate}");
+            assert_eq!(grid.num_points(), data.len());
+        }
+        // A tiny-but-valid side is honored exactly, not swapped for a coarser
+        // fallback geometry.
+        let tiny = 2e-6f32;
+        let grid = GridIndex::new(&data, Metric::Cosine, tiny);
+        assert_eq!(grid.cell_side(), tiny);
+    }
+
+    #[test]
+    fn sub_i16_cell_side_does_not_saturate_quantization() {
+        // Cell side below 1/32767: quantized coordinates of unit-norm points
+        // overflow i16. With saturating i16 coordinates the points collapse
+        // into boundary cells whose bounding boxes lie far away from them,
+        // and box-distance pruning then skips cells holding true neighbors.
+        let data = sample_data(3);
+        let side = 1e-5f32; // |x| near 1 quantizes to ~1e5 >> 32767
+        let grid = GridIndex::new(&data, Metric::Euclidean, side);
+        assert_eq!(grid.cell_side(), side);
+        let oracle = LinearScan::new(&data, Metric::Euclidean);
+        for q in 0..data.len() {
+            let hits = grid.range(data.row(q), 0.1);
+            assert!(
+                hits.contains(&(q as u32)),
+                "query {q} must find itself at a sub-1/32767 cell side"
+            );
+            assert_eq!(
+                hits,
+                oracle.range(data.row(q), 0.1),
+                "query {q} disagrees with the exact scan"
+            );
+        }
     }
 
     #[test]

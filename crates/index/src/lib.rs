@@ -31,7 +31,7 @@ pub mod linear;
 
 pub use cover_tree::CoverTree;
 pub use engine::{build_engine, EngineChoice, Neighbor, RangeQueryEngine, TotalDist};
-pub use grid::GridIndex;
+pub use grid::{GridIndex, MIN_CELL_SIDE};
 pub use ivf::IvfIndex;
 pub use kmeans_tree::KMeansTree;
 pub use linear::LinearScan;

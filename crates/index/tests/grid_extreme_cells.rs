@@ -1,0 +1,84 @@
+//! Property test: the ε-grid is **exact** at every cell side.
+//!
+//! The grid prunes with per-cell bounding boxes, so its correctness must not
+//! depend on the cell geometry — only its speed may. This test sweeps cell
+//! sides across six orders of magnitude (including sides far below `1/32767`,
+//! the regime where the old saturating `i16` quantization collapsed distinct
+//! points into boundary cells and pruned away their true neighbors) and
+//! checks `range`/`range_count` against the brute-force scan on random
+//! normalized datasets.
+
+use laf_index::{GridIndex, LinearScan, RangeQueryEngine, MIN_CELL_SIDE};
+use laf_vector::{ops, Dataset, Metric};
+use proptest::prelude::*;
+
+fn unit_rows(dim: usize, max_rows: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1.0f32..1.0, dim).prop_filter("non-zero", |v| ops::norm(v) > 1e-3),
+        8..max_rows,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|mut r| {
+                ops::normalize_in_place(&mut r);
+                r
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grid_range_agrees_with_linear_scan_across_extreme_cell_sides(
+        rows in unit_rows(6, 40),
+        eps in 0.05f32..1.2,
+        side_exp in -6i32..1,
+        metric_pick in 0usize..2,
+    ) {
+        let data = Dataset::from_rows(rows).unwrap();
+        let metric = [Metric::Cosine, Metric::Euclidean][metric_pick];
+        // Cell sides from 1e-6 (each point its own micro-cell, quantized
+        // coordinates ~1e6) up to 1.0 (everything in a handful of cells).
+        let side = 10f32.powi(side_exp);
+        let grid = GridIndex::new(&data, metric, side);
+        let oracle = LinearScan::new(&data, metric);
+        for q in 0..data.len() {
+            let query = data.row(q);
+            let expected = oracle.range(query, eps);
+            prop_assert_eq!(
+                grid.range(query, eps),
+                expected.clone(),
+                "range disagrees: side={} metric={:?} q={}",
+                side, metric, q
+            );
+            prop_assert_eq!(
+                grid.range_count(query, eps),
+                expected.len(),
+                "range_count disagrees: side={} metric={:?} q={}",
+                side, metric, q
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_sides_are_clamped_and_stay_exact(
+        rows in unit_rows(4, 24),
+        bad_side in -1.0f32..0.0,
+    ) {
+        // Non-positive sides hit the single MIN_CELL_SIDE guard; the clamped
+        // grid must still answer exactly.
+        let data = Dataset::from_rows(rows).unwrap();
+        let grid = GridIndex::new(&data, Metric::Cosine, bad_side);
+        prop_assert_eq!(grid.cell_side(), MIN_CELL_SIDE);
+        let oracle = LinearScan::new(&data, Metric::Cosine);
+        for q in 0..data.len() {
+            prop_assert_eq!(
+                grid.range(data.row(q), 0.4),
+                oracle.range(data.row(q), 0.4),
+                "q={}", q
+            );
+        }
+    }
+}

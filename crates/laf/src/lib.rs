@@ -29,6 +29,11 @@
 //!
 //! The individual layers are re-exported as modules: [`vector`], [`synth`],
 //! [`index`], [`cardest`], [`clustering`], [`core`], [`metrics`].
+//!
+//! For production serving, train once and persist the pipeline with
+//! [`save_snapshot`], then restore it in any number of serving processes
+//! with [`load_snapshot`] — no retraining, bit-exact results. See
+//! [`core::LafPipeline`] and the `train_serve` example.
 
 #![warn(missing_docs)]
 
@@ -67,8 +72,40 @@ pub mod metrics {
     pub use laf_metrics::*;
 }
 
+/// Persist a trained [`core::LafPipeline`] as a versioned, checksummed
+/// binary snapshot at `path`.
+///
+/// This is the **train-once** half of the train-once/serve-many split: one
+/// process pays the estimator training cost, saves a snapshot, and any number
+/// of serving processes restore it with [`load_snapshot`] — producing
+/// byte-identical estimates, gate decisions and cluster labels. See
+/// [`core::snapshot`] for the wire format.
+///
+/// # Errors
+/// Propagates encoding and filesystem failures as [`core::SnapshotError`].
+pub fn save_snapshot<P: AsRef<std::path::Path>>(
+    pipeline: &core::LafPipeline,
+    path: P,
+) -> Result<(), core::SnapshotError> {
+    pipeline.save(path)
+}
+
+/// Restore a [`core::LafPipeline`] from a snapshot written by
+/// [`save_snapshot`] — the **serve-many** half: no retraining, ready to
+/// cluster immediately, bit-exact with the training process.
+///
+/// # Errors
+/// Returns [`core::SnapshotError`] on I/O failures, checksum mismatches,
+/// unsupported format versions or malformed sections.
+pub fn load_snapshot<P: AsRef<std::path::Path>>(
+    path: P,
+) -> Result<core::LafPipeline, core::SnapshotError> {
+    core::LafPipeline::load(path)
+}
+
 /// One-stop import for applications.
 pub mod prelude {
+    pub use crate::{load_snapshot, save_snapshot};
     pub use laf_cardest::{
         CardinalityEstimator, ConstantEstimator, ExactEstimator, HistogramEstimator, Mlp,
         MlpEstimator, NetConfig, RmiConfig, RmiEstimator, SamplingEstimator, TrainingSet,
@@ -81,7 +118,8 @@ pub mod prelude {
     };
     pub use laf_core::{
         CardEstGate, GateDecision, LafConfig, LafDbscan, LafDbscanPlusPlus,
-        LafDbscanPlusPlusConfig, LafStats, PartialNeighborMap, PostProcessor, Prescan,
+        LafDbscanPlusPlusConfig, LafPipeline, LafPipelineBuilder, LafStats, PartialNeighborMap,
+        PostProcessor, Prescan, Snapshot, SnapshotError,
     };
     pub use laf_index::{
         build_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan, Neighbor,
@@ -123,5 +161,33 @@ mod tests {
         let result = laf.cluster(&data);
         assert_eq!(result.labels(), truth.labels());
         assert!((adjusted_rand_index(truth.labels(), result.labels()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn facade_snapshot_round_trip() {
+        let (data, _) = EmbeddingMixtureConfig {
+            n_points: 100,
+            dim: 6,
+            clusters: 3,
+            seed: 8,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let pipeline = LafPipeline::builder(LafConfig::new(0.3, 3, 1.0))
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(50),
+                ..Default::default()
+            })
+            .train(data)
+            .unwrap();
+        let dir = std::env::temp_dir().join("laf_facade_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("facade.lafs");
+        crate::save_snapshot(&pipeline, &path).unwrap();
+        let warm = crate::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(pipeline.cluster().labels(), warm.cluster().labels());
     }
 }

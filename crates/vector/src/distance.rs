@@ -182,15 +182,24 @@ impl Metric {
 
 /// Equation (1) of the paper: convert a cosine-distance threshold into the
 /// equivalent Euclidean threshold, valid for unit-normalized vectors.
+///
+/// Cosine distances live in `[0, 2]`; out-of-domain inputs are clamped into
+/// that range before converting, so the result is always a valid Euclidean
+/// distance between unit vectors (also `[0, 2]`).
 #[inline]
 pub fn cosine_to_euclidean(d_cos: f32) -> f32 {
-    (2.0 * d_cos.max(0.0)).sqrt()
+    (2.0 * d_cos.clamp(0.0, 2.0)).sqrt()
 }
 
 /// Inverse of [`cosine_to_euclidean`]: convert a Euclidean threshold over
 /// unit-normalized vectors into the equivalent cosine-distance threshold.
+///
+/// Euclidean distances between unit vectors live in `[0, 2]`; out-of-domain
+/// inputs are clamped into that range before converting instead of producing
+/// cosine "distances" above 2.
 #[inline]
 pub fn euclidean_to_cosine(d_euc: f32) -> f32 {
+    let d_euc = d_euc.clamp(0.0, 2.0);
     d_euc * d_euc / 2.0
 }
 

@@ -18,9 +18,18 @@ pub const MAGIC: &[u8; 4] = b"LAFV";
 /// Current binary format version.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Encode a dataset into the binary format.
-pub fn encode(data: &Dataset) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + data.len() * data.dim() * 4);
+/// Exact number of bytes [`encode`] produces for `data` (header + payload).
+pub fn encoded_len(data: &Dataset) -> usize {
+    20 + data.len() * data.dim() * 4
+}
+
+/// Append the binary encoding of a dataset to an existing buffer.
+///
+/// This is the composable form of [`encode`]: container formats (such as the
+/// snapshot sections in `laf-core`) embed the flat-buffer encoding directly
+/// in their own payload without an intermediate allocation. The bytes written
+/// are exactly what [`decode`] accepts.
+pub fn encode_into(data: &Dataset, buf: &mut impl BufMut) {
     buf.put_slice(MAGIC);
     buf.put_u32_le(FORMAT_VERSION);
     buf.put_u64_le(data.len() as u64);
@@ -28,6 +37,12 @@ pub fn encode(data: &Dataset) -> Bytes {
     for &x in data.as_flat() {
         buf.put_f32_le(x);
     }
+}
+
+/// Encode a dataset into the binary format.
+pub fn encode(data: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(data));
+    encode_into(data, &mut buf);
     buf.freeze()
 }
 
@@ -121,8 +136,20 @@ mod tests {
     fn binary_round_trip() {
         let d = toy();
         let bytes = encode(&d);
+        assert_eq!(bytes.len(), encoded_len(&d));
         let back = decode(&bytes).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn encode_into_appends_to_an_existing_buffer() {
+        let d = toy();
+        let mut buf: Vec<u8> = vec![0xAA, 0xBB];
+        encode_into(&d, &mut buf);
+        assert_eq!(buf.len(), 2 + encoded_len(&d));
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        // The embedded section decodes standalone.
+        assert_eq!(decode(&buf[2..]).unwrap(), d);
     }
 
     #[test]

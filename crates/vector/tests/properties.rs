@@ -55,6 +55,31 @@ proptest! {
     }
 
     #[test]
+    fn equation_1_round_trips_on_the_valid_domain(d_cos in 0.0f32..2.0) {
+        // Cosine distances live in [0, 2]; the conversion into Euclidean
+        // space and back must be the identity within float tolerance.
+        let d_euc = cosine_to_euclidean(d_cos);
+        prop_assert!((0.0..=2.0).contains(&d_euc), "euclidean {d_euc} out of range");
+        let back = euclidean_to_cosine(d_euc);
+        prop_assert!((back - d_cos).abs() < 1e-5, "d_cos={d_cos} back={back}");
+    }
+
+    #[test]
+    fn equation_1_clamps_out_of_domain_inputs(x in -10.0f32..10.0) {
+        // Inputs outside [0, 2] (impossible for unit vectors, but reachable
+        // through misuse or float drift) are clamped into the valid domain
+        // instead of producing negative or >2 "distances".
+        let e = cosine_to_euclidean(x);
+        prop_assert!((0.0..=2.0).contains(&e), "cosine_to_euclidean({x}) = {e}");
+        let c = euclidean_to_cosine(x);
+        prop_assert!((0.0..=2.0).contains(&c), "euclidean_to_cosine({x}) = {c}");
+        // Clamping is saturation: in-domain inputs are untouched.
+        if (0.0..=2.0).contains(&x) {
+            prop_assert_eq!(c, x * x / 2.0);
+        }
+    }
+
+    #[test]
     fn euclidean_triangle_inequality(a in vector(12), b in vector(12), c in vector(12)) {
         let ab = EuclideanDistance.dist(&a, &b);
         let bc = EuclideanDistance.dist(&b, &c);

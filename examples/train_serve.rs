@@ -1,0 +1,160 @@
+//! Two-phase train/serve demo of the snapshot subsystem.
+//!
+//! The paper's estimator is *trained once* and amortized across clustering
+//! runs; this example splits that lifecycle across two process invocations:
+//!
+//! ```bash
+//! # Offline training plane: fit the estimator, persist the snapshot
+//! # (plus a `.labels` sidecar recording the training process's clustering).
+//! cargo run --release --example train_serve -- train /tmp/pipeline.lafs
+//!
+//! # Online serving plane (any number of processes, any time later):
+//! # restore, cluster, and verify the labels match the training process
+//! # byte for byte.
+//! cargo run --release --example train_serve -- serve /tmp/pipeline.lafs
+//!
+//! # Or run both phases in sequence against a temp file:
+//! cargo run --release --example train_serve
+//! ```
+//!
+//! The serve phase fails loudly (non-zero exit) if the restored pipeline's
+//! labels differ from the sidecar — this is the round-trip smoke check CI
+//! runs to catch snapshot format regressions.
+
+use laf::prelude::*;
+use std::time::Instant;
+
+fn demo_dataset() -> Dataset {
+    EmbeddingMixtureConfig {
+        n_points: 2_000,
+        dim: 32,
+        clusters: 8,
+        noise_fraction: 0.2,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid generator config")
+    .0
+}
+
+/// Sidecar with the labels the training process observed, so an independent
+/// serve process can verify bit-exactness: little-endian `i64` per point.
+fn labels_sidecar(snapshot_path: &str) -> String {
+    format!("{snapshot_path}.labels")
+}
+
+fn write_labels(path: &str, labels: &[i64]) {
+    let mut bytes = Vec::with_capacity(labels.len() * 8);
+    for &l in labels {
+        bytes.extend_from_slice(&l.to_le_bytes());
+    }
+    std::fs::write(path, bytes).expect("write labels sidecar");
+}
+
+fn read_labels(path: &str) -> Option<Vec<i64>> {
+    let bytes = std::fs::read(path).ok()?;
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect(),
+    )
+}
+
+fn train(snapshot_path: &str) {
+    let data = demo_dataset();
+    println!("[train] {} points x {} dims", data.len(), data.dim());
+
+    let t = Instant::now();
+    let pipeline = LafPipeline::builder(LafConfig::new(0.35, 4, 1.0))
+        .training(TrainingSetBuilder {
+            max_queries: Some(400),
+            ..Default::default()
+        })
+        .calibrate(true)
+        .train(data)
+        .expect("training");
+    println!("[train] estimator fitted in {:.2?}", t.elapsed());
+    if let Some(report) = pipeline.calibration() {
+        println!(
+            "[train] calibration: mean q-error {:.3}, p95 {:.3} over {} pairs",
+            report.mean, report.p95, report.evaluated
+        );
+    }
+
+    let t = Instant::now();
+    save_snapshot(&pipeline, snapshot_path).expect("snapshot save");
+    let size = std::fs::metadata(snapshot_path).map_or(0, |m| m.len());
+    println!(
+        "[train] snapshot saved to {snapshot_path} ({size} bytes) in {:.2?}",
+        t.elapsed()
+    );
+
+    let (clustering, stats) = pipeline.cluster_with_stats();
+    println!(
+        "[train] reference clustering: {} clusters, {} noise, {} skipped / {} executed queries",
+        clustering.n_clusters(),
+        clustering.n_noise(),
+        stats.skipped_range_queries,
+        stats.executed_range_queries
+    );
+    write_labels(&labels_sidecar(snapshot_path), clustering.labels());
+}
+
+fn serve(snapshot_path: &str) {
+    let t = Instant::now();
+    let pipeline = load_snapshot(snapshot_path).expect("snapshot load");
+    println!(
+        "[serve] warm start: {} points x {} dims restored in {:.2?} (no retraining)",
+        pipeline.data().len(),
+        pipeline.data().dim(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let (clustering, stats) = pipeline.cluster_with_stats();
+    println!(
+        "[serve] first clustering served in {:.2?}: {} clusters, {} noise, skip ratio {:.2}",
+        t.elapsed(),
+        clustering.n_clusters(),
+        clustering.n_noise(),
+        stats.skip_ratio()
+    );
+
+    match read_labels(&labels_sidecar(snapshot_path)) {
+        Some(reference) => {
+            assert_eq!(
+                clustering.labels(),
+                reference.as_slice(),
+                "loaded pipeline produced different labels than the training process"
+            );
+            println!(
+                "[serve] OK: labels byte-identical to the training process ({} points)",
+                reference.len()
+            );
+        }
+        None => println!("[serve] no labels sidecar found; skipping the bit-exactness check"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [phase, path] if phase == "train" => train(path),
+        [phase, path] if phase == "serve" => serve(path),
+        [] => {
+            let path = std::env::temp_dir()
+                .join(format!("laf_train_serve_demo_{}.lafs", std::process::id()));
+            let path = path.to_string_lossy().into_owned();
+            train(&path);
+            serve(&path);
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(labels_sidecar(&path)).ok();
+        }
+        _ => {
+            eprintln!("usage: train_serve [train <snapshot> | serve <snapshot>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -121,6 +121,34 @@ fn configurations_and_results_serialize() {
 }
 
 #[test]
+fn snapshot_round_trips_with_bit_exact_estimates() {
+    let data = small_data();
+    let pipeline = LafPipeline::builder(LafConfig::new(0.35, 3, 1.0))
+        .net(NetConfig::tiny())
+        .training(TrainingSetBuilder {
+            max_queries: Some(80),
+            ..Default::default()
+        })
+        .train(data)
+        .unwrap();
+    let bytes = pipeline.to_snapshot_bytes().unwrap();
+    let warm = LafPipeline::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(warm.config(), pipeline.config());
+    assert_eq!(warm.data(), pipeline.data());
+    for i in (0..pipeline.data().len()).step_by(13) {
+        let q = pipeline.data().row(i);
+        for eps in [0.2f32, 0.5, 0.8] {
+            assert_eq!(
+                pipeline.estimate(q, eps).to_bits(),
+                warm.estimate(q, eps).to_bits(),
+                "row {i} eps {eps}"
+            );
+        }
+    }
+    assert_eq!(pipeline.cluster().labels(), warm.cluster().labels());
+}
+
+#[test]
 fn training_set_round_trips() {
     let data = small_data();
     let ts = TrainingSetBuilder {

@@ -3,7 +3,7 @@
 use crate::value::Value;
 use std::fmt;
 
-/// Error produced when a [`Value`](crate::value::Value) tree cannot be
+/// Error produced when a [`crate::value::Value`] tree cannot be
 /// converted into the requested type.
 #[derive(Debug, Clone)]
 pub struct Error {
