@@ -5,14 +5,17 @@
 //! training set, train the estimator, save, cluster). This experiment
 //! measures both paths end-to-end, verifies the warm pipeline is bit-exact
 //! with the cold one (labels, [`laf_core::LafStats`] and per-point
-//! estimates), and writes `<results_dir>/BENCH_snapshot.json`.
+//! estimates), measures **rebuild-vs-restore** for every persistable
+//! range-query engine (format v2 stores the built structure — see
+//! [`laf_index::persist`]), and writes `<results_dir>/BENCH_snapshot.json`.
 
 use crate::harness::HarnessConfig;
 use crate::report::{format_seconds, print_table, write_json};
 use laf_cardest::TrainingSetBuilder;
 use laf_core::{LafConfig, LafPipeline};
+use laf_index::{build_engine, restore_engine, EngineChoice, PersistedEngine};
 use laf_synth::EmbeddingMixtureConfig;
-use laf_vector::Dataset;
+use laf_vector::{Dataset, Metric};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -40,6 +43,27 @@ pub struct BitExactness {
     pub estimates: bool,
 }
 
+/// Rebuild-vs-restore comparison for one engine kind: the cost of
+/// constructing the engine from scratch versus decoding + re-attaching its
+/// persisted structure (what a v2 warm start pays).
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineStartup {
+    /// Engine kind (`linear`, `grid`, `kmeans_tree`, `ivf`).
+    pub engine: String,
+    /// Seconds to build the engine from the raw dataset.
+    pub build_seconds: f64,
+    /// Seconds to decode the persisted structure and restore the engine.
+    pub restore_seconds: f64,
+    /// `build_seconds / restore_seconds` — what persistence saves per warm
+    /// start for this engine.
+    pub restore_speedup: f64,
+    /// Encoded structure size in bytes (the engine section's payload).
+    pub encoded_bytes: u64,
+    /// Whether the restored engine answered probe queries identically to the
+    /// engine it was extracted from (must be `true`).
+    pub agree: bool,
+}
+
 /// The full experiment record written to `BENCH_snapshot.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct SnapshotBenchReport {
@@ -58,6 +82,64 @@ pub struct SnapshotBenchReport {
     pub warm_startup_speedup: f64,
     /// Cold-vs-warm result comparison (all must be `true`).
     pub bit_exact: BitExactness,
+    /// Rebuild-vs-restore comparison per persistable engine kind.
+    pub engines: Vec<EngineStartup>,
+}
+
+/// Measure build-from-scratch vs decode-and-restore for every persistable
+/// engine kind over `data`.
+fn engine_startup_matrix(data: &Dataset, eps: f32) -> Vec<EngineStartup> {
+    let dim = data.dim() as f32;
+    let choices = [
+        EngineChoice::Linear,
+        // Gan & Tao's ε/√d cell side, relative to build_engine's eps_hint.
+        EngineChoice::Grid {
+            cell_side: 1.0 / dim.sqrt(),
+        },
+        // The paper's KNN-BLOCK DBSCAN tuning (branching 10, ratio 0.6).
+        EngineChoice::KMeansTree {
+            branching: 10,
+            leaf_ratio: 0.6,
+        },
+        EngineChoice::Ivf {
+            nlist: 32,
+            nprobe: 8,
+        },
+    ];
+    let mut out = Vec::with_capacity(choices.len());
+    for choice in choices {
+        let t = Instant::now();
+        let built = build_engine(choice, data, Metric::Cosine, eps);
+        let build_seconds = t.elapsed().as_secs_f64();
+
+        let encoded = built
+            .persist()
+            .expect("every engine in the matrix is persistable")
+            .encode();
+
+        let t = Instant::now();
+        let decoded = PersistedEngine::decode(&encoded).expect("round trip");
+        let restored = restore_engine(&decoded, data).expect("restore over the same dataset");
+        let restore_seconds = t.elapsed().as_secs_f64();
+
+        let agree = (0..data.len())
+            .step_by((data.len() / 8).max(1))
+            .all(|q| built.range(data.row(q), eps) == restored.range(data.row(q), eps));
+
+        out.push(EngineStartup {
+            engine: decoded.kind().to_string(),
+            build_seconds,
+            restore_seconds,
+            restore_speedup: if restore_seconds > 0.0 {
+                build_seconds / restore_seconds
+            } else {
+                0.0
+            },
+            encoded_bytes: encoded.len() as u64,
+            agree,
+        });
+    }
+    out
 }
 
 fn bench_dataset(cfg: &HarnessConfig) -> Dataset {
@@ -121,6 +203,9 @@ pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
     let warm_cluster = t.elapsed().as_secs_f64();
     std::fs::remove_file(&snapshot_path).ok();
 
+    // --- Rebuild vs restore, per persistable engine --------------------------
+    let engines = engine_startup_matrix(cold_pipeline.data(), laf_config.eps);
+
     // --- Bit-exactness -----------------------------------------------------
     let rows: Vec<&[f32]> = cold_pipeline.data().rows().collect();
     let cold_estimates = cold_pipeline.estimate_batch(&rows, laf_config.eps);
@@ -160,6 +245,7 @@ pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
             0.0
         },
         bit_exact,
+        engines,
     };
 
     let rows = vec![
@@ -191,6 +277,27 @@ pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
         bit_exact.stats,
         bit_exact.estimates,
     );
+
+    let engine_rows: Vec<Vec<String>> = report
+        .engines
+        .iter()
+        .map(|e| {
+            vec![
+                e.engine.clone(),
+                format_seconds(e.build_seconds),
+                format_seconds(e.restore_seconds),
+                format!("{:.1}x", e.restore_speedup),
+                e.encoded_bytes.to_string(),
+                e.agree.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Engine structure persistence: rebuild vs restore (format v2)",
+        &["engine", "build", "restore", "speedup", "bytes", "agree"],
+        &engine_rows,
+    );
+
     write_json(&cfg.results_dir, "BENCH_snapshot", &report);
     report
 }
@@ -222,6 +329,14 @@ mod tests {
             report.bit_exact.estimates,
             "estimates must be bit-identical"
         );
+        // The per-engine matrix covers every persistable kind and every
+        // restored engine answers probe queries identically to its builder.
+        let kinds: Vec<&str> = report.engines.iter().map(|e| e.engine.as_str()).collect();
+        assert_eq!(kinds, ["linear", "grid", "kmeans_tree", "ivf"]);
+        for e in &report.engines {
+            assert!(e.agree, "{}: restored engine diverged", e.engine);
+            assert!(e.encoded_bytes > 0, "{}", e.engine);
+        }
         assert!(cfg.results_dir.join("BENCH_snapshot.json").exists());
     }
 }

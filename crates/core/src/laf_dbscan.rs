@@ -11,7 +11,7 @@ use crate::partial::PartialNeighborMap;
 use crate::post::PostProcessor;
 use laf_cardest::CardinalityEstimator;
 use laf_clustering::{Clusterer, Clustering, NOISE, UNDEFINED};
-use laf_index::build_engine;
+use laf_index::{build_engine, RangeQueryEngine};
 use laf_vector::Dataset;
 use std::time::Instant;
 
@@ -50,13 +50,31 @@ impl<E: CardinalityEstimator> LafDbscan<E> {
     /// labels *and* statistics are byte-identical to the sequential
     /// point-at-a-time gating this method used before.
     pub fn cluster_with_stats(&self, data: &Dataset) -> (Clustering, LafStats) {
+        let cfg = &self.config;
+        let engine = build_engine(cfg.engine, data, cfg.metric, cfg.eps);
+        self.cluster_with_stats_using(data, engine.as_ref())
+    }
+
+    /// [`LafDbscan::cluster_with_stats`] with a caller-supplied range-query
+    /// engine over `data` — the entry point for serving layers that restore a
+    /// persisted engine structure from a snapshot instead of rebuilding one
+    /// per run (see [`crate::LafPipeline::engine`]).
+    ///
+    /// The engine's distance-evaluation counter is read at the end of the run
+    /// and attached to the returned [`Clustering`]; pass a freshly built or
+    /// freshly restored engine (or reset the counter) if per-run numbers
+    /// matter.
+    pub fn cluster_with_stats_using(
+        &self,
+        data: &Dataset,
+        engine: &dyn RangeQueryEngine,
+    ) -> (Clustering, LafStats) {
         let start = Instant::now();
         let n = data.len();
         if n == 0 {
             return (Clustering::new(Vec::new()), LafStats::default());
         }
         let cfg = &self.config;
-        let engine = build_engine(cfg.engine, data, cfg.metric, cfg.eps);
         let gate = CardEstGate::new(&self.estimator, cfg);
         let tau = cfg.min_pts;
         let eps = cfg.eps;

@@ -8,13 +8,17 @@
 //!   [`LafPipelineBuilder::train_and_save`]) persists a [`Snapshot`], paying
 //!   the full offline training cost once;
 //! * **Warm start** — [`LafPipeline::load`] restores a snapshot and is ready
-//!   to serve immediately, rebuilding the range-query engine from the
-//!   restored [`laf_index::EngineChoice`] on demand.
+//!   to serve immediately. With a format-v2 snapshot the **built** range-query
+//!   engine (grid cells, k-means tree nodes, IVF posting lists — see
+//!   [`laf_index::persist`]) is restored directly, skipping the construction
+//!   cost; a v1 snapshot (or a non-persistable engine such as the cover tree)
+//!   falls back to rebuilding from the restored [`laf_index::EngineChoice`].
 //!
-//! Because the snapshot stores the estimator's raw weight bits, a warm
-//! pipeline is **bit-exact** with the process that trained it: per-point
-//! estimates, gate decisions, cluster labels and [`LafStats`] are
-//! byte-identical between the cold and warm paths.
+//! Because the snapshot stores the estimator's raw weight bits and the
+//! restored engine structure answers queries identically to the one built at
+//! training time, a warm pipeline is **bit-exact** with the process that
+//! trained it: per-point estimates, gate decisions, cluster labels and
+//! [`LafStats`] are byte-identical between the cold and warm paths.
 
 use crate::config::{LafConfig, LafStats};
 use crate::laf_dbscan::LafDbscan;
@@ -24,7 +28,7 @@ use laf_cardest::{
     TrainingSetBuilder,
 };
 use laf_clustering::Clustering;
-use laf_index::{build_engine, RangeQueryEngine};
+use laf_index::{build_engine, restore_engine, PersistedEngine, RangeQueryEngine};
 use laf_vector::Dataset;
 use std::path::Path;
 
@@ -116,12 +120,28 @@ impl LafPipelineBuilder {
         } else {
             None
         };
+        // Persist the built engine structure so warm starts (and this
+        // pipeline's own clustering runs) skip the construction cost. Engines
+        // with nothing worth saving are skipped up front instead of being
+        // built purely to discover `persist()` returns `None`.
+        let engine = if self.config.engine.persistable() {
+            build_engine(
+                self.config.engine,
+                &data,
+                self.config.metric,
+                self.config.eps,
+            )
+            .persist()
+        } else {
+            None
+        };
         Ok(LafPipeline {
             snapshot: Snapshot {
                 config: self.config,
                 data,
                 estimator,
                 calibration,
+                engine,
             },
         })
     }
@@ -153,7 +173,9 @@ impl LafPipeline {
     }
 
     /// Assemble a pipeline from already-constructed parts (e.g. an estimator
-    /// trained under a custom regime).
+    /// trained under a custom regime). No engine structure is persisted;
+    /// [`LafPipeline::engine`] rebuilds from the config until the pipeline is
+    /// saved and reloaded through the cold path.
     pub fn from_parts(config: LafConfig, data: Dataset, estimator: MlpEstimator) -> Self {
         Self {
             snapshot: Snapshot {
@@ -161,6 +183,7 @@ impl LafPipeline {
                 data,
                 estimator,
                 calibration: None,
+                engine: None,
             },
         }
     }
@@ -216,10 +239,32 @@ impl LafPipeline {
         self.snapshot.calibration.as_ref()
     }
 
-    /// Rebuild the range-query engine described by the restored
-    /// configuration over the restored dataset. Engines index borrowed data,
-    /// so serving layers typically build one per pipeline and reuse it.
+    /// The persisted engine structure carried by this pipeline's snapshot,
+    /// if any (`None` for v1 snapshots, non-persistable engines, and
+    /// [`LafPipeline::from_parts`] pipelines).
+    pub fn persisted_engine(&self) -> Option<&PersistedEngine> {
+        self.snapshot.engine.as_ref()
+    }
+
+    /// The range-query engine over the restored dataset. When the snapshot
+    /// carries a [persisted structure](LafPipeline::persisted_engine) it is
+    /// restored directly — no grid bucketing, k-means construction or IVF
+    /// training — otherwise the engine is rebuilt from the restored
+    /// configuration (the v1 fallback path). Engines index borrowed data, so
+    /// serving layers typically build one per pipeline and reuse it.
     pub fn engine(&self) -> Box<dyn RangeQueryEngine + '_> {
+        if let Some(persisted) = &self.snapshot.engine {
+            // restore_engine re-validates the structure even though snapshot
+            // decoding already did: `Snapshot` has public fields and
+            // `from_snapshot` accepts hand-assembled values, so this path
+            // cannot assume a decode-validated structure. The O(n) check is
+            // dwarfed by the structure clone and the clustering run; an
+            // inconsistent in-process assembly degrades to the rebuild path
+            // rather than panicking mid-serve.
+            if let Ok(engine) = restore_engine(persisted, self.data()) {
+                return engine;
+            }
+        }
         let cfg = self.config();
         build_engine(cfg.engine, self.data(), cfg.metric, cfg.eps)
     }
@@ -241,10 +286,13 @@ impl LafPipeline {
     }
 
     /// Run LAF-DBSCAN over the pipeline's dataset, returning the LAF
-    /// bookkeeping counters alongside the clustering.
+    /// bookkeeping counters alongside the clustering. Range queries go
+    /// through [`LafPipeline::engine`], so a pipeline restored from a v2
+    /// snapshot serves its first clustering without rebuilding the engine.
     pub fn cluster_with_stats(&self) -> (Clustering, LafStats) {
+        let engine = self.engine();
         LafDbscan::new(self.snapshot.config.clone(), &self.snapshot.estimator)
-            .cluster_with_stats(&self.snapshot.data)
+            .cluster_with_stats_using(&self.snapshot.data, engine.as_ref())
     }
 
     /// Run LAF-DBSCAN with this pipeline's estimator over a **different**
@@ -336,6 +384,82 @@ mod tests {
         let bytes = cold.to_snapshot_bytes().unwrap();
         let warm = LafPipeline::from_snapshot_bytes(&bytes).unwrap();
         assert_eq!(warm.calibration(), cold.calibration());
+    }
+
+    #[test]
+    fn warm_pipeline_restores_the_persisted_engine_for_every_choice() {
+        // The v2 acceptance bar: for each persistable engine the warm
+        // pipeline restores the *built* structure (no rebuild) and its first
+        // clustering is byte-identical to the training process.
+        for choice in [
+            EngineChoice::Grid { cell_side: 0.5 },
+            EngineChoice::KMeansTree {
+                branching: 4,
+                leaf_ratio: 0.6,
+            },
+            EngineChoice::Ivf {
+                nlist: 6,
+                nprobe: 2,
+            },
+        ] {
+            let config = LafConfig {
+                engine: choice,
+                ..LafConfig::new(0.3, 4, 1.0)
+            };
+            let cold = LafPipeline::builder(config)
+                .net(NetConfig::tiny())
+                .training(TrainingSetBuilder {
+                    max_queries: Some(60),
+                    ..Default::default()
+                })
+                .train(data())
+                .unwrap();
+            assert!(
+                cold.persisted_engine().is_some(),
+                "{choice:?}: cold path must persist the built engine"
+            );
+            let warm =
+                LafPipeline::from_snapshot_bytes(&cold.to_snapshot_bytes().unwrap()).unwrap();
+            let persisted = warm
+                .persisted_engine()
+                .unwrap_or_else(|| panic!("{choice:?}: engine must survive the snapshot"));
+            assert!(persisted.matches_choice(&choice), "{choice:?}");
+
+            let (cold_clustering, cold_stats) = cold.cluster_with_stats();
+            let (warm_clustering, warm_stats) = warm.cluster_with_stats();
+            assert_eq!(
+                cold_clustering.labels(),
+                warm_clustering.labels(),
+                "{choice:?}: labels must be byte-identical"
+            );
+            assert_eq!(cold_stats, warm_stats, "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn cover_tree_pipelines_fall_back_to_rebuild() {
+        let config = LafConfig {
+            engine: EngineChoice::CoverTree { basis: 2.0 },
+            ..LafConfig::new(0.3, 4, 1.0)
+        };
+        let cold = LafPipeline::builder(config)
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .train(data())
+            .unwrap();
+        assert!(cold.persisted_engine().is_none());
+        let warm = LafPipeline::from_snapshot_bytes(&cold.to_snapshot_bytes().unwrap()).unwrap();
+        assert!(warm.persisted_engine().is_none());
+        // The fallback path still serves: the engine is rebuilt from config.
+        assert_eq!(warm.engine().num_points(), warm.data().len());
+        assert_eq!(
+            cold.cluster().labels(),
+            warm.cluster().labels(),
+            "rebuild fallback must stay bit-exact"
+        );
     }
 
     #[test]

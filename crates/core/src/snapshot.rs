@@ -12,31 +12,55 @@
 //! * the trained [`MlpEstimator`] (raw IEEE-754 weight bits via
 //!   [`MlpEstimator::encode_binary`] — **bit-exact**, not a text round-trip),
 //! * optionally a [`QErrorReport`] calibration summary captured at train
-//!   time.
+//!   time,
+//! * optionally (format v2) the **built range-query engine structure**
+//!   ([`laf_index::PersistedEngine`]: grid cells, k-means tree nodes, IVF
+//!   posting lists), so a warm start restores the engine instead of paying
+//!   the bucketing / k-means construction cost again.
 //!
-//! # Wire format (version 1)
+//! # Wire format
 //!
-//! All integers little-endian:
+//! All integers little-endian. **Version 2** (current writer):
 //!
 //! ```text
 //! magic              4 bytes   b"LAFS"
-//! format version     u32       currently 1
+//! format version     u32       2
 //! section count      u32
+//! section table      count x { id: u32, offset: u64, len: u64, crc: u32 }
+//!                              (offsets relative to the payload start; `crc`
+//!                               is CRC-32 (IEEE) over that section's body)
+//! payload            concatenated section bodies
+//! header checksum    u32       CRC-32 (IEEE) over every byte before the
+//!                              payload (magic, version, count, table)
+//! ```
+//!
+//! The per-section CRC table is what v2 buys besides the engine section: a
+//! flipped byte is reported as *"section `estimator` (id 3) checksum
+//! mismatch"* instead of one opaque whole-file failure, so operators know
+//! which artifact to regenerate.
+//!
+//! **Version 1** (still read, no longer written by [`Snapshot::encode`];
+//! [`Snapshot::encode_v1`] exists for compatibility fixtures):
+//!
+//! ```text
+//! magic / version / count      as above, version 1
 //! section table      count x { id: u32, offset: u64, len: u64 }
-//!                              (offsets relative to the payload start,
-//!                               i.e. the first byte after the table)
 //! payload            concatenated section bodies
 //! checksum           u32       CRC-32 (IEEE) over every preceding byte
 //! ```
 //!
-//! Compatibility rules: a reader **rejects** an unknown format version or a
+//! Compatibility rules: a reader **rejects** an unknown format version or any
 //! checksum mismatch, **ignores** unknown section ids (so a newer writer may
-//! append sections without breaking older readers of the same version), and
-//! **requires** the config, dataset and estimator sections.
+//! append sections without breaking older readers), and **requires** the
+//! config, dataset and estimator sections. The engine section is optional in
+//! both directions: a v1 snapshot (or a v2 snapshot whose engine was not
+//! persistable) simply rebuilds the engine from the restored
+//! [`laf_index::EngineChoice`] — the v1 serving behaviour.
 
 use crate::config::LafConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use laf_cardest::{MlpEstimator, QErrorReport};
+use laf_index::{PersistError, PersistedEngine};
 use laf_vector::{io as vio, Dataset, VectorError};
 use std::fmt;
 use std::fs;
@@ -44,8 +68,10 @@ use std::path::Path;
 
 /// Magic bytes identifying a LAF snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"LAFS";
-/// Current snapshot format version. Readers reject any other version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version (what [`Snapshot::encode`] writes).
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// Oldest snapshot format version this reader still accepts.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 /// Section id: JSON-encoded [`LafConfig`] (JSON inside the binary container
 /// so configuration fields can evolve under serde's defaulting rules without
@@ -57,6 +83,21 @@ const SECTION_DATASET: u32 = 2;
 const SECTION_ESTIMATOR: u32 = 3;
 /// Section id: JSON-encoded [`QErrorReport`] calibration summary (optional).
 const SECTION_CALIBRATION: u32 = 4;
+/// Section id: binary built engine structure (`laf_index::persist` format,
+/// optional, v2 only).
+const SECTION_ENGINE: u32 = 5;
+
+/// Human-readable name of a section id, for error messages.
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SECTION_CONFIG => "config",
+        SECTION_DATASET => "dataset",
+        SECTION_ESTIMATOR => "estimator",
+        SECTION_CALIBRATION => "calibration",
+        SECTION_ENGINE => "engine",
+        _ => "unknown",
+    }
+}
 
 /// Errors produced while encoding, decoding or (de)serializing snapshots.
 #[derive(Debug)]
@@ -69,6 +110,9 @@ pub enum SnapshotError {
     Malformed(String),
     /// A section body failed to decode (dataset payload, estimator weights).
     Vector(VectorError),
+    /// The engine section failed to decode or is inconsistent with the
+    /// dataset/config it was persisted alongside.
+    Engine(PersistError),
     /// A JSON section failed to (de)serialize.
     Json(serde_json::Error),
     /// Filesystem failure during load/save.
@@ -80,6 +124,7 @@ impl fmt::Display for SnapshotError {
         match self {
             SnapshotError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
             SnapshotError::Vector(e) => write!(f, "snapshot section error: {e}"),
+            SnapshotError::Engine(e) => write!(f, "snapshot engine section error: {e}"),
             SnapshotError::Json(e) => write!(f, "snapshot JSON section error: {e}"),
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
         }
@@ -90,6 +135,7 @@ impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SnapshotError::Vector(e) => Some(e),
+            SnapshotError::Engine(e) => Some(e),
             SnapshotError::Json(e) => Some(e),
             SnapshotError::Io(e) => Some(e),
             SnapshotError::Malformed(_) => None,
@@ -100,6 +146,12 @@ impl std::error::Error for SnapshotError {
 impl From<VectorError> for SnapshotError {
     fn from(e: VectorError) -> Self {
         SnapshotError::Vector(e)
+    }
+}
+
+impl From<PersistError> for SnapshotError {
+    fn from(e: PersistError) -> Self {
+        SnapshotError::Engine(e)
     }
 }
 
@@ -117,7 +169,7 @@ impl From<std::io::Error> for SnapshotError {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
 ///
-/// Implemented bitwise: the snapshot checksum runs once per save/load over a
+/// Implemented bitwise: the snapshot checksums run once per save/load over a
 /// buffer the filesystem I/O dominates anyway, so a lookup table would buy
 /// nothing measurable.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -131,6 +183,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     }
     !crc
 }
+
+/// A parsed section table — `(id, offset, len)` entries with offsets into
+/// the second element, the payload slice.
+type ParsedSections<'a> = (Vec<(u32, usize, usize)>, &'a [u8]);
 
 /// Everything a serving process needs to rebuild a trained LAF pipeline.
 ///
@@ -148,11 +204,16 @@ pub struct Snapshot {
     pub estimator: MlpEstimator,
     /// Calibration summary captured at training time, when requested.
     pub calibration: Option<QErrorReport>,
+    /// The built range-query engine structure, when the engine choice is
+    /// persistable (see [`laf_index::EngineChoice::persistable`]). `None` for
+    /// v1 snapshots and non-persistable engines; the serving side then
+    /// rebuilds from [`LafConfig::engine`].
+    pub engine: Option<PersistedEngine>,
 }
 
 impl Snapshot {
-    /// Encode into the version-1 binary snapshot format.
-    pub fn encode(&self) -> Result<Bytes, SnapshotError> {
+    /// The section bodies shared by both format versions, in payload order.
+    fn common_sections(&self) -> Result<Vec<(u32, Vec<u8>)>, SnapshotError> {
         let config_json = serde_json::to_string(&self.config)?;
         let calibration_json = self
             .calibration
@@ -163,8 +224,7 @@ impl Snapshot {
         let mut estimator_bytes: Vec<u8> = Vec::new();
         self.estimator.encode_binary(&mut estimator_bytes);
 
-        // (id, body) pairs in payload order.
-        let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(4);
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(5);
         sections.push((SECTION_CONFIG, config_json.into_bytes()));
         let mut dataset_bytes: Vec<u8> = Vec::with_capacity(vio::encoded_len(&self.data));
         vio::encode_into(&self.data, &mut dataset_bytes);
@@ -173,12 +233,50 @@ impl Snapshot {
         if let Some(json) = calibration_json {
             sections.push((SECTION_CALIBRATION, json.into_bytes()));
         }
+        Ok(sections)
+    }
 
-        let table_len = sections.len() * 20;
+    /// Encode into the current (version-2) snapshot format, with a
+    /// per-section CRC table and, when present, the built engine structure.
+    pub fn encode(&self) -> Result<Bytes, SnapshotError> {
+        let mut sections = self.common_sections()?;
+        if let Some(engine) = &self.engine {
+            sections.push((SECTION_ENGINE, engine.encode()));
+        }
+
+        let table_len = sections.len() * 24;
         let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
         let mut buf = BytesMut::with_capacity(12 + table_len + payload_len + 4);
         buf.put_slice(SNAPSHOT_MAGIC);
         buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in &sections {
+            buf.put_u32_le(*id);
+            buf.put_u64_le(offset);
+            buf.put_u64_le(body.len() as u64);
+            buf.put_u32_le(crc32(body));
+            offset += body.len() as u64;
+        }
+        let header_crc = crc32(&buf);
+        for (_, body) in &sections {
+            buf.put_slice(body);
+        }
+        buf.put_u32_le(header_crc);
+        Ok(buf.freeze())
+    }
+
+    /// Encode into the legacy version-1 format (whole-file checksum, no
+    /// engine section). Exists so compatibility fixtures — such as the
+    /// committed golden snapshot CI loads through the v1 fallback path — can
+    /// be regenerated; new snapshots should use [`Snapshot::encode`].
+    pub fn encode_v1(&self) -> Result<Bytes, SnapshotError> {
+        let sections = self.common_sections()?;
+        let table_len = sections.len() * 20;
+        let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
+        let mut buf = BytesMut::with_capacity(12 + table_len + payload_len + 4);
+        buf.put_slice(SNAPSHOT_MAGIC);
+        buf.put_u32_le(1);
         buf.put_u32_le(sections.len() as u32);
         let mut offset = 0u64;
         for (id, body) in &sections {
@@ -195,20 +293,9 @@ impl Snapshot {
         Ok(buf.freeze())
     }
 
-    /// Decode a snapshot produced by [`Snapshot::encode`].
-    ///
-    /// # Errors
-    /// Returns [`SnapshotError::Malformed`] on any structural problem and the
-    /// wrapped section error when a section body fails to decode. The
-    /// checksum is verified **before** any section is parsed, so a corrupted
-    /// file is rejected wholesale rather than half-loaded.
-    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        if bytes.len() < 16 {
-            return Err(SnapshotError::Malformed(format!(
-                "{} bytes is shorter than the fixed header",
-                bytes.len()
-            )));
-        }
+    /// Parse a version-1 header: verify the whole-file checksum, return the
+    /// `(id, offset, len)` table and the payload slice.
+    fn parse_v1(bytes: &[u8]) -> Result<ParsedSections<'_>, SnapshotError> {
         let (body, stored) = bytes.split_at(bytes.len() - 4);
         let stored_crc = u32::from_le_bytes(stored.try_into().expect("4-byte split"));
         let actual_crc = crc32(body);
@@ -217,19 +304,7 @@ impl Snapshot {
                 "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
             )));
         }
-
-        let mut cursor: &[u8] = body;
-        let mut magic = [0u8; 4];
-        cursor.copy_to_slice(&mut magic);
-        if &magic != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::Malformed(format!("bad magic {magic:?}")));
-        }
-        let version = cursor.get_u32_le();
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::Malformed(format!(
-                "unsupported snapshot version {version} (this reader supports {SNAPSHOT_VERSION})"
-            )));
-        }
+        let mut cursor: &[u8] = &body[8..]; // past magic + version
         let count = cursor.get_u32_le() as usize;
         if cursor.remaining() < count * 20 {
             return Err(SnapshotError::Malformed(format!(
@@ -243,7 +318,94 @@ impl Snapshot {
             let len = cursor.get_u64_le() as usize;
             table.push((id, offset, len));
         }
-        let payload = cursor;
+        Ok((table, cursor))
+    }
+
+    /// Parse a version-2 header: verify the header/table checksum, then
+    /// verify **every** section's CRC (known or not) so corruption is
+    /// reported by section name before any body is parsed.
+    fn parse_v2(bytes: &[u8]) -> Result<ParsedSections<'_>, SnapshotError> {
+        let mut cursor: &[u8] = &bytes[8..];
+        let count = cursor.get_u32_le() as usize;
+        let header_len = 12 + count * 24;
+        if bytes.len() < header_len + 4 {
+            return Err(SnapshotError::Malformed(format!(
+                "section table for {count} sections exceeds the file"
+            )));
+        }
+        let stored = &bytes[bytes.len() - 4..];
+        let stored_crc = u32::from_le_bytes(stored.try_into().expect("4-byte slice"));
+        let actual_crc = crc32(&bytes[..header_len]);
+        if stored_crc != actual_crc {
+            return Err(SnapshotError::Malformed(format!(
+                "header checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )));
+        }
+        let payload = &bytes[header_len..bytes.len() - 4];
+        let mut table: Vec<(u32, usize, usize)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = cursor.get_u32_le();
+            let offset = cursor.get_u64_le() as usize;
+            let len = cursor.get_u64_le() as usize;
+            let crc = cursor.get_u32_le();
+            let end = offset.checked_add(len).ok_or_else(|| {
+                SnapshotError::Malformed(format!(
+                    "section `{}` (id {id}) length overflow",
+                    section_name(id)
+                ))
+            })?;
+            if end > payload.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "section `{}` (id {id}) spans {offset}..{end} but the payload holds {} bytes",
+                    section_name(id),
+                    payload.len()
+                )));
+            }
+            let actual = crc32(&payload[offset..end]);
+            if actual != crc {
+                return Err(SnapshotError::Malformed(format!(
+                    "section `{}` (id {id}) checksum mismatch: stored {crc:#010x}, computed {actual:#010x}",
+                    section_name(id)
+                )));
+            }
+            table.push((id, offset, len));
+        }
+        Ok((table, payload))
+    }
+
+    /// Decode a snapshot produced by [`Snapshot::encode`] (version 2) or
+    /// [`Snapshot::encode_v1`] / an older writer (version 1).
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Malformed`] on any structural problem and the
+    /// wrapped section error when a section body fails to decode. Checksums
+    /// are verified **before** any section is parsed, so a corrupted file is
+    /// rejected rather than half-loaded; in format v2 the failing section is
+    /// named.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 16 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} bytes is shorter than the fixed header",
+                bytes.len()
+            )));
+        }
+        let mut cursor: &[u8] = bytes;
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Malformed(format!("bad magic {magic:?}")));
+        }
+        let version = cursor.get_u32_le();
+        let (table, payload) = match version {
+            1 => Self::parse_v1(bytes)?,
+            2 => Self::parse_v2(bytes)?,
+            _ => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unsupported snapshot version {version} (this reader supports \
+                     {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
+                )))
+            }
+        };
 
         let section = |wanted: u32| -> Result<Option<&[u8]>, SnapshotError> {
             for &(id, offset, len) in &table {
@@ -296,12 +458,33 @@ impl Snapshot {
                 )?)?)
             })
             .transpose()?;
+        let engine = section(SECTION_ENGINE)?
+            .map(PersistedEngine::decode)
+            .transpose()?;
+        if let Some(engine) = &engine {
+            if engine.metric() != config.metric {
+                return Err(SnapshotError::Malformed(format!(
+                    "engine section was persisted under {:?} but the config metric is {:?}",
+                    engine.metric(),
+                    config.metric
+                )));
+            }
+            if !engine.matches_choice(&config.engine) {
+                return Err(SnapshotError::Malformed(format!(
+                    "engine section holds a `{}` structure but the config engine is {:?}",
+                    engine.kind(),
+                    config.engine
+                )));
+            }
+            engine.validate(data.len(), data.dim())?;
+        }
 
         Ok(Self {
             config,
             data,
             estimator,
             calibration,
+            engine,
         })
     }
 
@@ -322,6 +505,7 @@ impl Snapshot {
 mod tests {
     use super::*;
     use laf_cardest::{CardinalityEstimator, NetConfig, TrainingSetBuilder};
+    use laf_index::{build_engine, EngineChoice};
     use laf_synth::EmbeddingMixtureConfig;
 
     fn trained_snapshot() -> Snapshot {
@@ -346,7 +530,54 @@ mod tests {
             data,
             estimator,
             calibration: None,
+            engine: None,
         }
+    }
+
+    /// The same snapshot with a persisted engine structure attached.
+    fn snapshot_with_engine(choice: EngineChoice) -> Snapshot {
+        let mut snap = trained_snapshot();
+        snap.config.engine = choice;
+        let persisted = {
+            let engine = build_engine(choice, &snap.data, snap.config.metric, snap.config.eps);
+            engine.persist()
+        };
+        snap.engine = persisted;
+        snap
+    }
+
+    /// Hand-build a raw snapshot file in either format version from explicit
+    /// `(id, body)` sections.
+    fn build_raw(version: u32, sections: &[(u32, &[u8])]) -> Vec<u8> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(SNAPSHOT_MAGIC);
+        buf.put_u32_le(version);
+        buf.put_u32_le(sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in sections {
+            buf.put_u32_le(*id);
+            buf.put_u64_le(offset);
+            buf.put_u64_le(body.len() as u64);
+            if version >= 2 {
+                buf.put_u32_le(crc32(body));
+            }
+            offset += body.len() as u64;
+        }
+        let header_crc = crc32(&buf);
+        for (_, body) in sections {
+            buf.put_slice(body);
+        }
+        if version >= 2 {
+            buf.put_u32_le(header_crc);
+        } else {
+            let crc = crc32(&buf);
+            buf.put_u32_le(crc);
+        }
+        buf
+    }
+
+    fn raw_sections(snap: &Snapshot) -> Vec<(u32, Vec<u8>)> {
+        snap.common_sections().unwrap()
     }
 
     #[test]
@@ -364,6 +595,7 @@ mod tests {
         assert_eq!(back.config, snap.config);
         assert_eq!(back.data, snap.data);
         assert!(back.calibration.is_none());
+        assert!(back.engine.is_none());
         for i in 0..snap.data.len() {
             assert_eq!(
                 snap.estimator.estimate(snap.data.row(i), 0.4).to_bits(),
@@ -371,6 +603,50 @@ mod tests {
                 "row {i}"
             );
         }
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_without_an_engine() {
+        // The backward-compatibility guarantee: a v1 file decodes through the
+        // legacy path and reports no persisted engine, so serving falls back
+        // to rebuilding from the config.
+        let snap = trained_snapshot();
+        let bytes = snap.encode_v1().unwrap();
+        assert_eq!(bytes[4], 1, "encode_v1 must write format version 1");
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.data, snap.data);
+        assert!(back.engine.is_none());
+    }
+
+    #[test]
+    fn engine_section_round_trips_for_every_persistable_choice() {
+        for choice in [
+            EngineChoice::Linear,
+            EngineChoice::Grid { cell_side: 0.5 },
+            EngineChoice::KMeansTree {
+                branching: 3,
+                leaf_ratio: 0.7,
+            },
+            EngineChoice::Ivf {
+                nlist: 4,
+                nprobe: 2,
+            },
+        ] {
+            let snap = snapshot_with_engine(choice);
+            let persisted = snap.engine.clone().expect("persistable engine");
+            let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+            assert_eq!(back.engine.as_ref(), Some(&persisted), "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn non_persistable_engine_is_omitted_not_fatal() {
+        let snap = snapshot_with_engine(EngineChoice::CoverTree { basis: 2.0 });
+        assert!(snap.engine.is_none());
+        let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert!(back.engine.is_none());
+        assert_eq!(back.config.engine, EngineChoice::CoverTree { basis: 2.0 });
     }
 
     #[test]
@@ -389,18 +665,60 @@ mod tests {
 
     #[test]
     fn every_corrupted_byte_is_detected() {
-        let snap = trained_snapshot();
+        let snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        for bytes in [
+            snap.encode().unwrap().to_vec(),
+            snap.encode_v1().unwrap().to_vec(),
+        ] {
+            // Flip one byte at a sample of positions spread over the whole
+            // file: a checksum (header or per-section in v2, whole-file in
+            // v1) must reject every single one.
+            let stride = (bytes.len() / 64).max(1);
+            for pos in (0..bytes.len()).step_by(stride) {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 0x40;
+                assert!(
+                    Snapshot::decode(&corrupt).is_err(),
+                    "flip at byte {pos} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_in_each_section_names_that_section() {
+        // Flip one byte in the middle of every section's body and demand the
+        // decode error name the section — this is the operational win of the
+        // v2 per-section CRC table over v1's single whole-file checksum.
+        let mut snap = snapshot_with_engine(EngineChoice::KMeansTree {
+            branching: 3,
+            leaf_ratio: 0.7,
+        });
+        snap.calibration = Some(QErrorReport {
+            evaluated: 10,
+            mean: 1.1,
+            median: 1.0,
+            p95: 2.0,
+            max: 3.0,
+        });
         let bytes = snap.encode().unwrap().to_vec();
-        // Flip one byte at a sample of positions spread over the whole file:
-        // the checksum (or, for the trailer itself, the stored-vs-computed
-        // comparison) must reject every single one.
-        let stride = (bytes.len() / 64).max(1);
-        for pos in (0..bytes.len()).step_by(stride) {
+        // Re-derive the section layout from the (trusted) header.
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        assert_eq!(count, 5, "config, dataset, estimator, calibration, engine");
+        let header_len = 12 + count * 24;
+        for entry in 0..count {
+            let at = 12 + entry * 24;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            assert!(len > 0, "section {id} is empty");
             let mut corrupt = bytes.clone();
-            corrupt[pos] ^= 0x40;
+            corrupt[header_len + offset + len / 2] ^= 0x01;
+            let err = Snapshot::decode(&corrupt).unwrap_err().to_string();
+            let name = section_name(id);
             assert!(
-                Snapshot::decode(&corrupt).is_err(),
-                "flip at byte {pos} went undetected"
+                err.contains(&format!("section `{name}`")) && err.contains("checksum mismatch"),
+                "flip inside section {id} produced: {err}"
             );
         }
     }
@@ -408,11 +726,9 @@ mod tests {
     #[test]
     fn unsupported_version_is_rejected_with_a_clear_error() {
         let snap = trained_snapshot();
-        let mut bytes = snap.encode().unwrap().to_vec();
-        bytes[4] = 99; // bump the version field...
-        let len = bytes.len();
-        let crc = crc32(&bytes[..len - 4]); // ...and re-seal the checksum
-        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        let sections = raw_sections(&snap);
+        let refs: Vec<(u32, &[u8])> = sections.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+        let bytes = build_raw(99, &refs);
         let err = Snapshot::decode(&bytes).unwrap_err();
         assert!(
             err.to_string().contains("version 99"),
@@ -423,85 +739,89 @@ mod tests {
     #[test]
     fn truncated_and_oversized_inputs_are_rejected() {
         let snap = trained_snapshot();
-        let bytes = snap.encode().unwrap();
-        assert!(Snapshot::decode(&bytes[..8]).is_err());
+        for bytes in [snap.encode().unwrap(), snap.encode_v1().unwrap()] {
+            assert!(Snapshot::decode(&bytes[..8]).is_err());
+            let mut extended = bytes.to_vec();
+            extended.extend_from_slice(&[0u8; 16]);
+            assert!(Snapshot::decode(&extended).is_err());
+        }
         assert!(Snapshot::decode(&[]).is_err());
-        let mut extended = bytes.to_vec();
-        extended.extend_from_slice(&[0u8; 16]);
-        assert!(Snapshot::decode(&extended).is_err());
     }
 
     #[test]
     fn unknown_sections_are_ignored_for_forward_compat() {
-        // Hand-build a snapshot with an extra section id 999 appended: a
+        // Append an extra section id 999 in both format versions: a
         // same-version reader must skip it and load the rest normally.
         let snap = trained_snapshot();
-        let config_json = serde_json::to_string(&snap.config).unwrap();
-        let mut dataset_bytes: Vec<u8> = Vec::new();
-        vio::encode_into(&snap.data, &mut dataset_bytes);
-        let mut estimator_bytes: Vec<u8> = Vec::new();
-        snap.estimator.encode_binary(&mut estimator_bytes);
+        let sections = raw_sections(&snap);
         let mystery = b"from-the-future".to_vec();
-
-        let sections: Vec<(u32, &[u8])> = vec![
-            (SECTION_CONFIG, config_json.as_bytes()),
-            (SECTION_DATASET, &dataset_bytes),
-            (SECTION_ESTIMATOR, &estimator_bytes),
-            (999, &mystery),
-        ];
-        let mut buf: Vec<u8> = Vec::new();
-        buf.put_slice(SNAPSHOT_MAGIC);
-        buf.put_u32_le(SNAPSHOT_VERSION);
-        buf.put_u32_le(sections.len() as u32);
-        let mut offset = 0u64;
-        for (id, body) in &sections {
-            buf.put_u32_le(*id);
-            buf.put_u64_le(offset);
-            buf.put_u64_le(body.len() as u64);
-            offset += body.len() as u64;
+        let mut refs: Vec<(u32, &[u8])> =
+            sections.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+        refs.push((999, &mystery));
+        for version in [1, 2] {
+            let bytes = build_raw(version, &refs);
+            let back = Snapshot::decode(&bytes).unwrap();
+            assert_eq!(back.config, snap.config, "version {version}");
+            assert_eq!(back.data, snap.data, "version {version}");
         }
-        for (_, body) in &sections {
-            buf.put_slice(body);
-        }
-        let crc = crc32(&buf);
-        buf.put_u32_le(crc);
-
-        let back = Snapshot::decode(&buf).unwrap();
-        assert_eq!(back.config, snap.config);
-        assert_eq!(back.data, snap.data);
     }
 
     #[test]
     fn missing_required_section_is_named_in_the_error() {
         // Rebuild with only config + dataset: the estimator must be reported.
         let snap = trained_snapshot();
-        let config_json = serde_json::to_string(&snap.config).unwrap();
-        let mut dataset_bytes: Vec<u8> = Vec::new();
-        vio::encode_into(&snap.data, &mut dataset_bytes);
-        let sections: Vec<(u32, &[u8])> = vec![
-            (SECTION_CONFIG, config_json.as_bytes()),
-            (SECTION_DATASET, &dataset_bytes),
-        ];
-        let mut buf: Vec<u8> = Vec::new();
-        buf.put_slice(SNAPSHOT_MAGIC);
-        buf.put_u32_le(SNAPSHOT_VERSION);
-        buf.put_u32_le(sections.len() as u32);
-        let mut offset = 0u64;
-        for (id, body) in &sections {
-            buf.put_u32_le(*id);
-            buf.put_u64_le(offset);
-            buf.put_u64_le(body.len() as u64);
-            offset += body.len() as u64;
+        let sections = raw_sections(&snap);
+        let refs: Vec<(u32, &[u8])> = sections
+            .iter()
+            .filter(|(id, _)| *id != SECTION_ESTIMATOR)
+            .map(|(i, b)| (*i, b.as_slice()))
+            .collect();
+        for version in [1, 2] {
+            let bytes = build_raw(version, &refs);
+            let err = Snapshot::decode(&bytes).unwrap_err();
+            assert!(
+                err.to_string().contains("estimator"),
+                "version {version}: unexpected error: {err}"
+            );
         }
-        for (_, body) in &sections {
-            buf.put_slice(body);
-        }
-        let crc = crc32(&buf);
-        buf.put_u32_le(crc);
+    }
 
-        let err = Snapshot::decode(&buf).unwrap_err();
+    #[test]
+    fn engine_config_mismatch_is_rejected() {
+        // An engine section whose kind disagrees with the config's engine
+        // choice is a malformed snapshot, not a silent fallback.
+        let mut snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        snap.config.engine = EngineChoice::Linear;
+        let err = Snapshot::decode(&snap.encode().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("grid"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn engine_dataset_mismatch_is_rejected() {
+        // A structurally valid engine section persisted over a *different*
+        // dataset must fail validation instead of serving wrong neighbors.
+        let snap = snapshot_with_engine(EngineChoice::Ivf {
+            nlist: 4,
+            nprobe: 2,
+        });
+        let (other, _) = EmbeddingMixtureConfig {
+            n_points: 40,
+            dim: 6,
+            clusters: 2,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let mismatched = Snapshot {
+            data: other,
+            ..snap
+        };
+        // Retrain-free estimator/dataset dim both 6, so only the engine
+        // coverage check can object.
+        let err = Snapshot::decode(&mismatched.encode().unwrap()).unwrap_err();
         assert!(
-            err.to_string().contains("estimator"),
+            matches!(err, SnapshotError::Engine(_)),
             "unexpected error: {err}"
         );
     }

@@ -136,6 +136,16 @@ pub trait RangeQueryEngine: Send + Sync {
         queries.par_iter().map(|q| self.knn(q, k)).collect()
     }
 
+    /// Extract the engine's built structure as owned, serializable data (see
+    /// [`crate::persist`]), or `None` for engines whose construction is not
+    /// worth persisting. The default is `None`; engines with an expensive
+    /// build phase (grid bucketing, k-means tree construction, IVF training)
+    /// override it so snapshots can skip the rebuild on warm starts via
+    /// [`crate::restore_engine`].
+    fn persist(&self) -> Option<crate::persist::PersistedEngine> {
+        None
+    }
+
     /// Total number of query-to-point distance evaluations performed so far.
     /// Used by the benchmark harness to report computation saved.
     fn distance_evaluations(&self) -> u64;
@@ -181,6 +191,15 @@ pub enum EngineChoice {
         /// Number of lists probed per query.
         nprobe: usize,
     },
+}
+
+impl EngineChoice {
+    /// Whether engines of this kind support structure persistence
+    /// ([`RangeQueryEngine::persist`] returns `Some`). Callers use this to
+    /// avoid building an engine purely to discover there is nothing to save.
+    pub fn persistable(&self) -> bool {
+        !matches!(self, EngineChoice::CoverTree { .. })
+    }
 }
 
 /// Build the engine described by `choice` over `data` under `metric`.

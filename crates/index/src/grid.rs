@@ -15,6 +15,7 @@
 //! the normalized vectors and converts cosine thresholds via Equation (1).
 
 use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::persist::{PersistError, PersistedCell, PersistedEngine, PersistedGrid};
 use laf_vector::distance::DistanceMetric;
 use laf_vector::EuclideanDistance;
 use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric};
@@ -93,6 +94,40 @@ impl<'a> GridIndex<'a> {
             lookup,
             evaluations: AtomicU64::new(0),
         }
+    }
+
+    /// Rebuild a grid from a [persisted structure](PersistedGrid) without
+    /// re-quantizing any row: only the coordinate→cell lookup map is
+    /// reconstructed (a hash insert per cell). The caller is expected to have
+    /// [validated](PersistedEngine::validate) the structure against `data`;
+    /// this constructor re-checks nothing beyond what it touches.
+    ///
+    /// # Errors
+    /// Returns [`PersistError`] when two cells share coordinates (the lookup
+    /// map would silently drop one).
+    pub fn from_persisted(data: &'a Dataset, p: &PersistedGrid) -> Result<Self, PersistError> {
+        let mut lookup: HashMap<Vec<i32>, u32> = HashMap::with_capacity(p.cells.len());
+        let mut cells: Vec<Cell> = Vec::with_capacity(p.cells.len());
+        for cell in &p.cells {
+            let cell_id = cells.len() as u32;
+            if lookup.insert(cell.coords.clone(), cell_id).is_some() {
+                return Err(PersistError::new(
+                    "grid holds two cells with identical coordinates",
+                ));
+            }
+            cells.push(Cell {
+                coords: cell.coords.clone(),
+                points: cell.points.clone(),
+            });
+        }
+        Ok(Self {
+            data,
+            metric: p.metric,
+            cell_side: p.cell_side,
+            cells,
+            lookup,
+            evaluations: AtomicU64::new(0),
+        })
     }
 
     /// Number of non-empty cells (diagnostics: in high dimension this
@@ -307,6 +342,22 @@ impl RangeQueryEngine for GridIndex<'_> {
             out.extend(counts);
         }
         out
+    }
+
+    fn persist(&self) -> Option<PersistedEngine> {
+        Some(PersistedEngine::Grid(PersistedGrid {
+            metric: self.metric,
+            cell_side: self.cell_side,
+            dim: self.data.dim() as u32,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| PersistedCell {
+                    coords: c.coords.clone(),
+                    points: c.points.clone(),
+                })
+                .collect(),
+        }))
     }
 
     fn distance_evaluations(&self) -> u64 {

@@ -9,6 +9,7 @@
 //! recall knob is the **number of probed lists** rather than a leaf ratio.
 
 use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::persist::{PersistError, PersistedEngine, PersistedIvf, PersistedIvfList};
 use laf_vector::{ops, Dataset, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +46,31 @@ impl<'a> IvfIndex<'a> {
         }
         index.train(nlist, seed);
         index
+    }
+
+    /// Rebuild an index from a [persisted structure](PersistedIvf), skipping
+    /// the coarse-quantizer k-means training. The caller is expected to have
+    /// [validated](PersistedEngine::validate) the structure against `data`.
+    ///
+    /// # Errors
+    /// Returns [`PersistError`] when `nprobe` falls outside the valid range
+    /// for the persisted list count over a non-empty dataset.
+    pub fn from_persisted(data: &'a Dataset, p: &PersistedIvf) -> Result<Self, PersistError> {
+        if !data.is_empty() && (p.nprobe == 0 || p.nprobe as usize > p.lists.len()) {
+            return Err(PersistError::new(format!(
+                "nprobe {} outside 1..={} lists",
+                p.nprobe,
+                p.lists.len()
+            )));
+        }
+        Ok(Self {
+            data,
+            metric: p.metric,
+            centroids: p.lists.iter().map(|l| l.centroid.clone()).collect(),
+            lists: p.lists.iter().map(|l| l.points.clone()).collect(),
+            nprobe: p.nprobe as usize,
+            evaluations: AtomicU64::new(0),
+        })
     }
 
     /// Number of posting lists.
@@ -177,6 +203,23 @@ impl RangeQueryEngine for IvfIndex<'_> {
             }
         }
         best
+    }
+
+    fn persist(&self) -> Option<PersistedEngine> {
+        Some(PersistedEngine::Ivf(PersistedIvf {
+            metric: self.metric,
+            nprobe: self.nprobe as u32,
+            dim: self.data.dim() as u32,
+            lists: self
+                .centroids
+                .iter()
+                .zip(&self.lists)
+                .map(|(centroid, points)| PersistedIvfList {
+                    centroid: centroid.clone(),
+                    points: points.clone(),
+                })
+                .collect(),
+        }))
     }
 
     fn distance_evaluations(&self) -> u64 {

@@ -15,6 +15,7 @@
 //! in the tests, which check recall rather than equality.
 
 use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::persist::{PersistError, PersistedEngine, PersistedKMeansTree, PersistedKmNode};
 use laf_vector::{ops, Dataset, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +81,54 @@ impl<'a> KMeansTree<'a> {
             tree.root = Some(root);
         }
         tree
+    }
+
+    /// Rebuild a tree from a [persisted structure](PersistedKMeansTree),
+    /// skipping every k-means iteration the original construction ran. The
+    /// leaf count is recomputed from the node arena; the caller is expected to
+    /// have [validated](PersistedEngine::validate) the structure against
+    /// `data`.
+    ///
+    /// # Errors
+    /// Returns [`PersistError`] when the clamped-parameter invariants of
+    /// [`KMeansTree::new`] do not hold (branching < 2, leaf ratio outside
+    /// `(0, 1]`).
+    pub fn from_persisted(
+        data: &'a Dataset,
+        p: &PersistedKMeansTree,
+    ) -> Result<Self, PersistError> {
+        if p.branching < 2 {
+            return Err(PersistError::new(format!(
+                "branching {} below the minimum of 2",
+                p.branching
+            )));
+        }
+        if !(p.leaf_ratio > 0.0 && p.leaf_ratio <= 1.0) {
+            return Err(PersistError::new(format!(
+                "leaf ratio {} outside (0, 1]",
+                p.leaf_ratio
+            )));
+        }
+        let nodes: Vec<KmNode> = p
+            .nodes
+            .iter()
+            .map(|n| KmNode {
+                centroid: n.centroid.clone(),
+                children: n.children.clone(),
+                points: n.points.clone(),
+            })
+            .collect();
+        let n_leaves = nodes.iter().filter(|n| n.children.is_empty()).count();
+        Ok(Self {
+            data,
+            metric: p.metric,
+            branching: p.branching as usize,
+            leaf_ratio: p.leaf_ratio,
+            nodes,
+            root: p.root,
+            n_leaves,
+            evaluations: AtomicU64::new(0),
+        })
     }
 
     /// The branching factor the tree was built with.
@@ -264,6 +313,24 @@ impl RangeQueryEngine for KMeansTree<'_> {
             }
         });
         best
+    }
+
+    fn persist(&self) -> Option<PersistedEngine> {
+        Some(PersistedEngine::KMeansTree(PersistedKMeansTree {
+            metric: self.metric,
+            branching: self.branching as u32,
+            leaf_ratio: self.leaf_ratio,
+            root: self.root,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| PersistedKmNode {
+                    centroid: n.centroid.clone(),
+                    children: n.children.clone(),
+                    points: n.points.clone(),
+                })
+                .collect(),
+        }))
     }
 
     fn distance_evaluations(&self) -> u64 {

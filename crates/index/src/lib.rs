@@ -28,6 +28,7 @@ pub mod grid;
 pub mod ivf;
 pub mod kmeans_tree;
 pub mod linear;
+pub mod persist;
 
 pub use cover_tree::CoverTree;
 pub use engine::{build_engine, EngineChoice, Neighbor, RangeQueryEngine, TotalDist};
@@ -35,3 +36,4 @@ pub use grid::{GridIndex, MIN_CELL_SIDE};
 pub use ivf::IvfIndex;
 pub use kmeans_tree::KMeansTree;
 pub use linear::LinearScan;
+pub use persist::{restore_engine, PersistError, PersistedEngine};

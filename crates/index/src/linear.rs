@@ -6,6 +6,7 @@
 //! against.
 
 use crate::engine::{Neighbor, RangeQueryEngine};
+use crate::persist::PersistedEngine;
 use laf_vector::{Dataset, Metric};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -181,6 +182,14 @@ impl RangeQueryEngine for LinearScan<'_> {
                 all
             })
             .collect()
+    }
+
+    fn persist(&self) -> Option<PersistedEngine> {
+        // Nothing to save — the marker just records that the engine was a
+        // linear scan so warm starts skip the config-rebuild fallback.
+        Some(PersistedEngine::Linear {
+            metric: self.metric,
+        })
     }
 
     fn distance_evaluations(&self) -> u64 {

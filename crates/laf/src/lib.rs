@@ -92,11 +92,16 @@ pub fn save_snapshot<P: AsRef<std::path::Path>>(
 
 /// Restore a [`core::LafPipeline`] from a snapshot written by
 /// [`save_snapshot`] — the **serve-many** half: no retraining, ready to
-/// cluster immediately, bit-exact with the training process.
+/// cluster immediately, bit-exact with the training process. Format-v2
+/// snapshots restore the **built** range-query engine structure too (see
+/// [`index::persist`]), so the grid bucketing / k-means construction cost is
+/// also paid once, at training time; v1 snapshots fall back to rebuilding the
+/// engine from the restored [`index::EngineChoice`].
 ///
 /// # Errors
-/// Returns [`core::SnapshotError`] on I/O failures, checksum mismatches,
-/// unsupported format versions or malformed sections.
+/// Returns [`core::SnapshotError`] on I/O failures, checksum mismatches
+/// (format v2 names the corrupt section), unsupported format versions or
+/// malformed sections.
 pub fn load_snapshot<P: AsRef<std::path::Path>>(
     path: P,
 ) -> Result<core::LafPipeline, core::SnapshotError> {
@@ -122,8 +127,8 @@ pub mod prelude {
         PostProcessor, Prescan, Snapshot, SnapshotError,
     };
     pub use laf_index::{
-        build_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan, Neighbor,
-        RangeQueryEngine, TotalDist,
+        build_engine, restore_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan,
+        Neighbor, PersistedEngine, RangeQueryEngine, TotalDist,
     };
     pub use laf_metrics::{
         adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,

@@ -1,0 +1,106 @@
+//! Generate / verify the committed **format-v1 golden snapshot fixture**.
+//!
+//! `tests/fixtures/golden_v1.lafs` is a version-1 snapshot committed to the
+//! repository together with a `.labels` sidecar recording the clustering the
+//! generating process observed. CI (and the `golden_v1` integration test)
+//! loads the fixture through the current reader and asserts the labels still
+//! match byte for byte — so a change that breaks v1 backward compatibility
+//! fails the build instead of breaking deployed serving fleets.
+//!
+//! ```bash
+//! # Verify the committed fixture against the current reader (what CI runs):
+//! cargo run --release -p laf --example golden_fixture -- check tests/fixtures/golden_v1.lafs
+//!
+//! # Regenerate the fixture (only needed if the training pipeline itself
+//! # changes deliberately — the file is deterministic for a given source
+//! # tree, so a diff here is a compatibility decision, not noise):
+//! cargo run --release -p laf --example golden_fixture -- gen tests/fixtures/golden_v1.lafs
+//! ```
+
+use laf::prelude::*;
+
+/// Fixed, deterministic training inputs: everything is seeded, so `gen`
+/// produces identical bytes on every run of the same source tree.
+fn fixture_pipeline() -> LafPipeline {
+    let (data, _) = EmbeddingMixtureConfig {
+        n_points: 160,
+        dim: 8,
+        clusters: 3,
+        noise_fraction: 0.15,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid fixture dataset config");
+    LafPipeline::builder(LafConfig::new(0.3, 4, 1.2))
+        .net(NetConfig::tiny())
+        .training(TrainingSetBuilder {
+            max_queries: Some(60),
+            ..Default::default()
+        })
+        .train(data)
+        .expect("fixture training")
+}
+
+fn labels_sidecar(path: &str) -> String {
+    format!("{path}.labels")
+}
+
+fn gen(path: &str) {
+    let pipeline = fixture_pipeline();
+    let snapshot = pipeline.into_snapshot();
+    let bytes = snapshot.encode_v1().expect("v1 encode");
+    std::fs::write(path, &bytes).expect("write fixture");
+    // Record the labels the v1-era pipeline produces so `check` can assert
+    // the current reader reproduces them exactly.
+    let (clustering, _) = LafPipeline::from_snapshot(snapshot).cluster_with_stats();
+    let mut label_bytes = Vec::with_capacity(clustering.len() * 8);
+    for &l in clustering.labels() {
+        label_bytes.extend_from_slice(&l.to_le_bytes());
+    }
+    std::fs::write(labels_sidecar(path), label_bytes).expect("write labels sidecar");
+    println!(
+        "[gen] wrote v1 fixture {path} ({} bytes) and sidecar ({} labels)",
+        bytes.len(),
+        clustering.len()
+    );
+}
+
+fn check(path: &str) {
+    let pipeline = load_snapshot(path).expect("golden v1 fixture must load");
+    assert!(
+        pipeline.persisted_engine().is_none(),
+        "a v1 snapshot carries no engine section; the fallback path must be exercised"
+    );
+    let (clustering, stats) = pipeline.cluster_with_stats();
+    let sidecar = std::fs::read(labels_sidecar(path)).expect("labels sidecar");
+    let reference: Vec<i64> = sidecar
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    assert_eq!(
+        clustering.labels(),
+        reference.as_slice(),
+        "v1 backward compatibility broken: labels differ from the committed sidecar"
+    );
+    println!(
+        "[check] OK: v1 fixture loads via the fallback path; {} labels byte-identical \
+         ({} clusters, {} skipped / {} executed queries)",
+        reference.len(),
+        clustering.n_clusters(),
+        stats.skipped_range_queries,
+        stats.executed_range_queries
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [mode, path] if mode == "gen" => gen(path),
+        [mode, path] if mode == "check" => check(path),
+        _ => {
+            eprintln!("usage: golden_fixture [gen <fixture.lafs> | check <fixture.lafs>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,14 +8,23 @@
 //! # (plus a `.labels` sidecar recording the training process's clustering).
 //! cargo run --release --example train_serve -- train /tmp/pipeline.lafs
 //!
+//! # Same, but with a non-default range-query engine — snapshot format v2
+//! # persists the *built* engine structure, so the serving side restores it
+//! # instead of re-running the k-means construction:
+//! cargo run --release --example train_serve -- train /tmp/pipeline.lafs kmeans_tree
+//!
 //! # Online serving plane (any number of processes, any time later):
 //! # restore, cluster, and verify the labels match the training process
 //! # byte for byte.
 //! cargo run --release --example train_serve -- serve /tmp/pipeline.lafs
 //!
 //! # Or run both phases in sequence against a temp file:
-//! cargo run --release --example train_serve
+//! cargo run --release --example train_serve [engine]
 //! ```
+//!
+//! Engines: `linear` (default), `grid`, `kmeans_tree`, `ivf`, `cover_tree`
+//! (the cover tree has no persistable structure and exercises the
+//! rebuild-from-config fallback).
 //!
 //! The serve phase fails loudly (non-zero exit) if the restored pipeline's
 //! labels differ from the sidecar — this is the round-trip smoke check CI
@@ -62,19 +71,48 @@ fn read_labels(path: &str) -> Option<Vec<i64>> {
     )
 }
 
-fn train(snapshot_path: &str) {
+fn parse_engine(name: &str) -> EngineChoice {
+    match name {
+        "linear" => EngineChoice::Linear,
+        "grid" => EngineChoice::Grid { cell_side: 0.25 },
+        "kmeans_tree" => EngineChoice::KMeansTree {
+            branching: 10,
+            leaf_ratio: 0.6,
+        },
+        "ivf" => EngineChoice::Ivf {
+            nlist: 16,
+            nprobe: 16,
+        },
+        "cover_tree" => EngineChoice::CoverTree { basis: 2.0 },
+        other => {
+            eprintln!(
+                "unknown engine `{other}` (use linear | grid | kmeans_tree | ivf | cover_tree)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn train(snapshot_path: &str, engine: EngineChoice) {
     let data = demo_dataset();
-    println!("[train] {} points x {} dims", data.len(), data.dim());
+    println!(
+        "[train] {} points x {} dims, engine {engine:?}",
+        data.len(),
+        data.dim()
+    );
 
     let t = Instant::now();
-    let pipeline = LafPipeline::builder(LafConfig::new(0.35, 4, 1.0))
-        .training(TrainingSetBuilder {
-            max_queries: Some(400),
-            ..Default::default()
-        })
-        .calibrate(true)
-        .train(data)
-        .expect("training");
+    let pipeline = LafPipeline::builder(LafConfig {
+        engine,
+        ..LafConfig::new(0.35, 4, 1.0)
+    })
+    .training(TrainingSetBuilder {
+        max_queries: Some(400),
+        ..Default::default()
+    })
+    .calibrate(true)
+    .train(data)
+    .expect("training");
     println!("[train] estimator fitted in {:.2?}", t.elapsed());
     if let Some(report) = pipeline.calibration() {
         println!(
@@ -87,7 +125,11 @@ fn train(snapshot_path: &str) {
     save_snapshot(&pipeline, snapshot_path).expect("snapshot save");
     let size = std::fs::metadata(snapshot_path).map_or(0, |m| m.len());
     println!(
-        "[train] snapshot saved to {snapshot_path} ({size} bytes) in {:.2?}",
+        "[train] snapshot saved to {snapshot_path} ({size} bytes, engine structure {}) in {:.2?}",
+        match pipeline.persisted_engine() {
+            Some(e) => format!("persisted: {}", e.kind()),
+            None => "not persisted (rebuild on load)".to_string(),
+        },
         t.elapsed()
     );
 
@@ -106,10 +148,14 @@ fn serve(snapshot_path: &str) {
     let t = Instant::now();
     let pipeline = load_snapshot(snapshot_path).expect("snapshot load");
     println!(
-        "[serve] warm start: {} points x {} dims restored in {:.2?} (no retraining)",
+        "[serve] warm start: {} points x {} dims restored in {:.2?} (no retraining; engine {})",
         pipeline.data().len(),
         pipeline.data().dim(),
-        t.elapsed()
+        t.elapsed(),
+        match pipeline.persisted_engine() {
+            Some(e) => format!("`{}` restored without rebuild", e.kind()),
+            None => "rebuilt from config".to_string(),
+        }
     );
 
     let t = Instant::now();
@@ -141,19 +187,25 @@ fn serve(snapshot_path: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
-        [phase, path] if phase == "train" => train(path),
+        [phase, path] if phase == "train" => train(path, EngineChoice::Linear),
+        [phase, path, engine] if phase == "train" => train(path, parse_engine(engine)),
         [phase, path] if phase == "serve" => serve(path),
-        [] => {
+        [] | [_] => {
+            let engine = args
+                .first()
+                .map_or(EngineChoice::Linear, |e| parse_engine(e));
             let path = std::env::temp_dir()
                 .join(format!("laf_train_serve_demo_{}.lafs", std::process::id()));
             let path = path.to_string_lossy().into_owned();
-            train(&path);
+            train(&path, engine);
             serve(&path);
             std::fs::remove_file(&path).ok();
             std::fs::remove_file(labels_sidecar(&path)).ok();
         }
         _ => {
-            eprintln!("usage: train_serve [train <snapshot> | serve <snapshot>]");
+            eprintln!(
+                "usage: train_serve [train <snapshot> [engine] | serve <snapshot> | [engine]]"
+            );
             std::process::exit(2);
         }
     }
