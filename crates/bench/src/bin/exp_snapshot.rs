@@ -11,7 +11,12 @@
 //! * restoring the persisted k-means tree / IVF structures must beat
 //!   rebuilding them (the point of snapshot format v2). The linear and grid
 //!   engines are not gated: linear has nothing to rebuild and the grid's
-//!   build is already cheap enough to be timing noise at small scales.
+//!   build is already cheap enough to be timing noise at small scales;
+//! * the mmap load (`Snapshot::open_mmap`, format v3) must be faster than
+//!   the copying decode at the default scale, must actually serve the
+//!   dataset from the mapping (on little-endian hosts), and the
+//!   mapped-backed pipeline must cluster byte-identically to the
+//!   owned-backed one at every measured scale (the point of format v3).
 
 fn main() {
     let cfg = laf_bench::HarnessConfig::from_env();
@@ -48,4 +53,25 @@ fn main() {
             );
         }
     }
+    for m in &report.mmap {
+        assert!(
+            m.identical,
+            "{} points: mapped pipeline diverged from the owned one",
+            m.n_points
+        );
+    }
+    let default_scale = report
+        .mmap
+        .last()
+        .expect("mmap matrix measures at least the default scale");
+    assert!(
+        cfg!(target_endian = "big") || default_scale.dataset_mapped,
+        "the default-scale mmap load must serve the dataset in place"
+    );
+    assert!(
+        default_scale.mmap_seconds < default_scale.decode_seconds,
+        "mmap load ({:.4}s) must beat the copying decode ({:.4}s) at the default scale",
+        default_scale.mmap_seconds,
+        default_scale.decode_seconds
+    );
 }

@@ -11,8 +11,8 @@
 
 use crate::harness::HarnessConfig;
 use crate::report::{format_seconds, print_table, write_json};
-use laf_cardest::TrainingSetBuilder;
-use laf_core::{LafConfig, LafPipeline};
+use laf_cardest::{MlpEstimator, TrainingSetBuilder};
+use laf_core::{LafConfig, LafPipeline, Snapshot};
 use laf_index::{build_engine, restore_engine, EngineChoice, PersistedEngine};
 use laf_synth::EmbeddingMixtureConfig;
 use laf_vector::{Dataset, Metric};
@@ -64,6 +64,31 @@ pub struct EngineStartup {
     pub agree: bool,
 }
 
+/// Mmap-vs-decode warm-start comparison at one dataset scale: what the
+/// format-v3 zero-copy load ([`Snapshot::open_mmap`]) saves over the
+/// copying decode ([`Snapshot::load`]) for the same snapshot file.
+#[derive(Debug, Clone, Serialize)]
+pub struct MmapStartup {
+    /// Dataset rows at this scale.
+    pub n_points: usize,
+    /// Snapshot file size in bytes.
+    pub snapshot_bytes: u64,
+    /// Best-of-N seconds for read + copying decode (`Snapshot::load`).
+    pub decode_seconds: f64,
+    /// Best-of-N seconds for mmap + checksum + in-place load
+    /// (`Snapshot::open_mmap`).
+    pub mmap_seconds: f64,
+    /// `decode_seconds / mmap_seconds`.
+    pub mmap_speedup: f64,
+    /// Whether the mapped load actually served the dataset in place (false
+    /// only on big-endian hosts or misaligned files — never for files this
+    /// writer produced on the CI targets).
+    pub dataset_mapped: bool,
+    /// Labels and stats byte-identical between the owned-backed and
+    /// mapped-backed pipelines (must be `true`).
+    pub identical: bool,
+}
+
 /// The full experiment record written to `BENCH_snapshot.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct SnapshotBenchReport {
@@ -84,6 +109,9 @@ pub struct SnapshotBenchReport {
     pub bit_exact: BitExactness,
     /// Rebuild-vs-restore comparison per persistable engine kind.
     pub engines: Vec<EngineStartup>,
+    /// Mmap-vs-decode warm starts at increasing dataset scales (last row is
+    /// the default scale, the one the regression gate applies to).
+    pub mmap: Vec<MmapStartup>,
 }
 
 /// Measure build-from-scratch vs decode-and-restore for every persistable
@@ -140,6 +168,73 @@ fn engine_startup_matrix(data: &Dataset, eps: f32) -> Vec<EngineStartup> {
         });
     }
     out
+}
+
+/// Bit-exact estimator clone via the binary codec (the estimator type is
+/// deliberately not `Clone`; the snapshot weight codec is its round-trip).
+fn clone_estimator(estimator: &MlpEstimator) -> MlpEstimator {
+    let mut bytes: Vec<u8> = Vec::new();
+    estimator.encode_binary(&mut bytes);
+    MlpEstimator::decode_binary(&mut bytes.as_slice()).expect("bit-exact estimator round trip")
+}
+
+/// Measure mmap-vs-decode warm starts for one snapshot over `data`, timing
+/// each loader best-of-3 and verifying the two pipelines cluster
+/// identically.
+fn mmap_startup_row(config: &LafConfig, data: Dataset, estimator: MlpEstimator) -> MmapStartup {
+    let n_points = data.len();
+    let path = std::env::temp_dir().join(format!(
+        "laf_bench_mmap_{n_points}_{}.lafs",
+        std::process::id()
+    ));
+    let snapshot = Snapshot {
+        config: config.clone(),
+        data,
+        estimator,
+        calibration: None,
+        engine: None,
+    };
+    snapshot.save(&path).expect("snapshot save");
+    let snapshot_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+
+    let best_of = |load: &dyn Fn() -> Snapshot| -> f64 {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let snap = load();
+                let elapsed = t.elapsed().as_secs_f64();
+                drop(snap);
+                elapsed
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let decode_seconds = best_of(&|| Snapshot::load(&path).expect("copying load"));
+    let mmap_seconds = best_of(&|| Snapshot::open_mmap(&path).expect("mapped load"));
+
+    let owned = LafPipeline::from_snapshot(Snapshot::load(&path).expect("copying load"));
+    let mapped = LafPipeline::from_snapshot(Snapshot::open_mmap(&path).expect("mapped load"));
+    let dataset_mapped = mapped.data().is_mapped();
+    let (owned_clustering, owned_stats) = owned.cluster_with_stats();
+    let (mapped_clustering, mapped_stats) = mapped.cluster_with_stats();
+    let identical = owned_clustering.labels() == mapped_clustering.labels()
+        && owned_stats == mapped_stats
+        && owned.data() == mapped.data();
+    drop(mapped);
+    std::fs::remove_file(&path).ok();
+
+    MmapStartup {
+        n_points,
+        snapshot_bytes,
+        decode_seconds,
+        mmap_seconds,
+        mmap_speedup: if mmap_seconds > 0.0 {
+            decode_seconds / mmap_seconds
+        } else {
+            0.0
+        },
+        dataset_mapped,
+        identical,
+    }
 }
 
 fn bench_dataset(cfg: &HarnessConfig) -> Dataset {
@@ -206,6 +301,27 @@ pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
     // --- Rebuild vs restore, per persistable engine --------------------------
     let engines = engine_startup_matrix(cold_pipeline.data(), laf_config.eps);
 
+    // --- Mmap vs copying decode, quarter scale then default scale ----------
+    // Same trained estimator at both scales (cloned bit-exactly through the
+    // weight codec), so the rows differ only in the dataset section the two
+    // loaders handle differently.
+    let small_cfg = HarnessConfig {
+        scale: cfg.scale / 4.0,
+        ..cfg.clone()
+    };
+    let mmap = vec![
+        mmap_startup_row(
+            &laf_config,
+            bench_dataset(&small_cfg),
+            clone_estimator(cold_pipeline.estimator()),
+        ),
+        mmap_startup_row(
+            &laf_config,
+            cold_pipeline.data().clone(),
+            clone_estimator(cold_pipeline.estimator()),
+        ),
+    ];
+
     // --- Bit-exactness -----------------------------------------------------
     let rows: Vec<&[f32]> = cold_pipeline.data().rows().collect();
     let cold_estimates = cold_pipeline.estimate_batch(&rows, laf_config.eps);
@@ -246,6 +362,7 @@ pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
         },
         bit_exact,
         engines,
+        mmap,
     };
 
     let rows = vec![
@@ -293,10 +410,49 @@ pub fn run(cfg: &HarnessConfig) -> SnapshotBenchReport {
         })
         .collect();
     print_table(
-        "Engine structure persistence: rebuild vs restore (format v2)",
+        "Engine structure persistence: rebuild vs restore (format v2+)",
         &["engine", "build", "restore", "speedup", "bytes", "agree"],
         &engine_rows,
     );
+
+    let mmap_rows: Vec<Vec<String>> = report
+        .mmap
+        .iter()
+        .map(|m| {
+            vec![
+                m.n_points.to_string(),
+                m.snapshot_bytes.to_string(),
+                format_seconds(m.decode_seconds),
+                format_seconds(m.mmap_seconds),
+                format!("{:.1}x", m.mmap_speedup),
+                m.dataset_mapped.to_string(),
+                m.identical.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Zero-copy warm start: mmap+checksum vs read+copying decode (format v3)",
+        &[
+            "points",
+            "bytes",
+            "decode",
+            "mmap",
+            "speedup",
+            "mapped",
+            "identical",
+        ],
+        &mmap_rows,
+    );
+    if let [small, big] = report.mmap.as_slice() {
+        println!(
+            "load-cost growth {} -> {} points ({:.1}x data): decode {:.1}x, mmap {:.1}x",
+            small.n_points,
+            big.n_points,
+            big.n_points as f64 / small.n_points.max(1) as f64,
+            big.decode_seconds / small.decode_seconds.max(f64::EPSILON),
+            big.mmap_seconds / small.mmap_seconds.max(f64::EPSILON),
+        );
+    }
 
     write_json(&cfg.results_dir, "BENCH_snapshot", &report);
     report
@@ -336,6 +492,19 @@ mod tests {
         for e in &report.engines {
             assert!(e.agree, "{}: restored engine diverged", e.engine);
             assert!(e.encoded_bytes > 0, "{}", e.engine);
+        }
+        // Two mmap-vs-decode rows (quarter scale, default scale), each with
+        // the mapped pipeline clustering identically to the owned one.
+        assert_eq!(report.mmap.len(), 2);
+        assert!(report.mmap[0].n_points <= report.mmap[1].n_points);
+        for m in &report.mmap {
+            assert!(m.identical, "{} points: mapped load diverged", m.n_points);
+            assert!(m.snapshot_bytes > 0);
+            assert!(
+                cfg!(target_endian = "big") || m.dataset_mapped,
+                "{} points: dataset must be served from the mapping",
+                m.n_points
+            );
         }
         assert!(cfg.results_dir.join("BENCH_snapshot.json").exists());
     }

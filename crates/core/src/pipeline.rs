@@ -194,9 +194,26 @@ impl LafPipeline {
     }
 
     /// **Warm start**: restore a pipeline from a snapshot file and be ready
-    /// to serve without retraining.
+    /// to serve without retraining. The dataset is copied into an owned
+    /// buffer; see [`LafPipeline::load_mmap`] for the zero-copy variant.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
         Ok(Self::from_snapshot(Snapshot::load(path)?))
+    }
+
+    /// **Zero-copy warm start**: memory-map the snapshot and serve the
+    /// dataset in place.
+    ///
+    /// Identical results to [`LafPipeline::load`] — every checksum is still
+    /// verified once against the mapping — but for a format-v3 snapshot the
+    /// dataset section is *not* copied into a fresh `Vec<f32>`: the pipeline
+    /// borrows it from the kernel mapping ([`laf_vector::mapped`]), so warm
+    /// start pays O(index-restore) instead of O(dataset) allocation+copy
+    /// work, needs only read access to the file, and every serving process
+    /// mapping the same snapshot shares one set of page-cache pages. Older
+    /// snapshot versions (and misaligned hand-built files or big-endian
+    /// hosts) transparently fall back to the copying path.
+    pub fn load_mmap<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        Ok(Self::from_snapshot(Snapshot::open_mmap(path)?))
     }
 
     /// Restore a pipeline from in-memory snapshot bytes.
@@ -361,6 +378,49 @@ mod tests {
         for (i, (a, b)) in cold_estimates.iter().zip(&warm_estimates).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "estimate {i} differs");
         }
+    }
+
+    #[test]
+    fn mmap_warm_start_is_zero_copy_and_bit_exact() {
+        let dir = std::env::temp_dir().join("laf_core_pipeline_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("mmap_{}.lafs", std::process::id()));
+
+        let config = LafConfig {
+            engine: EngineChoice::KMeansTree {
+                branching: 4,
+                leaf_ratio: 0.6,
+            },
+            ..LafConfig::new(0.3, 4, 1.0)
+        };
+        let cold = LafPipeline::builder(config)
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .train_and_save(data(), &path)
+            .unwrap();
+
+        let warm = LafPipeline::load_mmap(&path).unwrap();
+        assert!(
+            cfg!(target_endian = "big") || warm.data().is_mapped(),
+            "v3 snapshot must serve the dataset from the mapping"
+        );
+        assert!(
+            warm.persisted_engine().is_some(),
+            "mapped load must still restore the persisted engine"
+        );
+        assert_eq!(warm.data(), cold.data());
+
+        let (cold_clustering, cold_stats) = cold.cluster_with_stats();
+        let (warm_clustering, warm_stats) = warm.cluster_with_stats();
+        assert_eq!(cold_clustering.labels(), warm_clustering.labels());
+        assert_eq!(cold_stats, warm_stats);
+
+        // The mapped pipeline needs only read access; dropping it unmaps.
+        drop(warm);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

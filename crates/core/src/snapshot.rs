@@ -20,26 +20,42 @@
 //!
 //! # Wire format
 //!
-//! All integers little-endian. **Version 2** (current writer):
+//! All integers little-endian. **Version 3** (current writer):
 //!
 //! ```text
 //! magic              4 bytes   b"LAFS"
-//! format version     u32       2
+//! format version     u32       3
 //! section count      u32
 //! section table      count x { id: u32, offset: u64, len: u64, crc: u32 }
 //!                              (offsets relative to the payload start; `crc`
 //!                               is CRC-32 (IEEE) over that section's body)
-//! payload            concatenated section bodies
+//! payload            section bodies, each padded with leading zero bytes so
+//!                              its absolute file offset is a multiple of 8
 //! header checksum    u32       CRC-32 (IEEE) over every byte before the
 //!                              payload (magic, version, count, table)
 //! ```
 //!
-//! The per-section CRC table is what v2 buys besides the engine section: a
+//! Version 3 differs from version 2 in exactly one rule: **every section
+//! body starts at an 8-byte-aligned file offset** (the writer inserts zero
+//! padding before a section as needed, and the reader rejects nonzero
+//! padding so every byte of the file stays covered by a check). Alignment is
+//! what makes zero-copy warm starts possible: a memory-mapped v3 file places
+//! the dataset section's `f32` payload at a 4-byte-aligned address, so
+//! [`Snapshot::open_mmap`] can serve it **in place** (see
+//! [`laf_vector::mapped`]) instead of copying it into a fresh `Vec<f32>` —
+//! warm-start cost becomes O(index-restore) instead of O(dataset), and all
+//! serving processes mapping one snapshot share one set of page-cache pages.
+//! Since the writer is also streaming ([`Snapshot::encode_to_writer`]), the
+//! encoded snapshot never needs to be assembled in memory on either side.
+//!
+//! **Version 2** (still read; [`Snapshot::encode_v2`] exists for
+//! compatibility tests) is the same layout without the alignment rule. The
+//! per-section CRC table is what v2 bought besides the engine section: a
 //! flipped byte is reported as *"section `estimator` (id 3) checksum
 //! mismatch"* instead of one opaque whole-file failure, so operators know
 //! which artifact to regenerate.
 //!
-//! **Version 1** (still read, no longer written by [`Snapshot::encode`];
+//! **Version 1** (still read, no longer written;
 //! [`Snapshot::encode_v1`] exists for compatibility fixtures):
 //!
 //! ```text
@@ -53,25 +69,36 @@
 //! checksum mismatch, **ignores** unknown section ids (so a newer writer may
 //! append sections without breaking older readers), and **requires** the
 //! config, dataset and estimator sections. The engine section is optional in
-//! both directions: a v1 snapshot (or a v2 snapshot whose engine was not
+//! both directions: a v1 snapshot (or a newer snapshot whose engine was not
 //! persistable) simply rebuilds the engine from the restored
-//! [`laf_index::EngineChoice`] — the v1 serving behaviour.
+//! [`laf_index::EngineChoice`] — the v1 serving behaviour. Loading a v1/v2
+//! file through [`Snapshot::open_mmap`] works but copies the dataset (their
+//! writers guaranteed no alignment), as does a v3 file whose dataset section
+//! is misaligned or a big-endian host: the zero-copy reinterpret is an
+//! optimization, never a compatibility cliff.
 
 use crate::config::LafConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use laf_cardest::{MlpEstimator, QErrorReport};
 use laf_index::{PersistError, PersistedEngine};
+use laf_vector::mapped::{self, Mmap};
 use laf_vector::{io as vio, Dataset, VectorError};
 use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Magic bytes identifying a LAF snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"LAFS";
 /// Current snapshot format version (what [`Snapshot::encode`] writes).
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// Oldest snapshot format version this reader still accepts.
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+/// Alignment (in bytes, relative to the file start) every section body is
+/// padded to in format v3, so a mapped dataset section can be reinterpreted
+/// as `&[f32]` in place.
+pub const SECTION_ALIGN: usize = 8;
 
 /// Section id: JSON-encoded [`LafConfig`] (JSON inside the binary container
 /// so configuration fields can evolve under serde's defaulting rules without
@@ -167,21 +194,94 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
-///
-/// Implemented bitwise: the snapshot checksums run once per save/load over a
-/// buffer the filesystem I/O dominates anyway, so a lookup table would buy
-/// nothing measurable.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
+/// Slicing-by-8 CRC-32 (IEEE 802.3, reflected) lookup tables, built at
+/// compile time. `CRC32_TABLES[0]` is the classic byte-at-a-time table;
+/// table `k` maps a byte to its CRC contribution from `k` positions deeper
+/// in the message, letting [`Crc32::update`] fold 8 input bytes per step.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            j += 1;
         }
+        tables[0][i] = crc;
+        i += 1;
     }
-    !crc
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, reflected).
+///
+/// Slicing-by-8 rather than bitwise: since format v3 the section checksums
+/// are the *dominant* cost of an mmap warm start (the dataset itself is
+/// served in place, so the CRC pass is the only O(dataset) work left), and
+/// the streaming writer checksums the dataset section chunk by chunk without
+/// materializing it — both want the many-times-cheaper per-byte step.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Feed `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = &CRC32_TABLES;
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][c[4] as usize]
+                ^ t[2][c[5] as usize]
+                ^ t[1][c[6] as usize]
+                ^ t[0][c[7] as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum value.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finalize()
 }
 
 /// A parsed section table — `(id, offset, len)` entries with offsets into
@@ -236,9 +336,109 @@ impl Snapshot {
         Ok(sections)
     }
 
-    /// Encode into the current (version-2) snapshot format, with a
-    /// per-section CRC table and, when present, the built engine structure.
+    /// Encode into the current (version-3) snapshot format: per-section CRC
+    /// table, 8-byte-aligned section bodies and, when present, the built
+    /// engine structure. Equivalent to [`Snapshot::encode_to_writer`] into a
+    /// fresh buffer.
     pub fn encode(&self) -> Result<Bytes, SnapshotError> {
+        let mut buf: Vec<u8> = Vec::new();
+        self.encode_to_writer(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    /// Stream the version-3 encoding into `writer` without ever assembling
+    /// the whole snapshot in memory.
+    ///
+    /// The small sections (config, estimator, calibration, engine) are
+    /// materialized — they are KBs — but the dataset section, which dominates
+    /// the file, is checksummed and written in bounded chunks via
+    /// [`laf_vector::io::encode_chunked`]. Peak writer-side memory is
+    /// O(small sections + one chunk) instead of O(snapshot), roughly halving
+    /// train-time peak RSS for large datasets (the old path held the dataset
+    /// *and* its full encoding alive simultaneously).
+    ///
+    /// # Errors
+    /// Propagates section serialization failures and writer I/O errors.
+    /// Callers handing in a buffered writer should flush it afterwards (the
+    /// [`Snapshot::save`] convenience does).
+    pub fn encode_to_writer<W: Write>(&self, writer: &mut W) -> Result<(), SnapshotError> {
+        // Section bodies: `None` stands for the dataset, which is streamed.
+        let config_json = serde_json::to_string(&self.config)?;
+        let mut estimator_bytes: Vec<u8> = Vec::new();
+        self.estimator.encode_binary(&mut estimator_bytes);
+        let calibration_json = self
+            .calibration
+            .as_ref()
+            .map(serde_json::to_string)
+            .transpose()?;
+
+        let (dataset_crc, dataset_len) = {
+            let mut crc = Crc32::new();
+            let mut len = 0u64;
+            let _ = vio::encode_chunked::<std::convert::Infallible>(&self.data, |chunk| {
+                crc.update(chunk);
+                len += chunk.len() as u64;
+                Ok(())
+            });
+            (crc.finalize(), len)
+        };
+        debug_assert_eq!(dataset_len as usize, vio::encoded_len(&self.data));
+
+        let mut sections: Vec<(u32, u64, u32, Option<Vec<u8>>)> = Vec::with_capacity(5);
+        let push_bytes = |sections: &mut Vec<_>, id: u32, body: Vec<u8>| {
+            sections.push((id, body.len() as u64, crc32(&body), Some(body)));
+        };
+        push_bytes(&mut sections, SECTION_CONFIG, config_json.into_bytes());
+        sections.push((SECTION_DATASET, dataset_len, dataset_crc, None));
+        push_bytes(&mut sections, SECTION_ESTIMATOR, estimator_bytes);
+        if let Some(json) = calibration_json {
+            push_bytes(&mut sections, SECTION_CALIBRATION, json.into_bytes());
+        }
+        if let Some(engine) = &self.engine {
+            push_bytes(&mut sections, SECTION_ENGINE, engine.encode());
+        }
+
+        // Lay out the payload: each section body starts at a file offset
+        // that is a multiple of SECTION_ALIGN, with zero padding in between.
+        let header_len = 12 + sections.len() * 24;
+        let mut header: Vec<u8> = Vec::with_capacity(header_len);
+        header.extend_from_slice(SNAPSHOT_MAGIC);
+        header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        let mut pads: Vec<usize> = Vec::with_capacity(sections.len());
+        let mut offset = 0u64;
+        for (id, len, crc, _) in &sections {
+            let absolute = header_len as u64 + offset;
+            let pad =
+                (SECTION_ALIGN as u64 - absolute % SECTION_ALIGN as u64) % SECTION_ALIGN as u64;
+            pads.push(pad as usize);
+            offset += pad;
+            header.extend_from_slice(&id.to_le_bytes());
+            header.extend_from_slice(&offset.to_le_bytes());
+            header.extend_from_slice(&len.to_le_bytes());
+            header.extend_from_slice(&crc.to_le_bytes());
+            offset += len;
+        }
+        let header_crc = crc32(&header);
+
+        writer.write_all(&header)?;
+        const ZEROS: [u8; SECTION_ALIGN] = [0u8; SECTION_ALIGN];
+        for ((_, _, _, body), pad) in sections.iter().zip(&pads) {
+            writer.write_all(&ZEROS[..*pad])?;
+            match body {
+                Some(bytes) => writer.write_all(bytes)?,
+                None => vio::encode_chunked(&self.data, |chunk| writer.write_all(chunk))?,
+            }
+        }
+        writer.write_all(&header_crc.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Encode into the legacy version-2 format (same table layout as v3 but
+    /// no alignment padding, assembled in memory). Exists so compatibility
+    /// tests can exercise the v2 read path; new snapshots should use
+    /// [`Snapshot::encode`].
+    pub fn encode_v2(&self) -> Result<Bytes, SnapshotError> {
         let mut sections = self.common_sections()?;
         if let Some(engine) = &self.engine {
             sections.push((SECTION_ENGINE, engine.encode()));
@@ -248,7 +448,7 @@ impl Snapshot {
         let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
         let mut buf = BytesMut::with_capacity(12 + table_len + payload_len + 4);
         buf.put_slice(SNAPSHOT_MAGIC);
-        buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(2);
         buf.put_u32_le(sections.len() as u32);
         let mut offset = 0u64;
         for (id, body) in &sections {
@@ -321,10 +521,13 @@ impl Snapshot {
         Ok((table, cursor))
     }
 
-    /// Parse a version-2 header: verify the header/table checksum, then
+    /// Parse a version-2/3 header: verify the header/table checksum, then
     /// verify **every** section's CRC (known or not) so corruption is
-    /// reported by section name before any body is parsed.
-    fn parse_v2(bytes: &[u8]) -> Result<ParsedSections<'_>, SnapshotError> {
+    /// reported by section name before any body is parsed. For version 3,
+    /// additionally require every payload byte *outside* the listed sections
+    /// (the alignment padding) to be zero, so no byte of the file escapes
+    /// verification.
+    fn parse_tabled(bytes: &[u8], version: u32) -> Result<ParsedSections<'_>, SnapshotError> {
         let mut cursor: &[u8] = &bytes[8..];
         let count = cursor.get_u32_le() as usize;
         let header_len = 12 + count * 24;
@@ -370,19 +573,67 @@ impl Snapshot {
             }
             table.push((id, offset, len));
         }
+        if version >= 3 {
+            Self::check_padding(&table, payload)?;
+        }
         Ok((table, payload))
     }
 
-    /// Decode a snapshot produced by [`Snapshot::encode`] (version 2) or
-    /// [`Snapshot::encode_v1`] / an older writer (version 1).
+    /// Verify that every payload byte not covered by a listed section is
+    /// zero — format v3's padding rule. Keeps the "every corrupted byte is
+    /// detected" property the per-section CRCs give the section bodies.
+    fn check_padding(table: &[(u32, usize, usize)], payload: &[u8]) -> Result<(), SnapshotError> {
+        let mut spans: Vec<(usize, usize)> = table
+            .iter()
+            .map(|&(_, offset, len)| (offset, offset + len))
+            .collect();
+        spans.sort_unstable();
+        spans.push((payload.len(), payload.len()));
+        let mut cursor = 0usize;
+        for (start, end) in spans {
+            if start > cursor {
+                if let Some(i) = payload[cursor..start].iter().position(|&b| b != 0) {
+                    return Err(SnapshotError::Malformed(format!(
+                        "nonzero padding byte at payload offset {}",
+                        cursor + i
+                    )));
+                }
+            }
+            cursor = cursor.max(end);
+        }
+        Ok(())
+    }
+
+    /// Decode a snapshot produced by [`Snapshot::encode`] (version 3) or an
+    /// older writer (versions 1 and 2). The dataset is always copied into an
+    /// owned buffer; use [`Snapshot::open_mmap`] / [`Snapshot::decode_mapped`]
+    /// for the zero-copy path.
     ///
     /// # Errors
     /// Returns [`SnapshotError::Malformed`] on any structural problem and the
     /// wrapped section error when a section body fails to decode. Checksums
     /// are verified **before** any section is parsed, so a corrupted file is
-    /// rejected rather than half-loaded; in format v2 the failing section is
-    /// named.
+    /// rejected rather than half-loaded; since format v2 the failing section
+    /// is named.
     pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::decode_impl(bytes, None)
+    }
+
+    /// Decode a snapshot directly from a shared file mapping.
+    ///
+    /// Identical validation to [`Snapshot::decode`] — every checksum is
+    /// verified once, against the mapping — but for a format-v3 file whose
+    /// dataset section meets the alignment rule (every file the v3 writer
+    /// produces does), the dataset is served **in place** from the mapping:
+    /// no `Vec<f32>` allocation, no copy, page-cache pages shared with every
+    /// other process mapping the same file. Misaligned v3 files, v1/v2
+    /// files and big-endian hosts fall back to the copying path
+    /// transparently.
+    pub fn decode_mapped(map: &Arc<Mmap>) -> Result<Self, SnapshotError> {
+        Self::decode_impl(&map[..], Some(map))
+    }
+
+    fn decode_impl(bytes: &[u8], map: Option<&Arc<Mmap>>) -> Result<Self, SnapshotError> {
         if bytes.len() < 16 {
             return Err(SnapshotError::Malformed(format!(
                 "{} bytes is shorter than the fixed header",
@@ -398,7 +649,7 @@ impl Snapshot {
         let version = cursor.get_u32_le();
         let (table, payload) = match version {
             1 => Self::parse_v1(bytes)?,
-            2 => Self::parse_v2(bytes)?,
+            2 | 3 => Self::parse_tabled(bytes, version)?,
             _ => {
                 return Err(SnapshotError::Malformed(format!(
                     "unsupported snapshot version {version} (this reader supports \
@@ -435,7 +686,18 @@ impl Snapshot {
             std::str::from_utf8(required(SECTION_CONFIG, "config")?)
                 .map_err(|e| SnapshotError::Malformed(format!("config is not UTF-8: {e}")))?,
         )?;
-        let data = vio::decode(required(SECTION_DATASET, "dataset")?)?;
+        let dataset_section = required(SECTION_DATASET, "dataset")?;
+        let data = match map {
+            // Zero-copy only for v3: its writer is the one that guarantees
+            // section alignment. `dataset_from_map` still re-checks the
+            // actual pointer and falls back to copying when a (hand-built)
+            // v3 file is misaligned.
+            Some(map) if version >= 3 => {
+                let offset = dataset_section.as_ptr() as usize - bytes.as_ptr() as usize;
+                mapped::dataset_from_map(map, offset, dataset_section.len())?
+            }
+            _ => vio::decode(dataset_section)?,
+        };
         let mut estimator_bytes = required(SECTION_ESTIMATOR, "estimator")?;
         let estimator = MlpEstimator::decode_binary(&mut estimator_bytes)?;
         if !estimator_bytes.is_empty() {
@@ -488,16 +750,31 @@ impl Snapshot {
         })
     }
 
-    /// Write the encoded snapshot to `path`.
+    /// Write the encoded snapshot to `path`, streaming via
+    /// [`Snapshot::encode_to_writer`] so the file is never assembled in
+    /// memory.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
-        fs::write(path, self.encode()?)?;
+        let file = fs::File::create(path)?;
+        let mut writer = std::io::BufWriter::new(file);
+        self.encode_to_writer(&mut writer)?;
+        writer.flush()?;
         Ok(())
     }
 
-    /// Read and decode a snapshot previously written with [`Snapshot::save`].
+    /// Read and decode a snapshot previously written with [`Snapshot::save`],
+    /// copying the dataset into an owned buffer.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
         let bytes = fs::read(path)?;
         Self::decode(&bytes)
+    }
+
+    /// Memory-map the snapshot at `path` and decode it zero-copy: the file
+    /// is validated (every checksum verified once, against the mapping) and
+    /// the dataset section of a format-v3 file is served in place — see
+    /// [`Snapshot::decode_mapped`]. Needs only read access to the file.
+    pub fn open_mmap<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let map = mapped::map_file(path)?;
+        Self::decode_mapped(&map)
     }
 }
 
@@ -668,11 +945,12 @@ mod tests {
         let snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
         for bytes in [
             snap.encode().unwrap().to_vec(),
+            snap.encode_v2().unwrap().to_vec(),
             snap.encode_v1().unwrap().to_vec(),
         ] {
             // Flip one byte at a sample of positions spread over the whole
-            // file: a checksum (header or per-section in v2, whole-file in
-            // v1) must reject every single one.
+            // file: a check (header/per-section CRC in v2+, whole-file CRC
+            // in v1, the zero-padding rule in v3) must reject every one.
             let stride = (bytes.len() / 64).max(1);
             for pos in (0..bytes.len()).step_by(stride) {
                 let mut corrupt = bytes.clone();
@@ -758,7 +1036,7 @@ mod tests {
         let mut refs: Vec<(u32, &[u8])> =
             sections.iter().map(|(i, b)| (*i, b.as_slice())).collect();
         refs.push((999, &mystery));
-        for version in [1, 2] {
+        for version in [1, 2, 3] {
             let bytes = build_raw(version, &refs);
             let back = Snapshot::decode(&bytes).unwrap();
             assert_eq!(back.config, snap.config, "version {version}");
@@ -776,7 +1054,7 @@ mod tests {
             .filter(|(id, _)| *id != SECTION_ESTIMATOR)
             .map(|(i, b)| (*i, b.as_slice()))
             .collect();
-        for version in [1, 2] {
+        for version in [1, 2, 3] {
             let bytes = build_raw(version, &refs);
             let err = Snapshot::decode(&bytes).unwrap_err();
             assert!(
@@ -824,6 +1102,169 @@ mod tests {
             matches!(err, SnapshotError::Engine(_)),
             "unexpected error: {err}"
         );
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("laf_core_snapshot_v3_test");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn encode_writes_version_3_with_eight_byte_aligned_sections() {
+        let mut snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        snap.calibration = Some(QErrorReport {
+            evaluated: 5,
+            mean: 1.2,
+            median: 1.1,
+            p95: 2.5,
+            max: 4.0,
+        });
+        let bytes = snap.encode().unwrap();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            3,
+            "encode must write format version 3"
+        );
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        assert_eq!(count, 5);
+        let header_len = 12 + count * 24;
+        for entry in 0..count {
+            let at = 12 + entry * 24;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            assert_eq!(
+                (header_len + offset) % SECTION_ALIGN,
+                0,
+                "section {id} body must start at an 8-byte-aligned file offset"
+            );
+        }
+        // The padded layout still round-trips bit-exactly.
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.data, snap.data);
+        assert_eq!(back.calibration, snap.calibration);
+        assert_eq!(back.engine, snap.engine);
+    }
+
+    #[test]
+    fn v2_snapshots_still_load_with_their_engine() {
+        let snap = snapshot_with_engine(EngineChoice::Ivf {
+            nlist: 4,
+            nprobe: 2,
+        });
+        let bytes = snap.encode_v2().unwrap();
+        assert_eq!(bytes[4], 2, "encode_v2 must write format version 2");
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.data, snap.data);
+        assert_eq!(back.engine, snap.engine);
+    }
+
+    #[test]
+    fn save_streams_bytes_identical_to_encode() {
+        // encode_to_writer is the single writer; save must stream exactly
+        // the bytes encode() materializes.
+        let snap = snapshot_with_engine(EngineChoice::KMeansTree {
+            branching: 3,
+            leaf_ratio: 0.7,
+        });
+        let path = temp_path("stream.lafs");
+        snap.save(&path).unwrap();
+        let on_disk = fs::read(&path).unwrap();
+        assert_eq!(on_disk, snap.encode().unwrap().to_vec());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_mmap_serves_the_dataset_in_place() {
+        let snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        let path = temp_path("mapped.lafs");
+        snap.save(&path).unwrap();
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+        assert!(
+            cfg!(target_endian = "big") || mapped.data.is_mapped(),
+            "a v3 file written by save() must load zero-copy"
+        );
+        assert_eq!(mapped.data, snap.data);
+        assert_eq!(mapped.config, snap.config);
+        assert_eq!(mapped.engine, snap.engine);
+        // The copying loader agrees with the mapped one bit for bit.
+        let copied = Snapshot::load(&path).unwrap();
+        assert!(!copied.data.is_mapped());
+        assert_eq!(copied.data, mapped.data);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_mmap_on_v1_and_v2_files_falls_back_to_copying() {
+        let snap = trained_snapshot();
+        for (version, bytes) in [
+            (1u32, snap.encode_v1().unwrap()),
+            (2u32, snap.encode_v2().unwrap()),
+        ] {
+            let path = temp_path(&format!("legacy_v{version}.lafs"));
+            fs::write(&path, &bytes).unwrap();
+            let back = Snapshot::open_mmap(&path).unwrap();
+            assert!(
+                !back.data.is_mapped(),
+                "v{version} files must load through the copying path"
+            );
+            assert_eq!(back.data, snap.data, "version {version}");
+            fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn misaligned_v3_dataset_falls_back_to_an_owned_copy() {
+        // Hand-craft a v3 file that violates the writer's alignment rule: a
+        // filler section sized so the dataset's f32 payload lands on an odd
+        // file offset. The loader must transparently copy instead of
+        // reinterpreting, with byte-identical contents.
+        let snap = trained_snapshot();
+        let sections = raw_sections(&snap);
+        let config = &sections[0];
+        assert_eq!(config.0, SECTION_CONFIG);
+        let header_len = 12 + 4 * 24;
+        let mut filler_len = 1usize;
+        while (header_len + config.1.len() + filler_len + 20).is_multiple_of(4) {
+            filler_len += 1;
+        }
+        let filler = vec![0xABu8; filler_len];
+        let refs: Vec<(u32, &[u8])> = vec![
+            (sections[0].0, sections[0].1.as_slice()),
+            (999, filler.as_slice()),
+            (sections[1].0, sections[1].1.as_slice()),
+            (sections[2].0, sections[2].1.as_slice()),
+        ];
+        assert_eq!(refs[2].0, SECTION_DATASET);
+        let bytes = build_raw(3, &refs);
+        let path = temp_path("misaligned_v3.lafs");
+        fs::write(&path, &bytes).unwrap();
+        let back = Snapshot::open_mmap(&path).unwrap();
+        assert!(
+            !back.data.is_mapped(),
+            "misaligned payload must not be reinterpreted"
+        );
+        assert_eq!(back.data, snap.data, "fallback copy must be byte-identical");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn nonzero_padding_is_rejected_in_v3() {
+        // The alignment padding is the only part of a v3 file no CRC covers;
+        // the zero rule keeps "every corrupted byte is detected" true.
+        let snap = trained_snapshot();
+        let bytes = snap.encode().unwrap().to_vec();
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let header_len = 12 + count * 24;
+        // header_len = 12 + 24·count ≡ 4 (mod 8), so the first section is
+        // always preceded by exactly 4 padding bytes.
+        let first_offset = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        assert_eq!(first_offset, 4, "expected 4 bytes of leading padding");
+        let mut corrupt = bytes.clone();
+        corrupt[header_len] = 0x5A;
+        let err = Snapshot::decode(&corrupt).unwrap_err().to_string();
+        assert!(err.contains("padding"), "unexpected error: {err}");
     }
 
     #[test]

@@ -108,9 +108,28 @@ pub fn load_snapshot<P: AsRef<std::path::Path>>(
     core::LafPipeline::load(path)
 }
 
+/// Restore a [`core::LafPipeline`] by **memory-mapping** the snapshot
+/// instead of reading and copying it — the zero-copy warm start.
+///
+/// Same validation and bit-exact results as [`load_snapshot`], but a
+/// format-v3 snapshot's dataset is served in place from the kernel mapping
+/// (see [`vector::mapped`]): startup cost no longer scales with the dataset
+/// section, only read access to the file is needed, and all serving
+/// processes mapping one snapshot share a single set of page-cache pages.
+/// Older format versions fall back to copying transparently.
+///
+/// # Errors
+/// Returns [`core::SnapshotError`] on I/O/`mmap(2)` failures, checksum
+/// mismatches, unsupported format versions or malformed sections.
+pub fn load_snapshot_mmap<P: AsRef<std::path::Path>>(
+    path: P,
+) -> Result<core::LafPipeline, core::SnapshotError> {
+    core::LafPipeline::load_mmap(path)
+}
+
 /// One-stop import for applications.
 pub mod prelude {
-    pub use crate::{load_snapshot, save_snapshot};
+    pub use crate::{load_snapshot, load_snapshot_mmap, save_snapshot};
     pub use laf_cardest::{
         CardinalityEstimator, ConstantEstimator, ExactEstimator, HistogramEstimator, Mlp,
         MlpEstimator, NetConfig, RmiConfig, RmiEstimator, SamplingEstimator, TrainingSet,

@@ -6,20 +6,152 @@
 
 use crate::error::VectorError;
 use crate::ops;
+#[cfg(target_endian = "little")]
+use memmap2::Mmap;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+#[cfg(target_endian = "little")]
+use std::sync::Arc;
+
+/// The storage behind a [`Dataset`]'s flat `f32` buffer: either an owned
+/// `Vec<f32>` (every mutating constructor) or a borrowed window into a
+/// memory-mapped snapshot file (zero-copy warm starts — see
+/// [`crate::mapped`]).
+///
+/// Every accessor on [`Dataset`] goes through [`DataBacking::as_slice`], so
+/// distance kernels, engines and clustering code are oblivious to which
+/// variant they are reading. Mutating a mapped dataset transparently
+/// promotes it to an owned copy first (copy-on-write); the serving path
+/// never mutates, so it stays zero-copy.
+#[derive(Clone, Debug)]
+pub enum DataBacking {
+    /// Heap-owned flat buffer (the classic backing).
+    Owned(Vec<f32>),
+    /// A validated window into a shared read-only file mapping. Only
+    /// constructed on little-endian targets (the on-disk format is
+    /// little-endian `f32`, so reinterpreting the mapped bytes is only valid
+    /// there) by [`crate::mapped::dataset_from_map`], which verifies
+    /// alignment and bounds before the window exists — [`MappedSlice`]'s
+    /// fields are private, so safe downstream code cannot forge an
+    /// unvalidated one.
+    #[cfg(target_endian = "little")]
+    Mapped(MappedSlice),
+}
+
+/// A bounds- and alignment-checked `f32` window into an [`Mmap`].
+///
+/// Deliberately opaque: the `unsafe` reinterpret in
+/// [`MappedSlice::as_slice`] is sound only because every value of this type
+/// went through [`crate::mapped::dataset_from_map`]'s validation, so the
+/// fields are private and there is no public constructor.
+#[cfg(target_endian = "little")]
+#[derive(Clone, Debug)]
+pub struct MappedSlice {
+    /// The file mapping keeping the window alive.
+    map: Arc<Mmap>,
+    /// Byte offset of the first `f32` within the mapping (4-byte aligned,
+    /// enforced at construction).
+    offset: usize,
+    /// Number of `f32` elements in the window.
+    len: usize,
+}
+
+#[cfg(target_endian = "little")]
+impl MappedSlice {
+    /// The mapped `f32` view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: construction (crate::mapped::dataset_from_map) verified
+        // that `offset..offset + len * 4` lies inside the mapping and that
+        // `base + offset` is 4-byte aligned; the Arc keeps the mapping alive
+        // for the borrow, the mapping is immutable, and every bit pattern is
+        // a valid f32.
+        unsafe {
+            std::slice::from_raw_parts(self.map.as_ptr().add(self.offset) as *const f32, self.len)
+        }
+    }
+}
+
+impl DataBacking {
+    /// The flat `f32` view, whichever variant backs it.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            DataBacking::Owned(v) => v,
+            #[cfg(target_endian = "little")]
+            DataBacking::Mapped(window) => window.as_slice(),
+        }
+    }
+
+    /// `true` for the memory-mapped variant.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            DataBacking::Owned(_) => false,
+            #[cfg(target_endian = "little")]
+            DataBacking::Mapped(_) => true,
+        }
+    }
+}
 
 /// A dense, row-major matrix of `f32` vectors.
 ///
 /// Invariants:
-/// * `data.len() == len * dim`
+/// * `data.as_slice().len() == len * dim`
 /// * `dim > 0` once the first row has been pushed.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     dim: usize,
     len: usize,
-    data: Vec<f32>,
+    data: DataBacking,
+}
+
+/// Semantic equality: same shape, same flat contents — an owned dataset and
+/// a mapped dataset over the same bytes compare equal.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.len == other.len && self.as_flat() == other.as_flat()
+    }
+}
+
+/// Serializes as `{dim, len, data}` with the flat buffer materialized, the
+/// same shape the pre-backing derive produced, so JSON fixtures are
+/// unaffected by which variant backs the dataset.
+impl Serialize for Dataset {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("len".to_string(), self.len.to_value()),
+            (
+                "data".to_string(),
+                serde::value::Value::Array(self.as_flat().iter().map(|x| x.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::de::Error::expected("object", v))?;
+        let field = |name: &str| {
+            serde::value::find(obj, name)
+                .ok_or_else(|| serde::de::Error::msg(format!("missing Dataset field `{name}`")))
+        };
+        let dim = usize::from_value(field("dim")?)?;
+        let len = usize::from_value(field("len")?)?;
+        let data = Vec::<f32>::from_value(field("data")?)?;
+        let ds = Dataset::from_flat(dim, data)
+            .map_err(|e| serde::de::Error::msg(format!("invalid Dataset: {e}")))?;
+        if ds.len() != len {
+            return Err(serde::de::Error::msg(format!(
+                "Dataset `len` field says {len} rows but the buffer holds {}",
+                ds.len()
+            )));
+        }
+        Ok(ds)
+    }
 }
 
 impl Dataset {
@@ -36,14 +168,14 @@ impl Dataset {
         Ok(Self {
             dim,
             len: 0,
-            data: Vec::new(),
+            data: DataBacking::Owned(Vec::new()),
         })
     }
 
     /// Create an empty dataset with capacity pre-reserved for `rows` rows.
     pub fn with_capacity(dim: usize, rows: usize) -> Result<Self, VectorError> {
         let mut d = Self::new(dim)?;
-        d.data.reserve(rows * dim);
+        d.owned_mut().reserve(rows * dim);
         Ok(d)
     }
 
@@ -65,7 +197,57 @@ impl Dataset {
             });
         }
         let len = data.len() / dim;
-        Ok(Self { dim, len, data })
+        Ok(Self {
+            dim,
+            len,
+            data: DataBacking::Owned(data),
+        })
+    }
+
+    /// Build a dataset over a window of a shared file mapping, without
+    /// copying. Used by [`crate::mapped::dataset_from_map`], which performs
+    /// the bounds/alignment validation this constructor relies on.
+    #[cfg(target_endian = "little")]
+    pub(crate) fn from_mapped(
+        dim: usize,
+        map: Arc<Mmap>,
+        byte_offset: usize,
+        floats: usize,
+    ) -> Self {
+        debug_assert!(dim > 0 && floats.is_multiple_of(dim));
+        Self {
+            dim,
+            len: floats / dim,
+            data: DataBacking::Mapped(MappedSlice {
+                map,
+                offset: byte_offset,
+                len: floats,
+            }),
+        }
+    }
+
+    /// The storage variant backing this dataset (owned or mapped).
+    pub fn backing(&self) -> &DataBacking {
+        &self.data
+    }
+
+    /// `true` when the flat buffer is served zero-copy from a file mapping
+    /// rather than an owned heap allocation.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
+    }
+
+    /// Mutable access to the owned buffer, promoting a mapped backing to an
+    /// owned copy first (copy-on-write).
+    fn owned_mut(&mut self) -> &mut Vec<f32> {
+        if self.data.is_mapped() {
+            self.data = DataBacking::Owned(self.data.as_slice().to_vec());
+        }
+        match &mut self.data {
+            DataBacking::Owned(v) => v,
+            #[cfg(target_endian = "little")]
+            DataBacking::Mapped(_) => unreachable!("mapped backing promoted above"),
+        }
     }
 
     /// Build a dataset from an iterator of rows.
@@ -116,7 +298,7 @@ impl Dataset {
     /// variant.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        &self.data.as_slice()[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Checked row access.
@@ -136,7 +318,8 @@ impl Dataset {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        &mut self.data[i * self.dim..(i + 1) * self.dim]
+        let dim = self.dim;
+        &mut self.owned_mut()[i * dim..(i + 1) * dim]
     }
 
     /// Append a row.
@@ -150,7 +333,7 @@ impl Dataset {
                 found: row.len(),
             });
         }
-        self.data.extend_from_slice(row);
+        self.owned_mut().extend_from_slice(row);
         self.len += 1;
         Ok(())
     }
@@ -166,33 +349,40 @@ impl Dataset {
                 found: other.dim,
             });
         }
-        self.data.extend_from_slice(&other.data);
+        self.owned_mut().extend_from_slice(other.as_flat());
         self.len += other.len;
         Ok(())
     }
 
     /// Iterate over rows as slices.
     pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
-        self.data.chunks_exact(self.dim)
+        self.data.as_slice().chunks_exact(self.dim)
     }
 
     /// The flat row-major buffer backing this dataset.
     #[inline]
     pub fn as_flat(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Consume the dataset and return the flat buffer.
+    /// Consume the dataset and return the flat buffer (copying if it was
+    /// memory-mapped).
     pub fn into_flat(self) -> Vec<f32> {
-        self.data
+        match self.data {
+            DataBacking::Owned(v) => v,
+            #[cfg(target_endian = "little")]
+            ref mapped @ DataBacking::Mapped(_) => mapped.as_slice().to_vec(),
+        }
     }
 
     /// L2-normalize every row in place (rows with near-zero norm are left
     /// unchanged). Returns the number of rows that could not be normalized.
     pub fn normalize(&mut self) -> usize {
+        let (dim, len) = (self.dim, self.len);
+        let data = self.owned_mut();
         let mut degenerate = 0;
-        for i in 0..self.len {
-            let row = &mut self.data[i * self.dim..(i + 1) * self.dim];
+        for i in 0..len {
+            let row = &mut data[i * dim..(i + 1) * dim];
             if ops::normalize_in_place(row) <= 1e-12 {
                 degenerate += 1;
             }

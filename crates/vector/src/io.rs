@@ -17,10 +17,49 @@ use std::path::Path;
 pub const MAGIC: &[u8; 4] = b"LAFV";
 /// Current binary format version.
 pub const FORMAT_VERSION: u32 = 1;
+/// Size of the fixed header preceding the `f32` payload: magic (4) +
+/// version (4) + row count (8) + dimensionality (4). The zero-copy mapped
+/// loader ([`crate::mapped`]) relies on this to locate the payload, so it
+/// lives here, next to the encoder that defines it.
+pub const HEADER_LEN: usize = 20;
 
 /// Exact number of bytes [`encode`] produces for `data` (header + payload).
 pub fn encoded_len(data: &Dataset) -> usize {
-    20 + data.len() * data.dim() * 4
+    HEADER_LEN + data.len() * data.dim() * 4
+}
+
+/// Number of `f32` values converted per chunk by [`encode_chunked`]. 8 KiB
+/// chunks keep the conversion buffer L1-resident while amortizing the
+/// per-chunk call overhead.
+const CHUNK_FLOATS: usize = 2048;
+
+/// Stream the binary encoding of a dataset as a sequence of byte chunks.
+///
+/// This is the zero-materialization form of [`encode`]: the header and then
+/// bounded-size blocks of the `f32` payload are handed to `emit` in order,
+/// so callers (checksumming, file writers) never hold more than one chunk —
+/// the snapshot writer in `laf-core` uses this to stream multi-hundred-MB
+/// dataset sections straight to disk. The concatenated chunks are exactly
+/// what [`decode`] accepts. Stops at the first `emit` error.
+pub fn encode_chunked<E>(
+    data: &Dataset,
+    mut emit: impl FnMut(&[u8]) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(data.dim() as u32).to_le_bytes());
+    emit(&header)?;
+    let mut chunk = Vec::with_capacity(CHUNK_FLOATS * 4);
+    for block in data.as_flat().chunks(CHUNK_FLOATS) {
+        chunk.clear();
+        for &x in block {
+            chunk.extend_from_slice(&x.to_le_bytes());
+        }
+        emit(&chunk)?;
+    }
+    Ok(())
 }
 
 /// Append the binary encoding of a dataset to an existing buffer.
@@ -30,12 +69,12 @@ pub fn encoded_len(data: &Dataset) -> usize {
 /// in their own payload without an intermediate allocation. The bytes written
 /// are exactly what [`decode`] accepts.
 pub fn encode_into(data: &Dataset, buf: &mut impl BufMut) {
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(FORMAT_VERSION);
-    buf.put_u64_le(data.len() as u64);
-    buf.put_u32_le(data.dim() as u32);
-    for &x in data.as_flat() {
-        buf.put_f32_le(x);
+    match encode_chunked::<std::convert::Infallible>(data, |chunk| {
+        buf.put_slice(chunk);
+        Ok(())
+    }) {
+        Ok(()) => {}
+        Err(e) => match e {},
     }
 }
 
@@ -46,13 +85,19 @@ pub fn encode(data: &Dataset) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a dataset from the binary format produced by [`encode`].
+/// Validate the header and total size of an encoded dataset region without
+/// touching the `f32` payload; returns `(rows, dim)`.
+///
+/// Shared by the copying decoder ([`decode`]) and the zero-copy mapped
+/// loader ([`crate::mapped::dataset_from_map`]), which borrows the payload
+/// in place after this structural check.
 ///
 /// # Errors
-/// Returns [`VectorError::MalformedPayload`] on any structural problem
-/// (bad magic, unsupported version, truncated payload, trailing bytes).
-pub fn decode(mut bytes: &[u8]) -> Result<Dataset, VectorError> {
-    if bytes.len() < 20 {
+/// Returns [`VectorError::MalformedPayload`] on bad magic, unsupported
+/// version, zero dimensionality, or a payload whose byte count does not
+/// match `rows * dim * 4` exactly.
+pub fn validate_header(mut bytes: &[u8]) -> Result<(usize, usize), VectorError> {
+    if bytes.len() < HEADER_LEN {
         return Err(VectorError::MalformedPayload(
             "payload shorter than header".to_string(),
         ));
@@ -87,9 +132,20 @@ pub fn decode(mut bytes: &[u8]) -> Result<Dataset, VectorError> {
             bytes.remaining()
         )));
     }
+    Ok((len, dim))
+}
+
+/// Decode a dataset from the binary format produced by [`encode`].
+///
+/// # Errors
+/// Returns [`VectorError::MalformedPayload`] on any structural problem
+/// (bad magic, unsupported version, truncated payload, trailing bytes).
+pub fn decode(bytes: &[u8]) -> Result<Dataset, VectorError> {
+    let (len, dim) = validate_header(bytes)?;
+    let mut payload = &bytes[HEADER_LEN..];
     let mut flat = Vec::with_capacity(len * dim);
     for _ in 0..len * dim {
-        flat.push(bytes.get_f32_le());
+        flat.push(payload.get_f32_le());
     }
     Dataset::from_flat(dim, flat)
 }

@@ -7,7 +7,9 @@
 //! the clustering and estimation layers need to talk about such data:
 //!
 //! * [`Dataset`] — a contiguous, row-major `f32` matrix with cheap row access,
-//!   normalization, sampling and serialization.
+//!   normalization, sampling and serialization, backed either by an owned
+//!   buffer or zero-copy by a memory-mapped file ([`DataBacking`], built in
+//!   [`mapped`]).
 //! * [`Distance`] — the distance-metric abstraction with [`CosineDistance`],
 //!   [`AngularDistance`], [`EuclideanDistance`], [`SquaredEuclideanDistance`]
 //!   and [`DotProductSimilarity`] implementations, plus the cosine↔Euclidean
@@ -25,11 +27,14 @@ pub mod dataset;
 pub mod distance;
 pub mod error;
 pub mod io;
+pub mod mapped;
 pub mod ops;
 pub mod projection;
 pub mod stats;
 
-pub use dataset::{Dataset, DatasetBuilder};
+#[cfg(target_endian = "little")]
+pub use dataset::MappedSlice;
+pub use dataset::{DataBacking, Dataset, DatasetBuilder};
 pub use distance::{
     cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, DistanceMetric,
     DotProductSimilarity, EuclideanDistance, Metric, SquaredEuclideanDistance,

@@ -1,0 +1,189 @@
+//! Zero-copy datasets over memory-mapped files.
+//!
+//! The train-once/serve-many pipeline persists the dataset as a flat
+//! little-endian `f32` buffer (see [`crate::io`]). When that buffer sits at
+//! a 4-byte-aligned offset of a file mapping — which the snapshot format v3
+//! writer guarantees by padding sections to 8-byte alignment — a serving
+//! process on a little-endian target can reinterpret the mapped bytes as
+//! `&[f32]` **in place**: no allocation, no copy, and every process mapping
+//! the same snapshot shares one set of page-cache pages.
+//!
+//! [`dataset_from_map`] is the safe front door: it validates the
+//! [`crate::io`] header, bounds and alignment against the mapping, and
+//! falls back to the copying decoder whenever the zero-copy preconditions
+//! do not hold (misaligned payload, big-endian target), so callers always
+//! get a correct [`Dataset`] — just not always a borrowed one.
+
+use crate::dataset::Dataset;
+use crate::error::VectorError;
+use crate::io;
+use std::fs::File;
+use std::path::Path;
+use std::sync::Arc;
+
+pub use memmap2::Mmap;
+
+/// Map the file at `path` read-only in its entirety.
+///
+/// The mapping aliases the file's pages: callers must treat the file as
+/// immutable while the map is live (truncating it concurrently raises
+/// `SIGBUS`). Snapshot files are written once and then only read, which is
+/// exactly that contract — hence the safe wrapper around the unsafe
+/// [`Mmap::map`].
+///
+/// # Errors
+/// Propagates open/metadata/`mmap(2)` failures as [`VectorError::Io`].
+pub fn map_file<P: AsRef<Path>>(path: P) -> Result<Arc<Mmap>, VectorError> {
+    let file = File::open(path)?;
+    // SAFETY: see above — the caller contract of this module is that mapped
+    // files are immutable for the lifetime of the mapping.
+    let map = unsafe { Mmap::map(&file)? };
+    Ok(Arc::new(map))
+}
+
+/// Decode the [`crate::io`] dataset region at `map[offset..offset + len]`,
+/// borrowing the `f32` payload from the mapping when possible.
+///
+/// Zero-copy engages when the target is little-endian **and** the payload
+/// start is 4-byte aligned within the mapping; otherwise the bytes are
+/// decoded through the copying path ([`io::decode`]) into an owned dataset.
+/// Either way the returned dataset is identical element-for-element; use
+/// [`Dataset::is_mapped`] to observe which path was taken.
+///
+/// # Errors
+/// Returns [`VectorError::MalformedPayload`] when the region does not lie
+/// inside the mapping or fails [`io::decode`]'s structural validation.
+pub fn dataset_from_map(
+    map: &Arc<Mmap>,
+    offset: usize,
+    len: usize,
+) -> Result<Dataset, VectorError> {
+    let end = offset
+        .checked_add(len)
+        .filter(|&end| end <= map.len())
+        .ok_or_else(|| {
+            VectorError::MalformedPayload(format!(
+                "dataset region {offset}..{} exceeds the {}-byte mapping",
+                offset.saturating_add(len),
+                map.len()
+            ))
+        })?;
+    let bytes = &map[offset..end];
+    // Validate the header and total size exactly as the copying decoder
+    // would; only the f32 payload itself is borrowed instead of copied.
+    let (rows, dim) = io::validate_header(bytes)?;
+    try_borrow(map, offset, rows, dim).map_or_else(|| io::decode(bytes), Ok)
+}
+
+/// The zero-copy reinterpret path: compiled out on big-endian targets, where
+/// the on-disk little-endian `f32`s cannot be viewed in place.
+#[cfg(target_endian = "little")]
+fn try_borrow(map: &Arc<Mmap>, offset: usize, rows: usize, dim: usize) -> Option<Dataset> {
+    let payload = offset + io::HEADER_LEN;
+    if !(map.as_ptr() as usize + payload).is_multiple_of(std::mem::align_of::<f32>()) {
+        return None;
+    }
+    Some(Dataset::from_mapped(dim, map.clone(), payload, rows * dim))
+}
+
+#[cfg(not(target_endian = "little"))]
+fn try_borrow(_map: &Arc<Mmap>, _offset: usize, _rows: usize, _dim: usize) -> Option<Dataset> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![1.0f32, -2.5, 3.25],
+            vec![0.0, 0.5, -0.125],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("laf_vector_mapped_{}_{name}", std::process::id()));
+        File::create(&path).unwrap().write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn aligned_region_is_borrowed_and_identical() {
+        let d = toy();
+        let path = write_temp("aligned", &io::encode(&d));
+        let map = map_file(&path).unwrap();
+        let mapped = dataset_from_map(&map, 0, map.len()).unwrap();
+        // Offset 0 in a page-aligned mapping puts the payload at byte 20 —
+        // 4-byte aligned, so the little-endian fast path engages.
+        assert!(cfg!(target_endian = "big") || mapped.is_mapped());
+        assert_eq!(mapped, d);
+        assert_eq!(mapped.row(2), d.row(2));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn misaligned_region_falls_back_to_an_owned_copy() {
+        let d = toy();
+        let mut bytes = vec![0xEE]; // 1-byte prefix breaks 4-byte alignment
+        bytes.extend_from_slice(&io::encode(&d));
+        let path = write_temp("misaligned", &bytes);
+        let map = map_file(&path).unwrap();
+        let mapped = dataset_from_map(&map, 1, map.len() - 1).unwrap();
+        assert!(!mapped.is_mapped());
+        assert_eq!(mapped, d);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_and_corrupt_regions_are_rejected() {
+        let d = toy();
+        let path = write_temp("bounds", &io::encode(&d));
+        let map = map_file(&path).unwrap();
+        assert!(dataset_from_map(&map, 0, map.len() + 1).is_err());
+        assert!(dataset_from_map(&map, usize::MAX, 8).is_err());
+        assert!(dataset_from_map(&map, 4, map.len() - 4).is_err()); // bad magic
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mutation_promotes_a_mapped_dataset_to_owned() {
+        let d = toy();
+        let path = write_temp("cow", &io::encode(&d));
+        let map = map_file(&path).unwrap();
+        let mut mapped = dataset_from_map(&map, 0, map.len()).unwrap();
+        mapped.push(&[4.0, 5.0, 6.0]).unwrap();
+        assert!(!mapped.is_mapped(), "mutation must copy-on-write");
+        assert_eq!(mapped.len(), d.len() + 1);
+        assert_eq!(mapped.row(0), d.row(0));
+        assert_eq!(mapped.row(3), &[4.0, 5.0, 6.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn clone_and_serde_of_a_mapped_dataset_behave_like_owned() {
+        let d = toy();
+        let path = write_temp("clone", &io::encode(&d));
+        let map = map_file(&path).unwrap();
+        let mapped = dataset_from_map(&map, 0, map.len()).unwrap();
+        let cloned = mapped.clone();
+        assert_eq!(cloned, d);
+        let json = serde_json::to_string(&mapped).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert!(!back.is_mapped());
+        assert_eq!(back, d);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            map_file("/nonexistent/nope.lafv"),
+            Err(VectorError::Io(_))
+        ));
+    }
+}

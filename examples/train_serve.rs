@@ -18,7 +18,13 @@
 //! # byte for byte.
 //! cargo run --release --example train_serve -- serve /tmp/pipeline.lafs
 //!
-//! # Or run both phases in sequence against a temp file:
+//! # Same, but zero-copy: memory-map the snapshot and serve the dataset in
+//! # place (format v3). Needs only read access to the file — works on a
+//! # chmod 444 snapshot — and shares page-cache pages across every serving
+//! # process mapping the same file:
+//! cargo run --release --example train_serve -- serve-mmap /tmp/pipeline.lafs
+//!
+//! # Or run all phases in sequence against a temp file:
 //! cargo run --release --example train_serve [engine]
 //! ```
 //!
@@ -144,19 +150,50 @@ fn train(snapshot_path: &str, engine: EngineChoice) {
     write_labels(&labels_sidecar(snapshot_path), clustering.labels());
 }
 
-fn serve(snapshot_path: &str) {
+/// Format version from a `.lafs` header (bytes 4..8), `None` if unreadable.
+fn snapshot_format_version(snapshot_path: &str) -> Option<u32> {
+    use std::io::Read;
+    let mut header = [0u8; 8];
+    std::fs::File::open(snapshot_path)
+        .and_then(|mut f| f.read_exact(&mut header))
+        .ok()?;
+    Some(u32::from_le_bytes(
+        header[4..8].try_into().expect("4 bytes"),
+    ))
+}
+
+fn serve(snapshot_path: &str, mmap: bool) {
     let t = Instant::now();
-    let pipeline = load_snapshot(snapshot_path).expect("snapshot load");
+    let pipeline = if mmap {
+        load_snapshot_mmap(snapshot_path).expect("snapshot mmap load")
+    } else {
+        load_snapshot(snapshot_path).expect("snapshot load")
+    };
     println!(
-        "[serve] warm start: {} points x {} dims restored in {:.2?} (no retraining; engine {})",
+        "[serve] warm start: {} points x {} dims restored in {:.2?} (no retraining; dataset {}; engine {})",
         pipeline.data().len(),
         pipeline.data().dim(),
         t.elapsed(),
+        if pipeline.data().is_mapped() {
+            "served zero-copy from the file mapping"
+        } else {
+            "copied into an owned buffer"
+        },
         match pipeline.persisted_engine() {
             Some(e) => format!("`{}` restored without rebuild", e.kind()),
             None => "rebuilt from config".to_string(),
         }
     );
+    if mmap && cfg!(target_endian = "little") && snapshot_format_version(snapshot_path) >= Some(3) {
+        // The zero-copy path is the whole point of serve-mmap: fail loudly
+        // if a format-v3 snapshot fell back to copying. Older snapshots are
+        // *expected* to fall back (their writers guaranteed no alignment),
+        // so the assert is gated on the file's actual format version.
+        assert!(
+            pipeline.data().is_mapped(),
+            "serve-mmap on a v3 snapshot must map the dataset in place"
+        );
+    }
 
     let t = Instant::now();
     let (clustering, stats) = pipeline.cluster_with_stats();
@@ -189,7 +226,8 @@ fn main() {
     match args.as_slice() {
         [phase, path] if phase == "train" => train(path, EngineChoice::Linear),
         [phase, path, engine] if phase == "train" => train(path, parse_engine(engine)),
-        [phase, path] if phase == "serve" => serve(path),
+        [phase, path] if phase == "serve" => serve(path, false),
+        [phase, path] if phase == "serve-mmap" => serve(path, true),
         [] | [_] => {
             let engine = args
                 .first()
@@ -198,13 +236,15 @@ fn main() {
                 .join(format!("laf_train_serve_demo_{}.lafs", std::process::id()));
             let path = path.to_string_lossy().into_owned();
             train(&path, engine);
-            serve(&path);
+            serve(&path, false);
+            serve(&path, true);
             std::fs::remove_file(&path).ok();
             std::fs::remove_file(labels_sidecar(&path)).ok();
         }
         _ => {
             eprintln!(
-                "usage: train_serve [train <snapshot> [engine] | serve <snapshot> | [engine]]"
+                "usage: train_serve [train <snapshot> [engine] | serve <snapshot> | \
+                 serve-mmap <snapshot> | [engine]]"
             );
             std::process::exit(2);
         }

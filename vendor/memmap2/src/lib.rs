@@ -1,0 +1,258 @@
+//! Offline vendored stand-in for the `memmap2` crate: the read-only
+//! [`Mmap`] subset the snapshot loader uses.
+//!
+//! On 64-bit Linux the mapping is a real `mmap(2)` (`PROT_READ`,
+//! `MAP_SHARED`) obtained through raw `extern "C"` declarations — no libc
+//! crate, matching this workspace's offline-vendoring convention — so every
+//! process mapping the same snapshot file shares one set of page-cache
+//! pages. On other targets (and for empty files, which `mmap` rejects) the
+//! type transparently falls back to reading the file into an owned buffer:
+//! callers get the same `&[u8]` view either way, just without the sharing.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+mod sys {
+    //! Raw mmap/munmap bindings (LP64 Linux only: `off_t` is `i64`).
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// The bytes backing an [`Mmap`]: a live kernel mapping where the platform
+/// supports it, an owned copy of the file everywhere else.
+enum Backing {
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    Raw {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+/// A read-only memory map of an entire file.
+///
+/// Dereferences to `&[u8]`. The mapping (or fallback buffer) is released on
+/// drop; `Send + Sync` because the view is immutable.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ and never mutated through this type, so
+// concurrent shared access from any thread is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    /// The returned slice aliases the file's pages: if another process (or a
+    /// later `set_len` on the same file) truncates the file while the map is
+    /// live, touching the vanished pages raises `SIGBUS`. Callers must keep
+    /// the file unmodified for the lifetime of the map — snapshot files are
+    /// written once and then treated as immutable, which satisfies this.
+    ///
+    /// # Errors
+    /// Propagates metadata/read failures and the raw `mmap` errno.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds usize"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty owned buffer is
+            // indistinguishable to callers.
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        Self::map_inner(file, len)
+    }
+
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    unsafe fn map_inner(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            backing: Backing::Raw {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+    unsafe fn map_inner(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::{Read, Seek, SeekFrom};
+        // The contract is "the file in its entirety", independent of the
+        // handle's current cursor — rewind first (mmap ignores the cursor
+        // too) and insist on exactly the metadata length, so a concurrent
+        // resize surfaces as an error instead of a silently short view.
+        let mut file = file;
+        file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        if buf.len() != len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("expected {len} bytes, read {}", buf.len()),
+            ));
+        }
+        Ok(Mmap {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// Length of the mapped file in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` when the mapped file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Base address of the view (page-aligned for real mappings).
+    pub fn as_ptr(&self) -> *const u8 {
+        self.as_slice().as_ptr()
+    }
+
+    /// `true` when backed by a live kernel mapping rather than the owned
+    /// fallback buffer.
+    pub fn is_kernel_mapping(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+            Backing::Raw { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+            // SAFETY: ptr/len come from a successful PROT_READ mmap that
+            // stays live until drop; the map() contract forbids truncation.
+            Backing::Raw { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+            Backing::Raw { ptr, len } => {
+                // SAFETY: exactly the region a successful mmap returned.
+                unsafe { sys::munmap(*ptr as *mut std::ffi::c_void, *len) };
+            }
+            Backing::Owned(_) => {}
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("kernel_mapping", &self.is_kernel_mapping())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("memmap2_vendor_{}_{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp("basic", b"hello mapped world");
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        assert!(!map.is_empty());
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        {
+            assert!(map.is_kernel_mapping());
+            // mmap returns page-aligned addresses.
+            assert_eq!(map.as_ptr() as usize % 4096, 0);
+        }
+        drop(map);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp("empty", b"");
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        assert!(!map.is_kernel_mapping());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn map_outlives_the_file_handle_and_is_sendable() {
+        let path = temp("outlive", &[7u8; 4096 * 3]);
+        let map = {
+            let file = File::open(&path).unwrap();
+            unsafe { Mmap::map(&file).unwrap() }
+        };
+        // The fd may be closed; the mapping stays valid.
+        let handle = std::thread::spawn(move || map.iter().map(|&b| b as u64).sum::<u64>());
+        assert_eq!(handle.join().unwrap(), 7 * 4096 * 3);
+        std::fs::remove_file(path).ok();
+    }
+}
