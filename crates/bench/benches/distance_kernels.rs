@@ -32,6 +32,33 @@ fn bench_distances(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
             bench.iter(|| black_box(ops::dot(black_box(&a), black_box(&b))))
         });
+        // The query-major mini-GEMM tile: four dots per row load. Compare
+        // against 4x the scalar `dot` number to see the register-tiling win.
+        let (q0, q1, q2, q3) = (
+            random_unit(dim, &mut rng),
+            random_unit(dim, &mut rng),
+            random_unit(dim, &mut rng),
+            random_unit(dim, &mut rng),
+        );
+        group.bench_with_input(BenchmarkId::new("dot4", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                black_box(ops::dot4(
+                    black_box(&q0),
+                    black_box(&q1),
+                    black_box(&q2),
+                    black_box(&q3),
+                    black_box(&b),
+                ))
+            })
+        });
+        // Norm-cached cosine: the specialized kernel's per-row work (one dot
+        // + O(1) epilogue) vs the 3-dot `CosineDistance` above.
+        let kernel = laf_vector::MetricKernel::new(laf_vector::Metric::Cosine);
+        let prep = kernel.prepare(&a);
+        let b_norm = ops::norm(&b);
+        group.bench_with_input(BenchmarkId::new("cosine_kernel", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(kernel.dist(black_box(&prep), black_box(&b), b_norm)))
+        });
     }
     group.finish();
 }

@@ -1,7 +1,34 @@
 //! Throughput sweep of the batched, parallel query pipeline (queries/sec vs
-//! batch size vs threads). Writes `BENCH_throughput.json`.
+//! batch size vs threads) plus the kernel matrix (generic vs specialized
+//! distance kernels, per metric, per engine, scalar + batch) and the
+//! clustering-label bit-exactness checks. Writes `BENCH_throughput.json`.
+//!
+//! Exits non-zero when the kernel-layer regression gates fail, so CI's
+//! bench-smoke job can run this binary directly:
+//!
+//! * the specialized cosine linear-scan kernel must be at least 2x the
+//!   generic one at the configured scale (the norm cache turns three dot
+//!   products per distance into one — losing that means the kernel layer
+//!   regressed);
+//! * clustering labels must be byte-identical between the generic and
+//!   specialized kernel paths for every engine/metric combination (the
+//!   specialized kernels' correctness contract).
 
 fn main() {
     let cfg = laf_bench::HarnessConfig::from_env();
-    let _ = laf_bench::throughput::run(&cfg);
+    let report = laf_bench::throughput::run(&cfg);
+    assert!(
+        report.labels_identical_everywhere(),
+        "clustering labels diverged between generic and specialized kernels: {:?}",
+        report
+            .label_checks
+            .iter()
+            .filter(|c| !c.identical)
+            .collect::<Vec<_>>()
+    );
+    let speedup = report.cosine_linear_scalar_speedup();
+    assert!(
+        speedup >= 2.0,
+        "specialized cosine linear scan must be >= 2x the generic kernel, measured {speedup:.2}x"
+    );
 }

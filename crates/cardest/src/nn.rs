@@ -244,6 +244,11 @@ impl Mlp {
     /// instead of once per sample, which is what makes the LAF gate's batched
     /// prescan profitable.
     ///
+    /// The inner loop runs on the shared [`laf_vector::ops::dot4`] mini-GEMM
+    /// tile — four batch activations per weight-row load — whose lanes are
+    /// bit-identical to the scalar `dot`, so the batch/scalar bit-exactness
+    /// contract is preserved.
+    ///
     /// # Panics
     /// Panics if any input's length differs from [`Mlp::input_dim`].
     pub fn predict_batch(&self, xs: &[&[f32]]) -> Vec<f32> {
@@ -259,18 +264,35 @@ impl Mlp {
         }
         let mut width = self.input_dim;
         let last = self.layers.len() - 1;
+        let tiles = batch / 4 * 4;
         for (l, layer) in self.layers.iter().enumerate() {
             let mut next = vec![0.0f32; batch * layer.out_dim];
+            let relu = l != last;
             for o in 0..layer.out_dim {
                 let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
                 let bias = layer.b[o];
-                for b in 0..batch {
-                    let x = &cur[b * width..b * width + width];
-                    let mut v = laf_vector::ops::dot(row, x) + bias;
-                    if l != last && v < 0.0 {
+                let mut store = |b: usize, dot: f32| {
+                    let mut v = dot + bias;
+                    if relu && v < 0.0 {
                         v = 0.0;
                     }
                     next[b * layer.out_dim + o] = v;
+                };
+                // Four activations per weight-row load (f32 multiplication
+                // commutes, so dot4(x.., row) lanes equal dot(row, x)).
+                for b in (0..tiles).step_by(4) {
+                    let x0 = &cur[b * width..(b + 1) * width];
+                    let x1 = &cur[(b + 1) * width..(b + 2) * width];
+                    let x2 = &cur[(b + 2) * width..(b + 3) * width];
+                    let x3 = &cur[(b + 3) * width..(b + 4) * width];
+                    let dots = laf_vector::ops::dot4(x0, x1, x2, x3, row);
+                    for (lane, &d) in dots.iter().enumerate() {
+                        store(b + lane, d);
+                    }
+                }
+                for b in tiles..batch {
+                    let x = &cur[b * width..b * width + width];
+                    store(b, laf_vector::ops::dot(row, x));
                 }
             }
             cur = next;
@@ -587,6 +609,37 @@ mod tests {
         assert!(report.final_loss < 0.02, "loss {}", report.final_loss);
         assert!((net.predict(&[1.5]) - 1.5).abs() < 0.3);
         assert!((net.predict(&[-1.5]) - 1.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn predict_batch_is_bit_exact_with_scalar_forward_across_tile_shapes() {
+        // Batch sizes straddling the dot4 tile: empty, sub-tile, exactly one
+        // tile, tile + tail, many tiles. Every blocked prediction must be
+        // bit-identical to the scalar forward.
+        let mut net = Mlp::new(3, &[8, 5], 17);
+        let inputs: Vec<Vec<f32>> = (0..60)
+            .map(|i| {
+                vec![
+                    (i as f32 * 0.13).sin(),
+                    (i as f32 * 0.29).cos(),
+                    i as f32 / 60.0,
+                ]
+            })
+            .collect();
+        let targets: Vec<f32> = inputs.iter().map(|v| v[0] - v[1]).collect();
+        net.train(&inputs, &targets, &NetConfig::tiny());
+        for batch in [0usize, 1, 3, 4, 5, 8, 11, 32] {
+            let xs: Vec<&[f32]> = inputs.iter().take(batch).map(|v| v.as_slice()).collect();
+            let blocked = net.predict_batch(&xs);
+            assert_eq!(blocked.len(), batch);
+            for (b, x) in xs.iter().enumerate() {
+                assert_eq!(
+                    blocked[b].to_bits(),
+                    net.predict(x).to_bits(),
+                    "batch {batch} slot {b}"
+                );
+            }
+        }
     }
 
     #[test]

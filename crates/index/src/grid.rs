@@ -14,11 +14,11 @@
 //! Like the cover tree, the grid operates internally in Euclidean space over
 //! the normalized vectors and converts cosine thresholds via Equation (1).
 
-use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::engine::{KernelMode, Neighbor, RangeQueryEngine, TotalDist};
 use crate::persist::{PersistError, PersistedCell, PersistedEngine, PersistedGrid};
 use laf_vector::distance::DistanceMetric;
 use laf_vector::EuclideanDistance;
-use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric};
+use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, Metric, MetricKernel};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +56,11 @@ pub struct GridIndex<'a> {
     cells: Vec<Cell>,
     /// Map from quantized coordinates to position in `cells`.
     lookup: HashMap<Vec<i32>, u32>,
+    /// Candidate verification runs in the internal Euclidean space, so the
+    /// specialized kernel is always the Euclidean one regardless of the
+    /// public metric.
+    verify_kernel: MetricKernel,
+    mode: KernelMode,
     evaluations: AtomicU64,
 }
 
@@ -65,6 +70,17 @@ impl<'a> GridIndex<'a> {
     /// the side from its `eps_hint`. Sides below [`MIN_CELL_SIDE`] (or
     /// non-finite) are clamped up to it — see the constant's documentation.
     pub fn new(data: &'a Dataset, metric: Metric, cell_side: f32) -> Self {
+        Self::with_kernel_mode(data, metric, cell_side, KernelMode::default())
+    }
+
+    /// [`GridIndex::new`] with an explicit [`KernelMode`] for the candidate
+    /// verification loops.
+    pub fn with_kernel_mode(
+        data: &'a Dataset,
+        metric: Metric,
+        cell_side: f32,
+        mode: KernelMode,
+    ) -> Self {
         let cell_side = if cell_side.is_finite() && cell_side >= MIN_CELL_SIDE {
             cell_side
         } else {
@@ -92,8 +108,15 @@ impl<'a> GridIndex<'a> {
             cell_side,
             cells,
             lookup,
+            verify_kernel: MetricKernel::new(Metric::Euclidean),
+            mode,
             evaluations: AtomicU64::new(0),
         }
+    }
+
+    /// The kernel mode the verification loops run on.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Rebuild a grid from a [persisted structure](PersistedGrid) without
@@ -126,6 +149,8 @@ impl<'a> GridIndex<'a> {
             cell_side: p.cell_side,
             cells,
             lookup,
+            verify_kernel: MetricKernel::new(Metric::Euclidean),
+            mode: KernelMode::default(),
             evaluations: AtomicU64::new(0),
         })
     }
@@ -179,6 +204,91 @@ impl<'a> GridIndex<'a> {
         }
     }
 
+    /// Shared body of the blocked batch kernels: visit every cell once per
+    /// block, box-prune per query, and verify the surviving (query, point)
+    /// pairs — calling `hit(slot, point)` for each point within range.
+    ///
+    /// In specialized mode the queries that pass a cell's box check are
+    /// verified four at a time against each of the cell's points through the
+    /// [`MetricKernel::within4`] mini-GEMM tile (each point row is loaded
+    /// once per four queries); `norms` must then be `Some`. Generic mode is
+    /// the plain per-pair [`EuclideanDistance`] comparison. Both arms count
+    /// one evaluation per surviving pair into `evals`.
+    fn verify_block(
+        &self,
+        block: &[&[f32]],
+        eps_euc: f32,
+        norms: Option<&laf_vector::RowNorms>,
+        evals: &mut u64,
+        mut hit: impl FnMut(usize, u32),
+    ) {
+        match self.mode {
+            KernelMode::Generic => {
+                for cell in &self.cells {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.box_distance(q, &cell.coords) >= eps_euc {
+                            continue;
+                        }
+                        for &p in &cell.points {
+                            *evals += 1;
+                            if EuclideanDistance.dist(q, self.data.row(p as usize)) < eps_euc {
+                                hit(slot, p);
+                            }
+                        }
+                    }
+                }
+            }
+            KernelMode::Specialized => {
+                let norms = norms.expect("specialized mode passes the norm cache");
+                let probes: Vec<_> = block
+                    .iter()
+                    .map(|q| self.verify_kernel.probe(q, eps_euc))
+                    .collect();
+                let mut active: Vec<usize> = Vec::with_capacity(block.len());
+                for cell in &self.cells {
+                    active.clear();
+                    active.extend(block.iter().enumerate().filter_map(|(slot, q)| {
+                        (self.box_distance(q, &cell.coords) < eps_euc).then_some(slot)
+                    }));
+                    if active.is_empty() {
+                        continue;
+                    }
+                    *evals += (active.len() * cell.points.len()) as u64;
+                    let (tiles, rest) = active.split_at(active.len() / 4 * 4);
+                    for &p in &cell.points {
+                        let i = p as usize;
+                        let row = self.data.row(i);
+                        let (row_norm, row_sq) = (norms.norm(i), norms.sq(i));
+                        for tile in tiles.chunks_exact(4) {
+                            let tile_probes = [
+                                probes[tile[0]],
+                                probes[tile[1]],
+                                probes[tile[2]],
+                                probes[tile[3]],
+                            ];
+                            let lanes =
+                                self.verify_kernel
+                                    .within4(&tile_probes, row, row_norm, row_sq);
+                            for (lane, &slot) in tile.iter().enumerate() {
+                                if lanes[lane] {
+                                    hit(slot, p);
+                                }
+                            }
+                        }
+                        for &slot in rest {
+                            if self
+                                .verify_kernel
+                                .within(&probes[slot], row, row_norm, row_sq)
+                            {
+                                hit(slot, p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Minimum possible Euclidean distance from `q` to any point inside the
     /// cell's bounding box.
     fn box_distance(&self, q: &[f32], coords: &[i32]) -> f32 {
@@ -225,6 +335,11 @@ impl RangeQueryEngine for GridIndex<'_> {
     }
 
     fn range(&self, q: &[f32], eps: f32) -> Vec<u32> {
+        // One query, internal Euclidean space: the kernel's scalar Euclidean
+        // predicate is exactly this subtract-form comparison, so both kernel
+        // modes share one implementation here — the specialized win lives in
+        // the batch paths, where `within4` amortizes the row loads across
+        // four queries.
         let eps_euc = self.eps_to_internal(eps);
         let mut out = Vec::new();
         for cell in &self.cells {
@@ -279,26 +394,20 @@ impl RangeQueryEngine for GridIndex<'_> {
 
     fn range_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<Vec<u32>> {
         let eps_euc = self.eps_to_internal(eps);
+        // Norm cache only in specialized mode — the generic arm stays the
+        // true pre-kernel baseline.
+        let norms = match self.mode {
+            KernelMode::Specialized => Some(self.data.row_norms()),
+            KernelMode::Generic => None,
+        };
         let per_block: Vec<(Vec<Vec<u32>>, u64)> = queries
             .par_chunks(QUERY_BLOCK)
             .map(|block| {
                 let mut hits: Vec<Vec<u32>> = vec![Vec::new(); block.len()];
                 let mut evals = 0u64;
-                // Cells outer, queries inner: each cell's bounding box and
-                // point list is traversed once per block.
-                for cell in &self.cells {
-                    for (slot, q) in block.iter().enumerate() {
-                        if self.box_distance(q, &cell.coords) >= eps_euc {
-                            continue;
-                        }
-                        for &p in &cell.points {
-                            evals += 1;
-                            if EuclideanDistance.dist(q, self.data.row(p as usize)) < eps_euc {
-                                hits[slot].push(p);
-                            }
-                        }
-                    }
-                }
+                self.verify_block(block, eps_euc, norms, &mut evals, |slot, p| {
+                    hits[slot].push(p)
+                });
                 for h in hits.iter_mut() {
                     h.sort_unstable();
                 }
@@ -315,24 +424,18 @@ impl RangeQueryEngine for GridIndex<'_> {
 
     fn range_count_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<usize> {
         let eps_euc = self.eps_to_internal(eps);
+        let norms = match self.mode {
+            KernelMode::Specialized => Some(self.data.row_norms()),
+            KernelMode::Generic => None,
+        };
         let per_block: Vec<(Vec<usize>, u64)> = queries
             .par_chunks(QUERY_BLOCK)
             .map(|block| {
                 let mut counts = vec![0usize; block.len()];
                 let mut evals = 0u64;
-                for cell in &self.cells {
-                    for (slot, q) in block.iter().enumerate() {
-                        if self.box_distance(q, &cell.coords) >= eps_euc {
-                            continue;
-                        }
-                        for &p in &cell.points {
-                            evals += 1;
-                            if EuclideanDistance.dist(q, self.data.row(p as usize)) < eps_euc {
-                                counts[slot] += 1;
-                            }
-                        }
-                    }
-                }
+                self.verify_block(block, eps_euc, norms, &mut evals, |slot, _p| {
+                    counts[slot] += 1
+                });
                 (counts, evals)
             })
             .collect();

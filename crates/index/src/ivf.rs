@@ -8,9 +8,9 @@
 //! the cover tree it gives up exactness, and unlike the k-means *tree* its
 //! recall knob is the **number of probed lists** rather than a leaf ratio.
 
-use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::engine::{KernelMode, Neighbor, RangeQueryEngine, TotalDist};
 use crate::persist::{PersistError, PersistedEngine, PersistedIvf, PersistedIvfList};
-use laf_vector::{ops, Dataset, Metric};
+use laf_vector::{ops, Dataset, Metric, MetricKernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,22 +21,47 @@ const KMEANS_ITERS: usize = 8;
 pub struct IvfIndex<'a> {
     data: &'a Dataset,
     metric: Metric,
+    kernel: MetricKernel,
+    mode: KernelMode,
     centroids: Vec<Vec<f32>>,
+    /// L2 norm of each centroid (`ops::norm`), kept in lockstep with
+    /// `centroids` so probe ordering needs one dot per centroid.
+    centroid_norms: Vec<f32>,
     lists: Vec<Vec<u32>>,
     nprobe: usize,
     evaluations: AtomicU64,
+}
+
+fn norms_of(centroids: &[Vec<f32>]) -> Vec<f32> {
+    centroids.iter().map(|c| ops::norm(c)).collect()
 }
 
 impl<'a> IvfIndex<'a> {
     /// Build an IVF index with `nlist` coarse centroids; queries probe the
     /// `nprobe` closest lists. Both are clamped to sane ranges.
     pub fn new(data: &'a Dataset, metric: Metric, nlist: usize, nprobe: usize, seed: u64) -> Self {
+        Self::with_kernel_mode(data, metric, nlist, nprobe, seed, KernelMode::default())
+    }
+
+    /// [`IvfIndex::new`] with an explicit [`KernelMode`] for the coarse
+    /// training, probe ordering and list verification loops.
+    pub fn with_kernel_mode(
+        data: &'a Dataset,
+        metric: Metric,
+        nlist: usize,
+        nprobe: usize,
+        seed: u64,
+        mode: KernelMode,
+    ) -> Self {
         let nlist = nlist.clamp(1, data.len().max(1));
         let nprobe = nprobe.clamp(1, nlist);
         let mut index = Self {
             data,
             metric,
+            kernel: MetricKernel::new(metric),
+            mode,
             centroids: Vec::new(),
+            centroid_norms: Vec::new(),
             lists: Vec::new(),
             nprobe,
             evaluations: AtomicU64::new(0),
@@ -46,6 +71,11 @@ impl<'a> IvfIndex<'a> {
         }
         index.train(nlist, seed);
         index
+    }
+
+    /// The kernel mode the scan loops run on.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Rebuild an index from a [persisted structure](PersistedIvf), skipping
@@ -63,10 +93,15 @@ impl<'a> IvfIndex<'a> {
                 p.lists.len()
             )));
         }
+        let centroids: Vec<Vec<f32>> = p.lists.iter().map(|l| l.centroid.clone()).collect();
+        let centroid_norms = norms_of(&centroids);
         Ok(Self {
             data,
             metric: p.metric,
-            centroids: p.lists.iter().map(|l| l.centroid.clone()).collect(),
+            kernel: MetricKernel::new(p.metric),
+            mode: KernelMode::default(),
+            centroids,
+            centroid_norms,
             lists: p.lists.iter().map(|l| l.points.clone()).collect(),
             nprobe: p.nprobe as usize,
             evaluations: AtomicU64::new(0),
@@ -98,15 +133,43 @@ impl<'a> IvfIndex<'a> {
             .map(|&i| self.data.row(i).to_vec())
             .collect();
         let mut assignment = vec![0usize; n];
+        // Norm cache only in specialized mode — the generic arm stays the
+        // true pre-kernel baseline.
+        let row_norms = match self.mode {
+            KernelMode::Specialized => Some(self.data.row_norms()),
+            KernelMode::Generic => None,
+        };
         for _ in 0..KMEANS_ITERS {
+            // Centroid norms are recomputed once per Lloyd iteration (the
+            // centroids just moved); row norms come from the dataset cache.
+            // Assignment distances are bit-identical between modes, so the
+            // trained structure does not depend on the kernel mode.
+            let iter_norms = match self.mode {
+                KernelMode::Specialized => norms_of(&centroids),
+                KernelMode::Generic => Vec::new(),
+            };
             for (i, row) in self.data.rows().enumerate() {
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
-                for (c, centroid) in centroids.iter().enumerate() {
-                    let d = self.metric.dist(row, centroid);
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
+                match row_norms {
+                    None => {
+                        for (c, centroid) in centroids.iter().enumerate() {
+                            let d = self.metric.dist(row, centroid);
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
+                    }
+                    Some(row_norms) => {
+                        let prep = self.kernel.prepare_with_norm(row, row_norms.norm(i));
+                        for (c, centroid) in centroids.iter().enumerate() {
+                            let d = self.kernel.dist(&prep, centroid, iter_norms[c]);
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
                     }
                 }
                 assignment[i] = best;
@@ -139,21 +202,36 @@ impl<'a> IvfIndex<'a> {
             }
         }
         self.nprobe = self.nprobe.min(kept_lists.len().max(1));
+        self.centroid_norms = norms_of(&kept_centroids);
         self.centroids = kept_centroids;
         self.lists = kept_lists;
     }
 
     /// The posting lists to probe for a query, closest centroid first.
     fn probe_order(&self, q: &[f32]) -> Vec<usize> {
-        let mut order: Vec<(TotalDist, usize)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                self.evaluations.fetch_add(1, Ordering::Relaxed);
-                (TotalDist(self.metric.dist(q, c)), i)
-            })
-            .collect();
+        self.evaluations
+            .fetch_add(self.centroids.len() as u64, Ordering::Relaxed);
+        let mut order: Vec<(TotalDist, usize)> = match self.mode {
+            KernelMode::Generic => self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (TotalDist(self.metric.dist(q, c)), i))
+                .collect(),
+            KernelMode::Specialized => {
+                let prep = self.kernel.prepare(q);
+                self.centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        (
+                            TotalDist(self.kernel.dist(&prep, c, self.centroid_norms[i])),
+                            i,
+                        )
+                    })
+                    .collect()
+            }
+        };
         order.sort_unstable();
         order.truncate(self.nprobe);
         order.into_iter().map(|(_, i)| i).collect()
@@ -174,11 +252,31 @@ impl RangeQueryEngine for IvfIndex<'_> {
             return Vec::new();
         }
         let mut out = Vec::new();
-        for list_id in self.probe_order(q) {
-            for &p in &self.lists[list_id] {
-                self.evaluations.fetch_add(1, Ordering::Relaxed);
-                if self.metric.dist(q, self.data.row(p as usize)) < eps {
-                    out.push(p);
+        match self.mode {
+            KernelMode::Generic => {
+                for list_id in self.probe_order(q) {
+                    for &p in &self.lists[list_id] {
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        if self.metric.dist(q, self.data.row(p as usize)) < eps {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probe = self.kernel.probe(q, eps);
+                for list_id in self.probe_order(q) {
+                    for &p in &self.lists[list_id] {
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        let i = p as usize;
+                        if self
+                            .kernel
+                            .within(&probe, self.data.row(i), norms.norm(i), norms.sq(i))
+                        {
+                            out.push(p);
+                        }
+                    }
                 }
             }
         }
@@ -190,11 +288,20 @@ impl RangeQueryEngine for IvfIndex<'_> {
         if k == 0 || self.lists.is_empty() {
             return Vec::new();
         }
+        // Query prep + norm cache only in specialized mode.
+        let spec = match self.mode {
+            KernelMode::Specialized => Some((self.data.row_norms(), self.kernel.prepare(q))),
+            KernelMode::Generic => None,
+        };
         let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
         for list_id in self.probe_order(q) {
             for &p in &self.lists[list_id] {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
-                let d = self.metric.dist(q, self.data.row(p as usize));
+                let i = p as usize;
+                let d = match &spec {
+                    None => self.metric.dist(q, self.data.row(i)),
+                    Some((norms, prep)) => self.kernel.dist(prep, self.data.row(i), norms.norm(i)),
+                };
                 if best.len() < k || d < best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                     best.push(Neighbor::new(p, d));
                     best.sort_unstable();

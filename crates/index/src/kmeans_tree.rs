@@ -14,9 +14,9 @@
 //! neighbors that live in unvisited leaves. The exact-oracle comparison lives
 //! in the tests, which check recall rather than equality.
 
-use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::engine::{KernelMode, Neighbor, RangeQueryEngine, TotalDist};
 use crate::persist::{PersistError, PersistedEngine, PersistedKMeansTree, PersistedKmNode};
-use laf_vector::{ops, Dataset, Metric};
+use laf_vector::{ops, Dataset, Metric, MetricKernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -29,6 +29,9 @@ const KMEANS_ITERS: usize = 6;
 #[derive(Debug)]
 struct KmNode {
     centroid: Vec<f32>,
+    /// `ops::norm(centroid)`, cached at construction for the specialized
+    /// traversal kernel.
+    centroid_norm: f32,
     children: Vec<u32>,
     /// Points stored at this node (leaves only).
     points: Vec<u32>,
@@ -38,6 +41,8 @@ struct KmNode {
 pub struct KMeansTree<'a> {
     data: &'a Dataset,
     metric: Metric,
+    kernel: MetricKernel,
+    mode: KernelMode,
     branching: usize,
     leaf_ratio: f64,
     nodes: Vec<KmNode>,
@@ -58,6 +63,26 @@ impl<'a> KMeansTree<'a> {
         leaf_ratio: f64,
         seed: u64,
     ) -> Self {
+        Self::with_kernel_mode(
+            data,
+            metric,
+            branching,
+            leaf_ratio,
+            seed,
+            KernelMode::default(),
+        )
+    }
+
+    /// [`KMeansTree::new`] with an explicit [`KernelMode`] for the k-means
+    /// construction, best-bin-first traversal and leaf verification loops.
+    pub fn with_kernel_mode(
+        data: &'a Dataset,
+        metric: Metric,
+        branching: usize,
+        leaf_ratio: f64,
+        seed: u64,
+        mode: KernelMode,
+    ) -> Self {
         let branching = branching.max(2);
         let leaf_ratio = if leaf_ratio <= 0.0 {
             0.01
@@ -67,6 +92,8 @@ impl<'a> KMeansTree<'a> {
         let mut tree = Self {
             data,
             metric,
+            kernel: MetricKernel::new(metric),
+            mode,
             branching,
             leaf_ratio,
             nodes: Vec::new(),
@@ -81,6 +108,11 @@ impl<'a> KMeansTree<'a> {
             tree.root = Some(root);
         }
         tree
+    }
+
+    /// The kernel mode the scan loops run on.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Rebuild a tree from a [persisted structure](PersistedKMeansTree),
@@ -114,6 +146,7 @@ impl<'a> KMeansTree<'a> {
             .iter()
             .map(|n| KmNode {
                 centroid: n.centroid.clone(),
+                centroid_norm: ops::norm(&n.centroid),
                 children: n.children.clone(),
                 points: n.points.clone(),
             })
@@ -122,6 +155,8 @@ impl<'a> KMeansTree<'a> {
         Ok(Self {
             data,
             metric: p.metric,
+            kernel: MetricKernel::new(p.metric),
+            mode: KernelMode::default(),
             branching: p.branching as usize,
             leaf_ratio: p.leaf_ratio,
             nodes,
@@ -161,8 +196,10 @@ impl<'a> KMeansTree<'a> {
 
         if points.len() <= LEAF_SIZE.max(self.branching) {
             let id = self.nodes.len() as u32;
+            let centroid_norm = ops::norm(&centroid);
             self.nodes.push(KmNode {
                 centroid,
+                centroid_norm,
                 children: Vec::new(),
                 points,
             });
@@ -179,8 +216,10 @@ impl<'a> KMeansTree<'a> {
         if non_empty.len() <= 1 {
             // k-means failed to split (identical points); make a leaf.
             let id = self.nodes.len() as u32;
+            let centroid_norm = ops::norm(&centroid);
             self.nodes.push(KmNode {
                 centroid,
+                centroid_norm,
                 children: Vec::new(),
                 points,
             });
@@ -190,8 +229,10 @@ impl<'a> KMeansTree<'a> {
 
         let children: Vec<u32> = non_empty.into_iter().map(|b| self.build(b, rng)).collect();
         let id = self.nodes.len() as u32;
+        let centroid_norm = ops::norm(&centroid);
         self.nodes.push(KmNode {
             centroid,
+            centroid_norm,
             children,
             points: Vec::new(),
         });
@@ -214,17 +255,47 @@ impl<'a> KMeansTree<'a> {
             .map(|&i| self.data.row(points[i] as usize).to_vec())
             .collect();
         let mut assignment = vec![0usize; points.len()];
+        // Norm cache only in specialized mode — the generic arm stays the
+        // true pre-kernel baseline.
+        let row_norms = match self.mode {
+            KernelMode::Specialized => Some(self.data.row_norms()),
+            KernelMode::Generic => None,
+        };
         for _ in 0..KMEANS_ITERS {
-            // Assign.
+            // Assign. The specialized arm reads row norms from the dataset
+            // cache and recomputes centroid norms once per Lloyd iteration;
+            // distances are bit-identical to the generic arm, so the built
+            // tree does not depend on the kernel mode.
+            let iter_norms: Vec<f32> = match self.mode {
+                KernelMode::Specialized => centroids.iter().map(|c| ops::norm(c)).collect(),
+                KernelMode::Generic => Vec::new(),
+            };
             for (slot, &p) in points.iter().enumerate() {
                 let row = self.data.row(p as usize);
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
-                for (c_idx, c) in centroids.iter().enumerate() {
-                    let d = self.dist(row, c);
-                    if d < best_d {
-                        best_d = d;
-                        best = c_idx;
+                match row_norms {
+                    None => {
+                        for (c_idx, c) in centroids.iter().enumerate() {
+                            let d = self.dist(row, c);
+                            if d < best_d {
+                                best_d = d;
+                                best = c_idx;
+                            }
+                        }
+                    }
+                    Some(row_norms) => {
+                        let prep = self
+                            .kernel
+                            .prepare_with_norm(row, row_norms.norm(p as usize));
+                        for (c_idx, c) in centroids.iter().enumerate() {
+                            self.evaluations.fetch_add(1, Ordering::Relaxed);
+                            let d = self.kernel.dist(&prep, c, iter_norms[c_idx]);
+                            if d < best_d {
+                                best_d = d;
+                                best = c_idx;
+                            }
+                        }
                     }
                 }
                 assignment[slot] = best;
@@ -249,9 +320,16 @@ impl<'a> KMeansTree<'a> {
     }
 
     /// Best-bin-first traversal visiting up to `leaf_budget` leaves; calls
-    /// `visit` with each leaf's point list.
+    /// `visit` with each leaf's point list. The query is prepared once; every
+    /// centroid comparison then costs a single dot product in specialized
+    /// mode (centroid norms are cached on the nodes).
     fn traverse<F: FnMut(&[u32])>(&self, q: &[f32], mut visit: F) {
         let Some(root) = self.root else { return };
+        // Query prep only in specialized mode.
+        let prep = match self.mode {
+            KernelMode::Specialized => Some(self.kernel.prepare(q)),
+            KernelMode::Generic => None,
+        };
         let leaf_budget = ((self.n_leaves as f64) * self.leaf_ratio).ceil().max(1.0) as usize;
         let mut visited = 0usize;
         let mut pq: BinaryHeap<Reverse<(TotalDist, u32)>> = BinaryHeap::new();
@@ -268,7 +346,13 @@ impl<'a> KMeansTree<'a> {
             }
             for &child in &node.children {
                 let c = &self.nodes[child as usize];
-                let d = self.dist(q, &c.centroid);
+                let d = match &prep {
+                    None => self.dist(q, &c.centroid),
+                    Some(prep) => {
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        self.kernel.dist(prep, &c.centroid, c.centroid_norm)
+                    }
+                };
                 pq.push(Reverse((TotalDist(d), child)));
             }
         }
@@ -286,13 +370,31 @@ impl RangeQueryEngine for KMeansTree<'_> {
 
     fn range(&self, q: &[f32], eps: f32) -> Vec<u32> {
         let mut out = Vec::new();
-        self.traverse(q, |points| {
-            for &p in points {
-                if self.dist(q, self.data.row(p as usize)) < eps {
-                    out.push(p);
+        match self.mode {
+            KernelMode::Generic => self.traverse(q, |points| {
+                for &p in points {
+                    if self.dist(q, self.data.row(p as usize)) < eps {
+                        out.push(p);
+                    }
                 }
+            }),
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probe = self.kernel.probe(q, eps);
+                self.traverse(q, |points| {
+                    for &p in points {
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        let i = p as usize;
+                        if self
+                            .kernel
+                            .within(&probe, self.data.row(i), norms.norm(i), norms.sq(i))
+                        {
+                            out.push(p);
+                        }
+                    }
+                });
             }
-        });
+        }
         out.sort_unstable();
         out
     }
@@ -302,9 +404,21 @@ impl RangeQueryEngine for KMeansTree<'_> {
             return Vec::new();
         }
         let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        // Query prep + norm cache only in specialized mode.
+        let spec = match self.mode {
+            KernelMode::Specialized => Some((self.data.row_norms(), self.kernel.prepare(q))),
+            KernelMode::Generic => None,
+        };
         self.traverse(q, |points| {
             for &p in points {
-                let d = self.dist(q, self.data.row(p as usize));
+                let i = p as usize;
+                let d = match &spec {
+                    None => self.dist(q, self.data.row(i)),
+                    Some((norms, prep)) => {
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        self.kernel.dist(prep, self.data.row(i), norms.norm(i))
+                    }
+                };
                 if best.len() < k || d < best.last().map(|n| n.dist).unwrap_or(f32::INFINITY) {
                     best.push(Neighbor::new(p, d));
                     best.sort_unstable();

@@ -31,7 +31,10 @@ pub mod linear;
 pub mod persist;
 
 pub use cover_tree::CoverTree;
-pub use engine::{build_engine, EngineChoice, Neighbor, RangeQueryEngine, TotalDist};
+pub use engine::{
+    build_engine, build_engine_with_mode, EngineChoice, KernelMode, Neighbor, RangeQueryEngine,
+    TotalDist,
+};
 pub use grid::{GridIndex, MIN_CELL_SIDE};
 pub use ivf::IvfIndex;
 pub use kmeans_tree::KMeansTree;

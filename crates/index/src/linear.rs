@@ -4,11 +4,20 @@
 //! variants in the paper (their cost model is "one range query = one full
 //! scan"), and it is the correctness oracle every other engine is tested
 //! against.
+//!
+//! The scan loops run on the metric-specialized kernels of
+//! [`laf_vector::kernel`] by default: the query norm is computed once per
+//! query, row norms come from the dataset's lazily-built cache, and the
+//! batched paths score four queries per row load through the
+//! [`laf_vector::ops::dot4`] mini-GEMM tile. Results are bit-identical to the
+//! generic [`Metric::dist`] evaluation (available via
+//! [`KernelMode::Generic`], which the kernel benchmarks use as baseline).
 
-use crate::engine::{Neighbor, RangeQueryEngine};
+use crate::engine::{KernelMode, Neighbor, RangeQueryEngine};
 use crate::persist::PersistedEngine;
-use laf_vector::{Dataset, Metric};
+use laf_vector::{Dataset, Metric, MetricKernel};
 use rayon::prelude::*;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of queries processed per cache block in the batched kernels: each
@@ -21,15 +30,24 @@ const QUERY_BLOCK: usize = 16;
 pub struct LinearScan<'a> {
     data: &'a Dataset,
     metric: Metric,
+    kernel: MetricKernel,
+    mode: KernelMode,
     evaluations: AtomicU64,
 }
 
 impl<'a> LinearScan<'a> {
-    /// Index `data` under `metric`.
+    /// Index `data` under `metric` with the default (specialized) kernels.
     pub fn new(data: &'a Dataset, metric: Metric) -> Self {
+        Self::with_kernel_mode(data, metric, KernelMode::default())
+    }
+
+    /// Index `data` under `metric` with an explicit [`KernelMode`].
+    pub fn with_kernel_mode(data: &'a Dataset, metric: Metric, mode: KernelMode) -> Self {
         Self {
             data,
             metric,
+            kernel: MetricKernel::new(metric),
+            mode,
             evaluations: AtomicU64::new(0),
         }
     }
@@ -39,6 +57,11 @@ impl<'a> LinearScan<'a> {
         self.data
     }
 
+    /// The kernel mode the scan loops run on.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
+    }
+
     /// Exact range query executed in parallel across the **dataset rows**.
     /// Produces the same result as [`RangeQueryEngine::range`]; used when a
     /// single query dominates wall-clock time — the batch kernels cannot
@@ -46,11 +69,25 @@ impl<'a> LinearScan<'a> {
     pub fn par_range(&self, q: &[f32], eps: f32) -> Vec<u32> {
         self.evaluations
             .fetch_add(self.data.len() as u64, Ordering::Relaxed);
-        let mut hits: Vec<u32> = (0..self.data.len())
-            .into_par_iter()
-            .filter(|&i| self.metric.dist(q, self.data.row(i)) < eps)
-            .map(|i| i as u32)
-            .collect();
+        let mut hits: Vec<u32> = match self.mode {
+            KernelMode::Generic => (0..self.data.len())
+                .into_par_iter()
+                .filter(|&i| self.metric.dist(q, self.data.row(i)) < eps)
+                .map(|i| i as u32)
+                .collect(),
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probe = self.kernel.probe(q, eps);
+                (0..self.data.len())
+                    .into_par_iter()
+                    .filter(|&i| {
+                        self.kernel
+                            .within(&probe, self.data.row(i), norms.norm(i), norms.sq(i))
+                    })
+                    .map(|i| i as u32)
+                    .collect()
+            }
+        };
         hits.sort_unstable();
         hits
     }
@@ -61,6 +98,172 @@ impl<'a> LinearScan<'a> {
     pub fn batch_range_rows(&self, rows: &[usize], eps: f32) -> Vec<Vec<u32>> {
         let queries: Vec<&[f32]> = rows.iter().map(|&r| self.data.row(r)).collect();
         self.range_batch(&queries, eps)
+    }
+
+    /// One full-scan range query without touching the evaluation counter
+    /// (the batch entry points account for the whole batch up front).
+    fn range_uncounted(&self, q: &[f32], eps: f32) -> Vec<u32> {
+        let mut hits = Vec::new();
+        match self.mode {
+            KernelMode::Generic => {
+                for (i, row) in self.data.rows().enumerate() {
+                    if self.metric.dist(q, row) < eps {
+                        hits.push(i as u32);
+                    }
+                }
+            }
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probe = self.kernel.probe(q, eps);
+                for (i, row) in self.data.rows().enumerate() {
+                    if self.kernel.within(&probe, row, norms.norm(i), norms.sq(i)) {
+                        hits.push(i as u32);
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Uncounted variant of [`RangeQueryEngine::range_count`].
+    fn range_count_uncounted(&self, q: &[f32], eps: f32) -> usize {
+        match self.mode {
+            KernelMode::Generic => self
+                .data
+                .rows()
+                .filter(|row| self.metric.dist(q, row) < eps)
+                .count(),
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probe = self.kernel.probe(q, eps);
+                self.data
+                    .rows()
+                    .enumerate()
+                    .filter(|(i, row)| {
+                        self.kernel
+                            .within(&probe, row, norms.norm(*i), norms.sq(*i))
+                    })
+                    .count()
+            }
+        }
+    }
+
+    /// Uncounted top-k scan: a bounded max-heap keeps the k best neighbors
+    /// seen so far (`Neighbor`'s total order — distance then index, NaN-safe)
+    /// instead of materializing and sorting all `n` candidates. Equivalent to
+    /// the old collect-all-then-sort by construction: both retain exactly the
+    /// k smallest elements of the same total order, emitted ascending.
+    fn knn_uncounted(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        let k = k.min(self.data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+        let mut push = |n: Neighbor| {
+            if heap.len() < k {
+                heap.push(n);
+            } else if let Some(worst) = heap.peek() {
+                if n < *worst {
+                    heap.pop();
+                    heap.push(n);
+                }
+            }
+        };
+        match self.mode {
+            KernelMode::Generic => {
+                for (i, row) in self.data.rows().enumerate() {
+                    push(Neighbor::new(i as u32, self.metric.dist(q, row)));
+                }
+            }
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let prep = self.kernel.prepare(q);
+                for (i, row) in self.data.rows().enumerate() {
+                    push(Neighbor::new(
+                        i as u32,
+                        self.kernel.dist(&prep, row, norms.norm(i)),
+                    ));
+                }
+            }
+        }
+        heap.into_sorted_vec()
+    }
+
+    /// Blocked range scan for up to [`QUERY_BLOCK`] queries: rows outer,
+    /// queries inner, four queries per row load through the mini-GEMM tile.
+    fn range_block(&self, block: &[&[f32]], eps: f32) -> Vec<Vec<u32>> {
+        let mut hits: Vec<Vec<u32>> = vec![Vec::new(); block.len()];
+        match self.mode {
+            KernelMode::Generic => {
+                for (i, row) in self.data.rows().enumerate() {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.metric.dist(q, row) < eps {
+                            hits[slot].push(i as u32);
+                        }
+                    }
+                }
+            }
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probes: Vec<_> = block.iter().map(|q| self.kernel.probe(q, eps)).collect();
+                let (tiles, rest) = probes.split_at(probes.len() / 4 * 4);
+                for (i, row) in self.data.rows().enumerate() {
+                    for (t, tile) in tiles.chunks_exact(4).enumerate() {
+                        let tile: &[_; 4] = tile.try_into().expect("chunks_exact(4)");
+                        let lanes = self.kernel.within4(tile, row, norms.norm(i), norms.sq(i));
+                        for (lane, &hit) in lanes.iter().enumerate() {
+                            if hit {
+                                hits[t * 4 + lane].push(i as u32);
+                            }
+                        }
+                    }
+                    for (r, probe) in rest.iter().enumerate() {
+                        if self.kernel.within(probe, row, norms.norm(i), norms.sq(i)) {
+                            hits[tiles.len() + r].push(i as u32);
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Blocked counting scan, same structure as [`LinearScan::range_block`].
+    fn range_count_block(&self, block: &[&[f32]], eps: f32) -> Vec<usize> {
+        let mut counts = vec![0usize; block.len()];
+        match self.mode {
+            KernelMode::Generic => {
+                for row in self.data.rows() {
+                    for (slot, q) in block.iter().enumerate() {
+                        if self.metric.dist(q, row) < eps {
+                            counts[slot] += 1;
+                        }
+                    }
+                }
+            }
+            KernelMode::Specialized => {
+                let norms = self.data.row_norms();
+                let probes: Vec<_> = block.iter().map(|q| self.kernel.probe(q, eps)).collect();
+                let (tiles, rest) = probes.split_at(probes.len() / 4 * 4);
+                for (i, row) in self.data.rows().enumerate() {
+                    for (t, tile) in tiles.chunks_exact(4).enumerate() {
+                        let tile: &[_; 4] = tile.try_into().expect("chunks_exact(4)");
+                        let lanes = self.kernel.within4(tile, row, norms.norm(i), norms.sq(i));
+                        for (lane, &hit) in lanes.iter().enumerate() {
+                            if hit {
+                                counts[t * 4 + lane] += 1;
+                            }
+                        }
+                    }
+                    for (r, probe) in rest.iter().enumerate() {
+                        if self.kernel.within(probe, row, norms.norm(i), norms.sq(i)) {
+                            counts[tiles.len() + r] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        counts
     }
 }
 
@@ -76,89 +279,58 @@ impl RangeQueryEngine for LinearScan<'_> {
     fn range(&self, q: &[f32], eps: f32) -> Vec<u32> {
         self.evaluations
             .fetch_add(self.data.len() as u64, Ordering::Relaxed);
-        let mut hits = Vec::new();
-        for (i, row) in self.data.rows().enumerate() {
-            if self.metric.dist(q, row) < eps {
-                hits.push(i as u32);
-            }
-        }
-        hits
+        self.range_uncounted(q, eps)
     }
 
     fn range_count(&self, q: &[f32], eps: f32) -> usize {
         self.evaluations
             .fetch_add(self.data.len() as u64, Ordering::Relaxed);
-        self.data
-            .rows()
-            .filter(|row| self.metric.dist(q, row) < eps)
-            .count()
+        self.range_count_uncounted(q, eps)
     }
 
     fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
         self.evaluations
             .fetch_add(self.data.len() as u64, Ordering::Relaxed);
-        let mut all: Vec<Neighbor> = self
-            .data
-            .rows()
-            .enumerate()
-            .map(|(i, row)| Neighbor::new(i as u32, self.metric.dist(q, row)))
-            .collect();
-        all.sort_unstable();
-        all.truncate(k.min(self.data.len()));
-        all
+        self.knn_uncounted(q, k)
     }
 
     fn range_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<Vec<u32>> {
-        // Below one cache block there is nothing to amortize; fan the
-        // queries out individually so small batches still parallelize.
-        if queries.len() < QUERY_BLOCK {
-            return queries.par_iter().map(|q| self.range(q, eps)).collect();
-        }
+        // One batch-level bump regardless of batch size, so the accounting is
+        // identical between the small-batch fan-out and the blocked path
+        // (previously the small path counted once per query instead).
         self.evaluations.fetch_add(
             (queries.len() as u64) * (self.data.len() as u64),
             Ordering::Relaxed,
         );
+        // Below one cache block there is nothing to amortize; fan the
+        // queries out individually so small batches still parallelize.
+        if queries.len() < QUERY_BLOCK {
+            return queries
+                .par_iter()
+                .map(|q| self.range_uncounted(q, eps))
+                .collect();
+        }
         let per_block: Vec<Vec<Vec<u32>>> = queries
             .par_chunks(QUERY_BLOCK)
-            .map(|block| {
-                let mut hits: Vec<Vec<u32>> = vec![Vec::new(); block.len()];
-                for (i, row) in self.data.rows().enumerate() {
-                    for (slot, q) in block.iter().enumerate() {
-                        if self.metric.dist(q, row) < eps {
-                            hits[slot].push(i as u32);
-                        }
-                    }
-                }
-                hits
-            })
+            .map(|block| self.range_block(block, eps))
             .collect();
         per_block.into_iter().flatten().collect()
     }
 
     fn range_count_batch(&self, queries: &[&[f32]], eps: f32) -> Vec<usize> {
-        if queries.len() < QUERY_BLOCK {
-            return queries
-                .par_iter()
-                .map(|q| self.range_count(q, eps))
-                .collect();
-        }
         self.evaluations.fetch_add(
             (queries.len() as u64) * (self.data.len() as u64),
             Ordering::Relaxed,
         );
+        if queries.len() < QUERY_BLOCK {
+            return queries
+                .par_iter()
+                .map(|q| self.range_count_uncounted(q, eps))
+                .collect();
+        }
         let per_block: Vec<Vec<usize>> = queries
             .par_chunks(QUERY_BLOCK)
-            .map(|block| {
-                let mut counts = vec![0usize; block.len()];
-                for row in self.data.rows() {
-                    for (slot, q) in block.iter().enumerate() {
-                        if self.metric.dist(q, row) < eps {
-                            counts[slot] += 1;
-                        }
-                    }
-                }
-                counts
-            })
+            .map(|block| self.range_count_block(block, eps))
             .collect();
         per_block.into_iter().flatten().collect()
     }
@@ -170,17 +342,7 @@ impl RangeQueryEngine for LinearScan<'_> {
         );
         queries
             .par_iter()
-            .map(|q| {
-                let mut all: Vec<Neighbor> = self
-                    .data
-                    .rows()
-                    .enumerate()
-                    .map(|(i, row)| Neighbor::new(i as u32, self.metric.dist(q, row)))
-                    .collect();
-                all.sort_unstable();
-                all.truncate(k.min(self.data.len()));
-                all
-            })
+            .map(|q| self.knn_uncounted(q, k))
             .collect()
     }
 
@@ -234,6 +396,42 @@ mod tests {
         assert!(knn[0].dist <= knn[1].dist && knn[1].dist <= knn[2].dist);
         let all = engine.knn(data.row(0), 100);
         assert_eq!(all.len(), data.len());
+        assert!(engine.knn(data.row(0), 0).is_empty());
+    }
+
+    #[test]
+    fn knn_heap_matches_collect_then_sort_including_nan_ties() {
+        // Dataset with exact duplicates (distance ties resolved by index) and
+        // a NaN row (NaN distances sort last under the total order).
+        let mut rows: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.6, 0.8],
+            vec![1.0, 0.0], // duplicate of row 0
+            vec![0.0, 1.0],
+            vec![0.6, 0.8], // duplicate of row 1
+        ];
+        rows.push(vec![f32::NAN, 0.0]);
+        let data = Dataset::from_rows(rows).unwrap();
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::NegDot] {
+            let engine = LinearScan::new(&data, metric);
+            let q = [0.8f32, 0.6];
+            for k in 0..=data.len() + 2 {
+                // Reference: the old algorithm.
+                let mut all: Vec<Neighbor> = data
+                    .rows()
+                    .enumerate()
+                    .map(|(i, row)| Neighbor::new(i as u32, metric.dist(&q, row)))
+                    .collect();
+                all.sort_unstable();
+                all.truncate(k.min(data.len()));
+                let got = engine.knn(&q, k);
+                assert_eq!(got.len(), all.len(), "{metric:?} k={k}");
+                for (g, e) in got.iter().zip(&all) {
+                    assert_eq!(g.index, e.index, "{metric:?} k={k}");
+                    assert_eq!(g.dist.to_bits(), e.dist.to_bits(), "{metric:?} k={k}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -255,6 +453,104 @@ mod tests {
         assert_eq!(batch.len(), 3);
         for (slot, &row) in [0usize, 3, 5].iter().enumerate() {
             assert_eq!(batch[slot], engine.range(data.row(row), 0.5));
+        }
+    }
+
+    #[test]
+    fn generic_and_specialized_modes_agree_bitwise() {
+        let data = toy();
+        for metric in [
+            Metric::Cosine,
+            Metric::Angular,
+            Metric::Euclidean,
+            Metric::SquaredEuclidean,
+            Metric::NegDot,
+        ] {
+            let spec = LinearScan::new(&data, metric);
+            let gen = LinearScan::with_kernel_mode(&data, metric, KernelMode::Generic);
+            assert_eq!(spec.kernel_mode(), KernelMode::Specialized);
+            assert_eq!(gen.kernel_mode(), KernelMode::Generic);
+            let queries: Vec<&[f32]> = (0..data.len()).map(|i| data.row(i)).collect();
+            for eps in [0.01f32, 0.3, 1.5] {
+                let eps = if metric == Metric::NegDot {
+                    eps - 1.0
+                } else {
+                    eps
+                };
+                assert_eq!(
+                    spec.range_batch(&queries, eps),
+                    gen.range_batch(&queries, eps),
+                    "{metric:?} eps={eps}"
+                );
+                assert_eq!(
+                    spec.range_count_batch(&queries, eps),
+                    gen.range_count_batch(&queries, eps),
+                    "{metric:?} eps={eps}"
+                );
+                for q in &queries {
+                    assert_eq!(spec.range(q, eps), gen.range(q, eps));
+                }
+            }
+            for (a, b) in spec
+                .knn_batch(&queries, 4)
+                .iter()
+                .zip(gen.knn_batch(&queries, 4))
+            {
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_accounting_is_identical_for_small_and_blocked_batches() {
+        // The invariant: every batch entry point adds exactly
+        // queries.len() * data.len() evaluations, whether the batch takes the
+        // small fan-out path (< QUERY_BLOCK) or the blocked path.
+        let data = toy();
+        for mode in [KernelMode::Specialized, KernelMode::Generic] {
+            let engine = LinearScan::with_kernel_mode(&data, Metric::Cosine, mode);
+            let small: Vec<&[f32]> = (0..QUERY_BLOCK - 1)
+                .map(|i| data.row(i % data.len()))
+                .collect();
+            let large: Vec<&[f32]> = (0..3 * QUERY_BLOCK)
+                .map(|i| data.row(i % data.len()))
+                .collect();
+
+            engine.reset_distance_evaluations();
+            let _ = engine.range_batch(&small, 0.3);
+            assert_eq!(
+                engine.distance_evaluations(),
+                (small.len() * data.len()) as u64,
+                "{mode:?} small range_batch"
+            );
+
+            engine.reset_distance_evaluations();
+            let _ = engine.range_batch(&large, 0.3);
+            assert_eq!(
+                engine.distance_evaluations(),
+                (large.len() * data.len()) as u64,
+                "{mode:?} blocked range_batch"
+            );
+
+            engine.reset_distance_evaluations();
+            let _ = engine.range_count_batch(&small, 0.3);
+            let _ = engine.range_count_batch(&large, 0.3);
+            assert_eq!(
+                engine.distance_evaluations(),
+                ((small.len() + large.len()) * data.len()) as u64,
+                "{mode:?} range_count_batch"
+            );
+
+            engine.reset_distance_evaluations();
+            let _ = engine.knn_batch(&small, 2);
+            assert_eq!(
+                engine.distance_evaluations(),
+                (small.len() * data.len()) as u64,
+                "{mode:?} knn_batch"
+            );
         }
     }
 

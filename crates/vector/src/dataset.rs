@@ -11,8 +11,7 @@ use memmap2::Mmap;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-#[cfg(target_endian = "little")]
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The storage behind a [`Dataset`]'s flat `f32` buffer: either an owned
 /// `Vec<f32>` (every mutating constructor) or a borrowed window into a
@@ -94,16 +93,72 @@ impl DataBacking {
     }
 }
 
+/// Per-row L2 norms of a [`Dataset`], built lazily by [`Dataset::row_norms`]
+/// and cached until the next mutation.
+///
+/// Both the squared norm (`dot(row, row)`, used by the Euclidean threshold
+/// pushdown) and the norm itself (`dot(row, row).sqrt()`, bit-identical to
+/// [`ops::norm`], used by the cosine-family kernels) are stored, so the
+/// specialized distance kernels never recompute either inside a scan loop.
+#[derive(Debug)]
+pub struct RowNorms {
+    sq: Vec<f32>,
+    norms: Vec<f32>,
+}
+
+impl RowNorms {
+    /// L2 norm of row `i`, bit-identical to `ops::norm(dataset.row(i))`.
+    #[inline]
+    pub fn norm(&self, i: usize) -> f32 {
+        self.norms[i]
+    }
+
+    /// Squared L2 norm of row `i`, bit-identical to
+    /// `ops::dot(dataset.row(i), dataset.row(i))`.
+    #[inline]
+    pub fn sq(&self, i: usize) -> f32 {
+        self.sq[i]
+    }
+
+    /// All row norms, indexed by row.
+    #[inline]
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// All squared row norms, indexed by row.
+    #[inline]
+    pub fn sq_norms(&self) -> &[f32] {
+        &self.sq
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// `true` when the cache covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+}
+
 /// A dense, row-major matrix of `f32` vectors.
 ///
 /// Invariants:
 /// * `data.as_slice().len() == len * dim`
 /// * `dim > 0` once the first row has been pushed.
+/// * `norms`, when populated, caches the current rows' L2 norms (every
+///   mutating path funnels through the private `owned_mut` choke point,
+///   which clears it).
 #[derive(Clone, Debug)]
 pub struct Dataset {
     dim: usize,
     len: usize,
     data: DataBacking,
+    /// Lazily-built per-row norm cache. `Arc` keeps clones cheap; `OnceLock`
+    /// makes the lazy build race-free across concurrent readers.
+    norms: OnceLock<Arc<RowNorms>>,
 }
 
 /// Semantic equality: same shape, same flat contents — an owned dataset and
@@ -169,6 +224,7 @@ impl Dataset {
             dim,
             len: 0,
             data: DataBacking::Owned(Vec::new()),
+            norms: OnceLock::new(),
         })
     }
 
@@ -201,6 +257,7 @@ impl Dataset {
             dim,
             len,
             data: DataBacking::Owned(data),
+            norms: OnceLock::new(),
         })
     }
 
@@ -223,6 +280,7 @@ impl Dataset {
                 offset: byte_offset,
                 len: floats,
             }),
+            norms: OnceLock::new(),
         }
     }
 
@@ -237,9 +295,38 @@ impl Dataset {
         self.data.is_mapped()
     }
 
+    /// Per-row L2 norms, built on first use and cached until the next
+    /// mutation.
+    ///
+    /// The cache is what turns the specialized distance kernels' cosine
+    /// evaluation into a single dot product: dataset rows are immutable while
+    /// serving, so `||x||` is computed once per row per dataset generation
+    /// instead of once per distance evaluation. Any mutating accessor
+    /// (including the copy-on-write promotion of a mapped backing) clears the
+    /// cache; the next `row_norms` call rebuilds it against the new rows.
+    pub fn row_norms(&self) -> &RowNorms {
+        self.norms.get_or_init(|| {
+            let mut sq = Vec::with_capacity(self.len);
+            let mut norms = Vec::with_capacity(self.len);
+            for row in self.rows() {
+                let s = ops::dot(row, row);
+                sq.push(s);
+                norms.push(s.sqrt());
+            }
+            Arc::new(RowNorms { sq, norms })
+        })
+    }
+
+    /// `true` when the norm cache is currently populated (diagnostics/tests).
+    pub fn has_norm_cache(&self) -> bool {
+        self.norms.get().is_some()
+    }
+
     /// Mutable access to the owned buffer, promoting a mapped backing to an
-    /// owned copy first (copy-on-write).
+    /// owned copy first (copy-on-write). Drops the norm cache: the rows are
+    /// about to change, so cached norms would go stale.
     fn owned_mut(&mut self) -> &mut Vec<f32> {
+        self.norms.take();
         if self.data.is_mapped() {
             self.data = DataBacking::Owned(self.data.as_slice().to_vec());
         }
@@ -624,5 +711,65 @@ mod tests {
         let json = serde_json::to_string(&d).unwrap();
         let back: Dataset = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn row_norms_match_ops_norm_bitwise() {
+        let d = toy();
+        assert!(!d.has_norm_cache());
+        let cache = d.row_norms();
+        assert_eq!(cache.len(), d.len());
+        assert!(!cache.is_empty());
+        for (i, row) in d.rows().enumerate() {
+            assert_eq!(cache.norm(i).to_bits(), crate::ops::norm(row).to_bits());
+            assert_eq!(cache.sq(i).to_bits(), crate::ops::dot(row, row).to_bits());
+        }
+        assert_eq!(cache.norms().len(), d.len());
+        assert_eq!(cache.sq_norms().len(), d.len());
+        assert!(d.has_norm_cache());
+    }
+
+    #[test]
+    fn norm_cache_is_invalidated_by_every_mutating_path() {
+        // push
+        let mut d = toy();
+        d.row_norms();
+        d.push(&[5.0, 12.0]).unwrap();
+        assert!(!d.has_norm_cache(), "push must drop the cache");
+        assert_eq!(d.row_norms().norm(4), 13.0);
+
+        // row_mut
+        let mut d = toy();
+        d.row_norms();
+        d.row_mut(0)[0] = 100.0;
+        assert!(!d.has_norm_cache(), "row_mut must drop the cache");
+        assert_eq!(
+            d.row_norms().norm(0).to_bits(),
+            crate::ops::norm(d.row(0)).to_bits()
+        );
+
+        // normalize
+        let mut d = toy();
+        d.row_norms();
+        d.normalize();
+        assert!(!d.has_norm_cache(), "normalize must drop the cache");
+        assert!((d.row_norms().norm(2) - 1.0).abs() < 1e-5);
+
+        // extend_from
+        let mut d = toy();
+        d.row_norms();
+        let other = toy();
+        d.extend_from(&other).unwrap();
+        assert!(!d.has_norm_cache(), "extend_from must drop the cache");
+        assert_eq!(d.row_norms().len(), 8);
+    }
+
+    #[test]
+    fn norm_cache_survives_clone_cheaply() {
+        let d = toy();
+        d.row_norms();
+        let cloned = d.clone();
+        assert!(cloned.has_norm_cache(), "clone shares the Arc'd cache");
+        assert_eq!(cloned.row_norms().norms(), d.row_norms().norms());
     }
 }

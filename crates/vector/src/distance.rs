@@ -151,6 +151,36 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Every built-in metric, in declaration order. The kernel-agreement
+    /// tests and the benchmark kernel matrix iterate this instead of
+    /// hand-copying the list.
+    pub const ALL: [Metric; 5] = [
+        Metric::Cosine,
+        Metric::Angular,
+        Metric::Euclidean,
+        Metric::SquaredEuclidean,
+        Metric::NegDot,
+    ];
+
+    /// Translate a cosine-distance threshold into this metric's equivalent
+    /// threshold over **unit-normalized** vectors — Equation (1) of the
+    /// paper generalized to every built-in metric, so one ε setting can
+    /// drive an engine under any of them and select the same neighborhood.
+    pub fn equivalent_threshold(&self, d_cos: f32) -> f32 {
+        match self {
+            Metric::Cosine => d_cos,
+            Metric::Angular => {
+                (1.0 - d_cos.clamp(0.0, 2.0)).clamp(-1.0, 1.0).acos() / std::f32::consts::PI
+            }
+            Metric::Euclidean => cosine_to_euclidean(d_cos),
+            Metric::SquaredEuclidean => {
+                let e = cosine_to_euclidean(d_cos);
+                e * e
+            }
+            Metric::NegDot => d_cos - 1.0,
+        }
+    }
+
     /// Compute the distance under this metric.
     #[inline]
     pub fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
@@ -283,6 +313,31 @@ mod tests {
         assert_eq!(Metric::Angular.name(), "angular");
         assert!(!Metric::Cosine.boxed().is_metric());
         assert!(Metric::Euclidean.boxed().is_metric());
+    }
+
+    #[test]
+    fn equivalent_threshold_selects_the_same_neighborhood() {
+        // On unit vectors, a point within cosine distance 0.3 of the query
+        // must be within the translated threshold under every metric, and a
+        // point outside must stay outside.
+        let q = unit(&[0.2, 0.5, -0.1, 0.8]);
+        let near = unit(&[0.25, 0.52, -0.05, 0.78]);
+        let far = unit(&[-0.3, 0.4, 0.9, 0.1]);
+        let d_cos = 0.3f32;
+        assert!(CosineDistance.dist(&q, &near) < d_cos);
+        assert!(CosineDistance.dist(&q, &far) >= d_cos);
+        for metric in Metric::ALL {
+            let eps = metric.equivalent_threshold(d_cos);
+            assert!(
+                metric.dist(&q, &near) < eps,
+                "{metric:?}: near point excluded"
+            );
+            assert!(
+                metric.dist(&q, &far) >= eps,
+                "{metric:?}: far point included"
+            );
+        }
+        assert_eq!(Metric::ALL.len(), 5);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   [`AngularDistance`], [`EuclideanDistance`], [`SquaredEuclideanDistance`]
 //!   and [`DotProductSimilarity`] implementations, plus the cosine↔Euclidean
 //!   conversion of Equation (1) in the paper.
+//! * [`MetricKernel`] — metric-specialized distance kernels: per-row norm
+//!   caching ([`Dataset::row_norms`]), dot-only predicates with threshold
+//!   pushdown, and the query-major [`ops::dot4`] mini-GEMM batch path, all
+//!   bit-identical to the generic evaluation.
 //! * [`GaussianRandomProjection`] — the ANN-benchmark-style dimensionality
 //!   reduction the paper applies to the NYTimes bag-of-words vectors.
 //! * low-level kernels in [`ops`] used by every other crate.
@@ -27,6 +31,7 @@ pub mod dataset;
 pub mod distance;
 pub mod error;
 pub mod io;
+pub mod kernel;
 pub mod mapped;
 pub mod ops;
 pub mod projection;
@@ -34,12 +39,13 @@ pub mod stats;
 
 #[cfg(target_endian = "little")]
 pub use dataset::MappedSlice;
-pub use dataset::{DataBacking, Dataset, DatasetBuilder};
+pub use dataset::{DataBacking, Dataset, DatasetBuilder, RowNorms};
 pub use distance::{
     cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, DistanceMetric,
     DotProductSimilarity, EuclideanDistance, Metric, SquaredEuclideanDistance,
 };
 pub use error::VectorError;
+pub use kernel::{MetricKernel, PreparedQuery, RangeProbe};
 pub use projection::GaussianRandomProjection;
 
 /// Alias kept for API clarity: every distance used in this workspace is an

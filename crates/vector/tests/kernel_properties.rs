@@ -1,0 +1,211 @@
+//! Property-based agreement tests for the metric-specialized kernels.
+//!
+//! The kernel layer's whole contract is: same bits as the generic
+//! [`Metric::dist`] evaluation, only cheaper. These tests hammer that
+//! contract across every built-in metric, odd dimensions (tail handling of
+//! the unrolled dot kernels), zero and near-zero vectors (degenerate-norm
+//! semantics), unnormalized data, and thresholds parked right on top of the
+//! computed distances (the Euclidean pushdown's fallback band).
+
+use laf_vector::{ops, Dataset, Metric, MetricKernel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Unnormalized vector over a wide magnitude range; roughly one in four
+/// coordinates is an exact zero so degenerate rows occur naturally.
+fn raw_vector(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|_| {
+            if rng.gen_range(0..4) == 0 {
+                0.0
+            } else {
+                rng.gen_range(-100.0f32..100.0)
+            }
+        })
+        .collect()
+}
+
+/// A dataset of unnormalized rows plus one all-zero row (similarity-0
+/// semantics) and one vanishingly small row (just below the 1e-12 cutoff).
+fn raw_dataset(rng: &mut StdRng, dim: usize, rows: usize) -> Dataset {
+    let mut r: Vec<Vec<f32>> = (0..rows).map(|_| raw_vector(rng, dim)).collect();
+    r.push(vec![0.0; dim]);
+    r.push(vec![1e-13; dim]);
+    Dataset::from_rows(r).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn dot4_is_bit_identical_to_dot(dim in 1usize..40, seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = raw_vector(&mut rng, dim);
+        let qs: Vec<Vec<f32>> = (0..4).map(|_| raw_vector(&mut rng, dim)).collect();
+        let tiled = ops::dot4(&qs[0], &qs[1], &qs[2], &qs[3], &x);
+        for lane in 0..4 {
+            prop_assert_eq!(tiled[lane].to_bits(), ops::dot(&qs[lane], &x).to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_dist_is_bit_identical_across_metrics_and_odd_dims(
+        dim in 1usize..24,
+        seed in 0u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = raw_dataset(&mut rng, dim, 6);
+        let q = raw_vector(&mut rng, dim);
+        let norms = data.row_norms();
+        for metric in Metric::ALL {
+            let kernel = MetricKernel::new(metric);
+            let prep = kernel.prepare(&q);
+            for (i, row) in data.rows().enumerate() {
+                prop_assert_eq!(
+                    kernel.dist(&prep, row, norms.norm(i)).to_bits(),
+                    metric.dist(&q, row).to_bits(),
+                    "{:?} dim {} row {}", metric, dim, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_predicates_agree_with_generic_comparison(
+        dim in 1usize..24,
+        seed in 0u64..100_000,
+        eps_raw in -1.5f32..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = raw_dataset(&mut rng, dim, 8);
+        let q = raw_vector(&mut rng, dim);
+        let norms = data.row_norms();
+        for metric in Metric::ALL {
+            let kernel = MetricKernel::new(metric);
+            // Sweep the raw eps plus thresholds sitting exactly on computed
+            // distances (the hardest case for the pushdown band).
+            let mut eps_values = vec![eps_raw, -eps_raw, 0.0, f32::INFINITY];
+            for row in data.rows().take(3) {
+                eps_values.push(metric.dist(&q, row));
+            }
+            for eps in eps_values {
+                let probe = kernel.probe(&q, eps);
+                for (i, row) in data.rows().enumerate() {
+                    prop_assert_eq!(
+                        kernel.within(&probe, row, norms.norm(i), norms.sq(i)),
+                        metric.dist(&q, row) < eps,
+                        "{:?} dim {} row {} eps {}", metric, dim, i, eps
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within4_lanes_agree_with_generic_comparison(
+        dim in 1usize..20,
+        seed in 0u64..100_000,
+        eps in -0.5f32..2.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = raw_dataset(&mut rng, dim, 6);
+        let queries: Vec<Vec<f32>> = (0..4).map(|_| raw_vector(&mut rng, dim)).collect();
+        let norms = data.row_norms();
+        for metric in Metric::ALL {
+            let kernel = MetricKernel::new(metric);
+            let probes = [
+                kernel.probe(&queries[0], eps),
+                kernel.probe(&queries[1], eps),
+                kernel.probe(&queries[2], eps),
+                kernel.probe(&queries[3], eps),
+            ];
+            for (i, row) in data.rows().enumerate() {
+                let lanes = kernel.within4(&probes, row, norms.norm(i), norms.sq(i));
+                for (lane, q) in queries.iter().enumerate() {
+                    prop_assert_eq!(
+                        lanes[lane],
+                        metric.dist(q, row) < eps,
+                        "{:?} dim {} row {} lane {}", metric, dim, i, lane
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_norm_cache_matches_fresh_computation(
+        dim in 1usize..24,
+        seed in 0u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = raw_dataset(&mut rng, dim, 10);
+        let norms = data.row_norms();
+        for (i, row) in data.rows().enumerate() {
+            prop_assert_eq!(norms.norm(i).to_bits(), ops::norm(row).to_bits());
+            prop_assert_eq!(norms.sq(i).to_bits(), ops::dot(row, row).to_bits());
+        }
+    }
+}
+
+/// The mapped and owned backings must serve bit-identical kernels: a mapped
+/// dataset's lazily-built norm cache equals the owned one's, and every
+/// kernel decision matches across backings.
+#[test]
+fn kernel_agreement_between_owned_and_mapped_backings() {
+    use std::io::Write;
+
+    let rows: Vec<Vec<f32>> = (0..30)
+        .map(|i| {
+            (0..13)
+                .map(|j| ((i * 13 + j) as f32 * 0.17).sin() * 4.0)
+                .collect()
+        })
+        .collect();
+    let owned = Dataset::from_rows(rows).unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "laf_vector_kernel_mapped_{}.bin",
+        std::process::id()
+    ));
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(&laf_vector::io::encode(&owned))
+        .unwrap();
+    let map = laf_vector::mapped::map_file(&path).unwrap();
+    let mapped = laf_vector::mapped::dataset_from_map(&map, 0, map.len()).unwrap();
+    assert!(cfg!(target_endian = "big") || mapped.is_mapped());
+
+    let owned_norms = owned.row_norms();
+    let mapped_norms = mapped.row_norms();
+    assert_eq!(owned_norms.norms(), mapped_norms.norms());
+    assert_eq!(owned_norms.sq_norms(), mapped_norms.sq_norms());
+
+    let q: Vec<f32> = (0..13).map(|j| (j as f32 * 0.9).cos()).collect();
+    for metric in Metric::ALL {
+        let kernel = MetricKernel::new(metric);
+        let probe = kernel.probe(&q, 0.4);
+        let prep = kernel.prepare(&q);
+        for i in 0..owned.len() {
+            assert_eq!(
+                kernel.within(&probe, owned.row(i), owned_norms.norm(i), owned_norms.sq(i)),
+                kernel.within(
+                    &probe,
+                    mapped.row(i),
+                    mapped_norms.norm(i),
+                    mapped_norms.sq(i)
+                ),
+                "{metric:?} row {i}"
+            );
+            assert_eq!(
+                kernel
+                    .dist(&prep, owned.row(i), owned_norms.norm(i))
+                    .to_bits(),
+                kernel
+                    .dist(&prep, mapped.row(i), mapped_norms.norm(i))
+                    .to_bits(),
+                "{metric:?} row {i}"
+            );
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
