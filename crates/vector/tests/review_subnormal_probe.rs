@@ -1,0 +1,29 @@
+use laf_vector::{Dataset, Metric, MetricKernel};
+
+#[test]
+fn euclid_tile_agrees_in_subnormal_range() {
+    // Magnitudes where f32 squares land in the subnormal range: the
+    // relative-error model behind the pushdown band breaks down here.
+    let mut diverged = Vec::new();
+    for metric in [Metric::Euclidean, Metric::SquaredEuclidean] {
+        let kernel = MetricKernel::new(metric);
+        for scale in [1e-23f32, 3e-23, 5e-23, 1e-22, 3e-22] {
+            let q = vec![scale, 0.0];
+            let row = vec![-scale, 0.0];
+            let data = Dataset::from_rows(vec![row.clone()]).unwrap();
+            let norms = data.row_norms();
+            let exact = metric.dist(&q, &row);
+            for mult in [0.5f32, 0.9, 0.99, 1.0, 1.01, 1.1, 2.0] {
+                let eps = exact * mult;
+                let expected = exact < eps;
+                let probe = kernel.probe(&q, eps);
+                let probes = [probe, probe, probe, probe];
+                let lanes = kernel.within4(&probes, &row, norms.norm(0), norms.sq(0));
+                if lanes != [expected; 4] {
+                    diverged.push((metric, scale, eps, exact, lanes[0], expected));
+                }
+            }
+        }
+    }
+    assert!(diverged.is_empty(), "divergences: {diverged:?}");
+}
