@@ -1,0 +1,32 @@
+//! Serving sweep: coalesced vs one-at-a-time dispatch at several offered
+//! loads, with p50/p99 latency, batch-occupancy histograms and admission
+//! rejections. Writes `BENCH_serving.json`.
+//!
+//! Exits non-zero when the serving-layer regression gates fail, so CI's
+//! bench-smoke job can run this binary directly:
+//!
+//! * coalesced dispatch must reach at least 1.5x the throughput of
+//!   one-request-at-a-time dispatch at the saturation load (losing that
+//!   means request coalescing stopped reaching the batch kernels);
+//! * every served result must be bit-identical to the synchronous
+//!   `LafPipeline` path (the coalescing layer's correctness contract).
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let report = laf_bench::serving::run(&cfg);
+    assert!(
+        report.results_identical,
+        "served results diverged from the synchronous path: {:?}",
+        report
+            .records
+            .iter()
+            .filter(|r| r.mismatches > 0)
+            .collect::<Vec<_>>()
+    );
+    let speedup = report.saturation_speedup;
+    assert!(
+        speedup >= 1.5,
+        "coalesced dispatch must be >= 1.5x one-at-a-time at {} clients, measured {speedup:.2}x",
+        report.saturation_clients
+    );
+}

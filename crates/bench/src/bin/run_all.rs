@@ -21,6 +21,7 @@ fn main() {
     let _ = laf_bench::experiments::fig4(&cfg);
     let _ = laf_bench::ablation::run(&cfg);
     let _ = laf_bench::throughput::run(&cfg);
+    let _ = laf_bench::serving::run(&cfg);
     println!(
         "\ncomplete experiment suite finished in {:.1?}",
         started.elapsed()

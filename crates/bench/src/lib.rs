@@ -17,6 +17,7 @@
 //! | `exp_fig4`   | Figure 4 — scalability over MS-50k/100k/150k |
 //! | `exp_throughput` | (not a paper exhibit) queries/sec of the batched parallel kernels vs batch size vs threads |
 //! | `exp_snapshot` | (not a paper exhibit) cold (train+save) vs warm (load) startup to first served clustering |
+//! | `exp_serving` | (not a paper exhibit) coalesced vs one-at-a-time dispatch through the serving front, per offered load |
 //! | `run_all`    | all of the above, writing JSON into `results/` |
 //!
 //! Scale is controlled by environment variables so the same binaries serve
@@ -36,6 +37,7 @@ pub mod ablation;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod serving;
 pub mod snapshot_bench;
 pub mod throughput;
 

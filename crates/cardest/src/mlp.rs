@@ -22,6 +22,17 @@ pub struct MlpEstimator {
     predictions: AtomicU64,
 }
 
+impl Clone for MlpEstimator {
+    fn clone(&self) -> Self {
+        Self {
+            net: self.net.clone(),
+            data_dim: self.data_dim,
+            report: self.report,
+            predictions: AtomicU64::new(self.predictions.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 impl MlpEstimator {
     /// Train an estimator on a prepared [`TrainingSet`].
     ///

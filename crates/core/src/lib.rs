@@ -81,6 +81,6 @@ pub use gate::{CardEstGate, GateDecision, Prescan};
 pub use laf_dbscan::LafDbscan;
 pub use laf_dbscan_pp::{LafDbscanPlusPlus, LafDbscanPlusPlusConfig};
 pub use partial::PartialNeighborMap;
-pub use pipeline::{LafPipeline, LafPipelineBuilder};
+pub use pipeline::{LafPipeline, LafPipelineBuilder, SharedEngine};
 pub use post::PostProcessor;
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

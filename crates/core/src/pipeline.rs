@@ -30,7 +30,10 @@ use laf_cardest::{
 use laf_clustering::Clustering;
 use laf_index::{build_engine, restore_engine, PersistedEngine, RangeQueryEngine};
 use laf_vector::Dataset;
+use std::fmt;
+use std::ops::Deref;
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// Number of calibration queries sampled when
 /// [`LafPipelineBuilder::calibrate`] is enabled.
@@ -135,15 +138,13 @@ impl LafPipelineBuilder {
         } else {
             None
         };
-        Ok(LafPipeline {
-            snapshot: Snapshot {
-                config: self.config,
-                data,
-                estimator,
-                calibration,
-                engine,
-            },
-        })
+        Ok(LafPipeline::from_snapshot(Snapshot {
+            config: self.config,
+            data,
+            estimator,
+            calibration,
+            engine,
+        }))
     }
 
     /// Cold start plus persistence: train on `data`, save the snapshot to
@@ -159,11 +160,105 @@ impl LafPipelineBuilder {
     }
 }
 
+/// A range-query engine shared across threads, co-owned with the snapshot
+/// it indexes.
+///
+/// Engines borrow the [`Dataset`] they index, which would normally tie their
+/// lifetime to a `&LafPipeline` borrow and force every serving call to
+/// rebuild (or re-restore) the structure. `SharedEngine` instead co-owns the
+/// pipeline's `Arc<Snapshot>` alongside the engine built over it, so the
+/// handle is `'static`, [`Clone`] is a reference-count bump, and one built
+/// engine can serve concurrent callers for as long as any handle lives —
+/// exactly what the `laf_serve` dispatcher and repeated
+/// [`LafPipeline::cluster_with_stats`] calls need.
+#[derive(Clone)]
+pub struct SharedEngine {
+    inner: Arc<EngineHolder>,
+}
+
+/// Owns the engine together with the snapshot whose dataset it borrows.
+///
+/// Field order is load-bearing: struct fields drop in declaration order, so
+/// `engine` (which holds pointers into `_snapshot`'s dataset) is destroyed
+/// strictly before the snapshot it references.
+struct EngineHolder {
+    engine: Box<dyn RangeQueryEngine + 'static>,
+    _snapshot: Arc<Snapshot>,
+}
+
+impl SharedEngine {
+    /// Build (or restore) the engine for `snapshot`, co-owning the snapshot.
+    fn new(snapshot: Arc<Snapshot>) -> Self {
+        // SAFETY: `data` lives inside the `Arc<Snapshot>` heap allocation,
+        // whose address is stable for the allocation's whole lifetime and
+        // whose contents are never mutated after construction (`Snapshot` has
+        // no interior mutability in its dataset). The holder below keeps that
+        // allocation alive for at least as long as the engine, and the field
+        // order guarantees the engine drops first, so the forged `'static`
+        // reference is never dangling while reachable.
+        let data: &'static Dataset = unsafe { &*std::ptr::addr_of!(snapshot.data) };
+        let engine: Box<dyn RangeQueryEngine + 'static> = 'build: {
+            if let Some(persisted) = &snapshot.engine {
+                // restore_engine re-validates the structure even though
+                // snapshot decoding already did: `Snapshot` has public fields
+                // and `from_snapshot` accepts hand-assembled values, so this
+                // path cannot assume a decode-validated structure. An
+                // inconsistent in-process assembly degrades to the rebuild
+                // path rather than panicking mid-serve.
+                if let Ok(engine) = restore_engine(persisted, data) {
+                    break 'build engine;
+                }
+            }
+            let cfg = &snapshot.config;
+            build_engine(cfg.engine, data, cfg.metric, cfg.eps)
+        };
+        Self {
+            inner: Arc::new(EngineHolder {
+                engine,
+                _snapshot: snapshot,
+            }),
+        }
+    }
+
+    /// The engine itself. [`Deref`] makes this implicit at call sites; the
+    /// explicit form is handy when a `&dyn RangeQueryEngine` is needed.
+    pub fn get(&self) -> &dyn RangeQueryEngine {
+        self.inner.engine.as_ref()
+    }
+
+    /// Whether two handles share one underlying engine build.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+}
+
+impl Deref for SharedEngine {
+    type Target = dyn RangeQueryEngine;
+
+    fn deref(&self) -> &Self::Target {
+        self.inner.engine.as_ref()
+    }
+}
+
+impl fmt::Debug for SharedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedEngine")
+            .field("num_points", &self.get().num_points())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A trained, servable LAF clustering pipeline (see the
 /// [module documentation](self)).
+///
+/// The snapshot is held behind an [`Arc`] and the built engine is cached in
+/// a [`OnceLock`], so the pipeline is cheaply shareable: wrap it in an
+/// `Arc<LafPipeline>`, fan it out to any number of threads, and every
+/// serving call after the first reuses one engine build.
 #[derive(Debug)]
 pub struct LafPipeline {
-    snapshot: Snapshot,
+    snapshot: Arc<Snapshot>,
+    engine_cache: OnceLock<SharedEngine>,
 }
 
 impl LafPipeline {
@@ -177,20 +272,21 @@ impl LafPipeline {
     /// [`LafPipeline::engine`] rebuilds from the config until the pipeline is
     /// saved and reloaded through the cold path.
     pub fn from_parts(config: LafConfig, data: Dataset, estimator: MlpEstimator) -> Self {
-        Self {
-            snapshot: Snapshot {
-                config,
-                data,
-                estimator,
-                calibration: None,
-                engine: None,
-            },
-        }
+        Self::from_snapshot(Snapshot {
+            config,
+            data,
+            estimator,
+            calibration: None,
+            engine: None,
+        })
     }
 
     /// Wrap a decoded [`Snapshot`].
     pub fn from_snapshot(snapshot: Snapshot) -> Self {
-        Self { snapshot }
+        Self {
+            snapshot: Arc::new(snapshot),
+            engine_cache: OnceLock::new(),
+        }
     }
 
     /// **Warm start**: restore a pipeline from a snapshot file and be ready
@@ -232,8 +328,22 @@ impl LafPipeline {
     }
 
     /// Consume the pipeline, releasing its snapshot parts.
+    ///
+    /// Cheap (a move) unless a [`SharedEngine`] handle from
+    /// [`LafPipeline::engine`] is still alive elsewhere, in which case the
+    /// snapshot is still co-owned and must be cloned out.
     pub fn into_snapshot(self) -> Snapshot {
-        self.snapshot
+        // Dropping the cache first releases the engine's co-ownership, which
+        // is what makes the `try_unwrap` fast path the common case.
+        drop(self.engine_cache);
+        Arc::try_unwrap(self.snapshot).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// The pipeline's snapshot, shared. Clones are reference-count bumps;
+    /// the serving layer uses this to keep old epochs alive while they
+    /// drain.
+    pub fn snapshot_arc(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot)
     }
 
     /// The clustering configuration (including the engine choice).
@@ -267,23 +377,17 @@ impl LafPipeline {
     /// carries a [persisted structure](LafPipeline::persisted_engine) it is
     /// restored directly — no grid bucketing, k-means construction or IVF
     /// training — otherwise the engine is rebuilt from the restored
-    /// configuration (the v1 fallback path). Engines index borrowed data, so
-    /// serving layers typically build one per pipeline and reuse it.
-    pub fn engine(&self) -> Box<dyn RangeQueryEngine + '_> {
-        if let Some(persisted) = &self.snapshot.engine {
-            // restore_engine re-validates the structure even though snapshot
-            // decoding already did: `Snapshot` has public fields and
-            // `from_snapshot` accepts hand-assembled values, so this path
-            // cannot assume a decode-validated structure. The O(n) check is
-            // dwarfed by the structure clone and the clustering run; an
-            // inconsistent in-process assembly degrades to the rebuild path
-            // rather than panicking mid-serve.
-            if let Ok(engine) = restore_engine(persisted, self.data()) {
-                return engine;
-            }
-        }
-        let cfg = self.config();
-        build_engine(cfg.engine, self.data(), cfg.metric, cfg.eps)
+    /// configuration (the v1 fallback path).
+    ///
+    /// The build happens **once per pipeline**: the engine is cached and
+    /// every subsequent call (from any thread) returns a handle to the same
+    /// underlying structure. The handle co-owns the snapshot, so it may
+    /// outlive the pipeline — the serving layer relies on this to drain
+    /// in-flight batches on an old epoch after a hot-reload swap.
+    pub fn engine(&self) -> SharedEngine {
+        self.engine_cache
+            .get_or_init(|| SharedEngine::new(Arc::clone(&self.snapshot)))
+            .clone()
     }
 
     /// Predicted cardinality of `query` at radius `eps` (serving-plane entry
@@ -309,7 +413,7 @@ impl LafPipeline {
     pub fn cluster_with_stats(&self) -> (Clustering, LafStats) {
         let engine = self.engine();
         LafDbscan::new(self.snapshot.config.clone(), &self.snapshot.estimator)
-            .cluster_with_stats_using(&self.snapshot.data, engine.as_ref())
+            .cluster_with_stats_using(&self.snapshot.data, engine.get())
     }
 
     /// Run LAF-DBSCAN with this pipeline's estimator over a **different**
@@ -619,6 +723,67 @@ mod tests {
             train_idx, calib_idx,
             "calibration must not replay the training sample order"
         );
+    }
+
+    #[test]
+    fn engine_is_built_once_and_shared_across_calls() {
+        let config = LafConfig {
+            engine: EngineChoice::Grid { cell_side: 0.5 },
+            ..LafConfig::new(0.3, 4, 1.0)
+        };
+        let pipeline = LafPipeline::builder(config)
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .train(data())
+            .unwrap();
+        let first = pipeline.engine();
+        let second = pipeline.engine();
+        assert!(
+            SharedEngine::ptr_eq(&first, &second),
+            "repeated engine() calls must observe the same cached build"
+        );
+        // The cache must not change what the pipeline computes: labels from
+        // repeated runs (all through the cached engine) stay byte-identical.
+        let (a, stats_a) = pipeline.cluster_with_stats();
+        let (b, stats_b) = pipeline.cluster_with_stats();
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn shared_engine_outlives_its_pipeline() {
+        let pipeline = builder().train(data()).unwrap();
+        let n = pipeline.data().len();
+        let q: Vec<f32> = pipeline.data().row(0).to_vec();
+        let engine = pipeline.engine();
+        drop(pipeline);
+        // The handle co-owns the snapshot; queries still serve.
+        assert_eq!(engine.num_points(), n);
+        assert!(engine.range(&q, 0.3).contains(&0));
+    }
+
+    #[test]
+    fn into_snapshot_survives_live_engine_handles() {
+        let pipeline = builder().train(data()).unwrap();
+        let engine = pipeline.engine();
+        let labels_before = pipeline.cluster().labels().to_vec();
+        // A live handle forces the clone fallback; the round-tripped
+        // snapshot must still be fully usable and bit-exact.
+        let snapshot = pipeline.into_snapshot();
+        assert_eq!(engine.num_points(), snapshot.data.len());
+        let revived = LafPipeline::from_snapshot(snapshot);
+        assert_eq!(revived.cluster().labels(), labels_before.as_slice());
+    }
+
+    #[test]
+    fn pipeline_and_engine_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LafPipeline>();
+        assert_send_sync::<SharedEngine>();
+        assert_send_sync::<std::sync::Arc<LafPipeline>>();
     }
 
     #[test]

@@ -293,7 +293,7 @@ type ParsedSections<'a> = (Vec<(u32, usize, usize)>, &'a [u8]);
 /// See the [module documentation](self) for the wire format. Snapshots are
 /// usually handled through [`crate::LafPipeline`]; the raw type is exposed
 /// for tooling that inspects or rewrites snapshot files.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Snapshot {
     /// The configuration the pipeline was trained under, including the
     /// engine choice used to rebuild the range-query index at load time.

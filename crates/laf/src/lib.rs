@@ -72,6 +72,12 @@ pub mod metrics {
     pub use laf_metrics::*;
 }
 
+/// Concurrent serving front: request coalescing, admission control,
+/// snapshot hot-reload ([`laf_serve`]).
+pub mod serve {
+    pub use laf_serve::*;
+}
+
 /// Persist a trained [`core::LafPipeline`] as a versioned, checksummed
 /// binary snapshot at `path`.
 ///
@@ -143,7 +149,7 @@ pub mod prelude {
     pub use laf_core::{
         CardEstGate, GateDecision, LafConfig, LafDbscan, LafDbscanPlusPlus,
         LafDbscanPlusPlusConfig, LafPipeline, LafPipelineBuilder, LafStats, PartialNeighborMap,
-        PostProcessor, Prescan, Snapshot, SnapshotError,
+        PostProcessor, Prescan, SharedEngine, Snapshot, SnapshotError,
     };
     pub use laf_index::{
         build_engine, restore_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan,
@@ -152,6 +158,9 @@ pub mod prelude {
     pub use laf_metrics::{
         adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,
         ClusteringStats, ContingencyTable, MissedClusterReport,
+    };
+    pub use laf_serve::{
+        LafServer, ServeConfig, ServeError, ServeStats, ServeStatsReport, Served, Ticket,
     };
     pub use laf_synth::{
         BagOfWordsConfig, DatasetCatalog, DatasetSpec, EmbeddingMixtureConfig, SyntheticDataset,

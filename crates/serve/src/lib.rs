@@ -1,0 +1,100 @@
+//! # laf-serve
+//!
+//! Concurrent serving front for trained LAF pipelines: request coalescing
+//! into the batch kernels, admission control, and atomic snapshot
+//! hot-reload.
+//!
+//! ## Why a serving layer
+//!
+//! [`laf_core::LafPipeline`] is a synchronous handle: each caller runs its
+//! own query, one at a time, on the scalar kernel path. But the specialized
+//! distance kernels underneath (see `laf_vector`'s `MetricKernel`) have a
+//! query-major mini-GEMM batch path that amortizes every dataset-row load
+//! across [`TILE`] queries — throughput that independent single-query
+//! callers can never reach. [`LafServer`] closes that gap with the standard
+//! continuous-batching idea: requests from any number of threads land in a
+//! queue, a dispatcher thread merges them inside a bounded micro-batch
+//! window, one batch-kernel call answers the whole merged batch, and the
+//! per-request results scatter back to the blocked callers. Each engine's
+//! batch entry points are bit-identical to its per-query forms, so
+//! coalescing is invisible to callers — same results, better throughput.
+//!
+//! Submission comes in two shapes: the blocking methods
+//! ([`LafServer::range`], [`LafServer::range_count`], …) block until their
+//! result is served, and the `*_async` variants return a [`Ticket`]
+//! immediately so one caller can keep several requests in flight. Pipelined
+//! tickets are how a single connection still feeds full tiles: the
+//! dispatcher coalesces whatever is queued, no matter how many threads
+//! queued it.
+//!
+//! ## Flush policy
+//!
+//! The dispatcher flushes the queue into a batch when the first of these
+//! holds:
+//!
+//! 1. **Size cap** — `max_batch` requests are queued (takes `max_batch`);
+//! 2. **Tile fill** — at least [`TILE`] (= 4) requests are queued (takes the
+//!    largest whole-tile prefix): waiting longer cannot improve the
+//!    mini-GEMM's per-row amortization for those queries, so holding them
+//!    would add latency for nothing;
+//! 3. **Deadline** — the oldest queued request has waited
+//!    `coalesce_window_us` (takes everything queued): the window bounds the
+//!    queueing latency a lone request can pay;
+//! 4. **Shutdown** — the server is stopping: everything queued is drained
+//!    and answered, never dropped.
+//!
+//! ## Admission control
+//!
+//! The queue is bounded by `max_queue_depth`. A submission that finds the
+//! queue full fails fast with [`ServeError::Overloaded`] instead of
+//! buffering without limit — under sustained overload the queue would
+//! otherwise grow unboundedly, turning a throughput deficit into unbounded
+//! memory growth and unbounded latency. Rejected requests are counted on
+//! [`ServeStats`]; the retry policy belongs to the caller.
+//!
+//! ## Hot reload
+//!
+//! [`LafServer::reload`] swaps the served snapshot atomically: the
+//! replacement pipeline's engine is built *before* the swap, then an
+//! epoch-tagged `Arc` flip makes it current. Batches already dispatched
+//! drain on the epoch they started with (they hold the old `Arc`, which the
+//! mmap snapshot path makes cheap to keep alive); every response carries
+//! the epoch that served it ([`Served::epoch`]), so callers can tell
+//! exactly which snapshot generation answered. No lock is held across any
+//! kernel work and no request is ever lost or answered by a mix of epochs.
+//!
+//! ```
+//! use laf_serve::{LafServer, ServeConfig};
+//! # use laf_core::{LafConfig, LafPipeline};
+//! # use laf_cardest::{NetConfig, TrainingSetBuilder};
+//! # let (data, _) = laf_synth::EmbeddingMixtureConfig {
+//! #     n_points: 200, dim: 8, clusters: 3, ..Default::default()
+//! # }.generate().unwrap();
+//! # let pipeline = LafPipeline::builder(LafConfig::new(0.3, 4, 1.0))
+//! #     .net(NetConfig::tiny())
+//! #     .training(TrainingSetBuilder { max_queries: Some(40), ..Default::default() })
+//! #     .train(data).unwrap();
+//! let query: Vec<f32> = pipeline.data().row(0).to_vec();
+//! let server = LafServer::start(pipeline, ServeConfig::default());
+//! std::thread::scope(|scope| {
+//!     for _ in 0..8 {
+//!         let (server, query) = (&server, &query);
+//!         scope.spawn(move || {
+//!             let served = server.range(query, 0.3).expect("admitted");
+//!             assert!(served.value.contains(&0));
+//!         });
+//!     }
+//! });
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod server;
+mod stats;
+
+pub use config::{ServeConfig, TILE};
+pub use server::{LafServer, ServeError, Served, Ticket};
+pub use stats::{OccupancyBucket, ServeStats, ServeStatsReport, OCCUPANCY_BUCKETS};

@@ -1,0 +1,825 @@
+//! The coalescing dispatcher: [`LafServer`].
+
+use crate::config::{ServeConfig, TILE};
+use crate::stats::{ServeStats, ServeStatsReport};
+use laf_core::{LafPipeline, SharedEngine};
+use laf_index::Neighbor;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Why a submission did not produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the queue already held
+    /// `depth` requests against a bound of `limit`. The caller owns the
+    /// retry policy (back off, shed load, or fail the end-user request);
+    /// the server never buffers beyond the bound.
+    Overloaded {
+        /// Queue depth observed at submission time.
+        depth: usize,
+        /// The configured `max_queue_depth`.
+        limit: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, limit } => {
+                write!(f, "server overloaded: queue depth {depth} at limit {limit}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served result, tagged with the snapshot epoch that produced it.
+///
+/// Hot-reload makes the epoch part of the response contract: a caller that
+/// races a [`LafServer::reload`] can tell which snapshot answered, and the
+/// stress tests use it to verify responses are never torn across epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served<T> {
+    /// The epoch of the snapshot that served this result (starts at 1,
+    /// incremented by every [`LafServer::reload`]).
+    pub epoch: u64,
+    /// The result itself.
+    pub value: T,
+}
+
+/// One queued request kind, query vector owned so it outlives the caller's
+/// borrow while the batch waits in the window.
+enum Work {
+    Range { query: Vec<f32>, eps: f32 },
+    RangeCount { query: Vec<f32>, eps: f32 },
+    Knn { query: Vec<f32>, k: usize },
+    Estimate { query: Vec<f32>, eps: f32 },
+}
+
+impl Work {
+    fn query(&self) -> &[f32] {
+        match self {
+            Work::Range { query, .. }
+            | Work::RangeCount { query, .. }
+            | Work::Knn { query, .. }
+            | Work::Estimate { query, .. } => query,
+        }
+    }
+
+    /// Batch-grouping key: requests dispatch through one kernel call iff
+    /// they share a kind and its parameter (ε compared by bit pattern — the
+    /// kernels take one ε per batch).
+    fn group_key(&self) -> (u8, u64) {
+        match self {
+            Work::Range { eps, .. } => (0, eps.to_bits() as u64),
+            Work::RangeCount { eps, .. } => (1, eps.to_bits() as u64),
+            Work::Knn { k, .. } => (2, *k as u64),
+            Work::Estimate { eps, .. } => (3, eps.to_bits() as u64),
+        }
+    }
+}
+
+/// An answered request's payload.
+enum Reply {
+    Range(Vec<u32>),
+    Count(usize),
+    Knn(Vec<Neighbor>),
+    Estimate(f32),
+}
+
+/// The rendezvous cell a blocked caller waits on.
+#[derive(Default)]
+struct Slot {
+    filled: Mutex<Option<Served<Reply>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn deliver(&self, epoch: u64, value: Reply) {
+        *self.filled.lock().unwrap() = Some(Served { epoch, value });
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Served<Reply> {
+        let mut guard = self.filled.lock().unwrap();
+        loop {
+            match guard.take() {
+                Some(served) => return served,
+                None => guard = self.ready.wait(guard).unwrap(),
+            }
+        }
+    }
+}
+
+struct Pending {
+    work: Work,
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
+
+/// A handle to a submitted-but-not-yet-answered request.
+///
+/// Returned by the `*_async` submission methods. Holding several tickets
+/// pipelines requests: a client keeps N submissions in flight and the
+/// dispatcher sees a deeper queue to coalesce from, which is how a
+/// single-connection caller still feeds full dot4 tiles. Waiting consumes
+/// the ticket; dropping it abandons the result (the request is still
+/// answered and counted, nobody observes the value).
+#[must_use = "a ticket does nothing until waited on; drop abandons the result"]
+pub struct Ticket<T> {
+    slot: Arc<Slot>,
+    extract: fn(Reply) -> T,
+}
+
+impl<T> Ticket<T> {
+    /// Block until the dispatcher delivers this request's result.
+    pub fn wait(self) -> Served<T> {
+        let served = self.slot.wait();
+        Served {
+            epoch: served.epoch,
+            value: (self.extract)(served.value),
+        }
+    }
+
+    /// Whether the result is already delivered (a `wait` would not block).
+    pub fn is_ready(&self) -> bool {
+        self.slot.filled.lock().unwrap().is_some()
+    }
+}
+
+impl<T> fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+/// One snapshot generation: the pipeline plus its built engine. In-flight
+/// batches hold an `Arc<EpochState>` clone, so a reload never invalidates a
+/// batch mid-dispatch — the old epoch drains, then drops.
+struct EpochState {
+    epoch: u64,
+    pipeline: Arc<LafPipeline>,
+    engine: SharedEngine,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    /// Signals the dispatcher: work arrived or shutdown was requested.
+    wake: Condvar,
+    current: Mutex<Arc<EpochState>>,
+    stats: ServeStats,
+}
+
+/// A concurrent serving front over a [`LafPipeline`].
+///
+/// Callers from any number of threads submit range / range-count / knn /
+/// estimate requests and block until their result is ready. A dedicated
+/// dispatcher thread coalesces queued requests into merged batches and runs
+/// them through the engine's batch kernels, so concurrent single-query
+/// callers get the query-major mini-GEMM path that a synchronous
+/// one-caller-at-a-time handle can never reach. See the crate docs for the
+/// flush policy, admission control and the hot-reload epoch model.
+pub struct LafServer {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for LafServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LafServer")
+            .field("config", &self.shared.config)
+            .field("epoch", &self.current_epoch())
+            .field("queue_depth", &self.queue_depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LafServer {
+    /// Start serving `pipeline` under `config`.
+    ///
+    /// Builds (or restores) the pipeline's engine eagerly — the first
+    /// request should not pay the construction cost — and spawns the
+    /// dispatcher thread. The server stops (draining every queued request)
+    /// on [`LafServer::shutdown`] or drop.
+    pub fn start(pipeline: LafPipeline, config: ServeConfig) -> Self {
+        let engine = pipeline.engine();
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            current: Mutex::new(Arc::new(EpochState {
+                epoch: 1,
+                pipeline: Arc::new(pipeline),
+                engine,
+            })),
+            stats: ServeStats::default(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("laf-serve-dispatch".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawn dispatcher thread")
+        };
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submit an ε-range query without blocking on its result.
+    ///
+    /// The returned [`Ticket`] resolves (via [`Ticket::wait`]) to the same
+    /// bits as `pipeline.engine().range(query, eps)` on the snapshot of the
+    /// resolved epoch. Submitting several tickets before waiting pipelines
+    /// requests from one thread.
+    pub fn range_async(&self, query: &[f32], eps: f32) -> Result<Ticket<Vec<u32>>, ServeError> {
+        let slot = self.enqueue(Work::Range {
+            query: query.to_vec(),
+            eps,
+        })?;
+        Ok(Ticket {
+            slot,
+            extract: |reply| match reply {
+                Reply::Range(hits) => hits,
+                _ => unreachable!("dispatcher answered a range request with another kind"),
+            },
+        })
+    }
+
+    /// Submit a neighbor-count query without blocking; see
+    /// [`LafServer::range_async`].
+    pub fn range_count_async(&self, query: &[f32], eps: f32) -> Result<Ticket<usize>, ServeError> {
+        let slot = self.enqueue(Work::RangeCount {
+            query: query.to_vec(),
+            eps,
+        })?;
+        Ok(Ticket {
+            slot,
+            extract: |reply| match reply {
+                Reply::Count(n) => n,
+                _ => unreachable!("dispatcher answered a count request with another kind"),
+            },
+        })
+    }
+
+    /// Submit a k-nearest-neighbor query without blocking; see
+    /// [`LafServer::range_async`].
+    pub fn knn_async(&self, query: &[f32], k: usize) -> Result<Ticket<Vec<Neighbor>>, ServeError> {
+        let slot = self.enqueue(Work::Knn {
+            query: query.to_vec(),
+            k,
+        })?;
+        Ok(Ticket {
+            slot,
+            extract: |reply| match reply {
+                Reply::Knn(neighbors) => neighbors,
+                _ => unreachable!("dispatcher answered a knn request with another kind"),
+            },
+        })
+    }
+
+    /// Submit a learned cardinality estimate without blocking; see
+    /// [`LafServer::range_async`].
+    pub fn estimate_async(&self, query: &[f32], eps: f32) -> Result<Ticket<f32>, ServeError> {
+        let slot = self.enqueue(Work::Estimate {
+            query: query.to_vec(),
+            eps,
+        })?;
+        Ok(Ticket {
+            slot,
+            extract: |reply| match reply {
+                Reply::Estimate(est) => est,
+                _ => unreachable!("dispatcher answered an estimate request with another kind"),
+            },
+        })
+    }
+
+    /// ε-range query through the coalescing front. Blocks until served;
+    /// bit-identical to `pipeline.engine().range(query, eps)` on the
+    /// snapshot of the returned epoch.
+    pub fn range(&self, query: &[f32], eps: f32) -> Result<Served<Vec<u32>>, ServeError> {
+        Ok(self.range_async(query, eps)?.wait())
+    }
+
+    /// Neighbor count within `eps`, served like [`LafServer::range`].
+    pub fn range_count(&self, query: &[f32], eps: f32) -> Result<Served<usize>, ServeError> {
+        Ok(self.range_count_async(query, eps)?.wait())
+    }
+
+    /// k-nearest-neighbor query, served like [`LafServer::range`].
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Served<Vec<Neighbor>>, ServeError> {
+        Ok(self.knn_async(query, k)?.wait())
+    }
+
+    /// Learned cardinality estimate, served like [`LafServer::range`].
+    pub fn estimate(&self, query: &[f32], eps: f32) -> Result<Served<f32>, ServeError> {
+        Ok(self.estimate_async(query, eps)?.wait())
+    }
+
+    /// Atomically swap the served snapshot: an epoch-tagged
+    /// `Arc<LafPipeline>` flip.
+    ///
+    /// The replacement's engine is built **before** the swap is visible, so
+    /// no request ever pays the construction cost inline. Requests already
+    /// drained into a batch finish on the epoch they were dispatched with
+    /// (their batch holds the old `Arc`); requests dispatched after the swap
+    /// see the new one. Returns the new epoch number.
+    pub fn reload(&self, pipeline: LafPipeline) -> u64 {
+        let engine = pipeline.engine();
+        let pipeline = Arc::new(pipeline);
+        let mut current = self.shared.current.lock().unwrap();
+        let epoch = current.epoch + 1;
+        *current = Arc::new(EpochState {
+            epoch,
+            pipeline,
+            engine,
+        });
+        self.shared.stats.record_reload();
+        epoch
+    }
+
+    /// The epoch new requests are currently served under.
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.current.lock().unwrap().epoch
+    }
+
+    /// Live aggregate counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Convenience for [`ServeStats::report`].
+    pub fn stats_report(&self) -> ServeStatsReport {
+        self.shared.stats.report()
+    }
+
+    /// Requests currently queued (excluding any batch being dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Stop admitting requests, drain everything already queued, join the
+    /// dispatcher and return the final counters. Dropping the server does
+    /// the same minus the report.
+    pub fn shutdown(mut self) -> ServeStatsReport {
+        self.shutdown_inner();
+        self.shared.stats.report()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn enqueue(&self, work: Work) -> Result<Arc<Slot>, ServeError> {
+        let slot = Arc::new(Slot::default());
+        let depth = {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            let depth = state.queue.len();
+            if depth >= self.shared.config.max_queue_depth {
+                self.shared.stats.record_reject();
+                return Err(ServeError::Overloaded {
+                    depth,
+                    limit: self.shared.config.max_queue_depth,
+                });
+            }
+            state.queue.push_back(Pending {
+                work,
+                slot: Arc::clone(&slot),
+                submitted: Instant::now(),
+            });
+            let depth = state.queue.len();
+            self.shared.stats.record_submit(depth);
+            depth
+        };
+        // Wake the dispatcher only when this submission changes what it
+        // would do: the first request arms the window deadline, and a whole
+        // dot4 tile or a full batch makes a flush eligible right now.
+        // Intermediate depths would be spurious wake-ups (the dispatcher
+        // re-checks and goes back to sleep), and under load those wake-ups
+        // are the dominant per-request dispatch cost. Depths skipped here
+        // are never lost: the dispatcher re-reads the whole queue at every
+        // wake and at the window deadline.
+        let max_batch = self.shared.config.max_batch.max(1);
+        if depth == 1 || depth >= max_batch || (max_batch >= TILE && depth % TILE == 0) {
+            self.shared.wake.notify_one();
+        }
+        Ok(slot)
+    }
+}
+
+impl Drop for LafServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The dispatcher thread: wait for work, apply the flush policy, run the
+/// merged batch through the batch kernels, scatter results.
+fn dispatch_loop(shared: &Shared) {
+    let window = shared.config.window();
+    let max_batch = shared.config.max_batch.max(1);
+    loop {
+        let batch: Vec<Pending> = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.queue.is_empty() {
+                    if state.shutdown {
+                        return;
+                    }
+                    state = shared.wake.wait(state).unwrap();
+                    continue;
+                }
+                let n = state.queue.len();
+                let oldest = state.queue.front().expect("queue is non-empty").submitted;
+                // Flush policy, in priority order: drain on shutdown; flush a
+                // full batch; flush whole dot4 tiles immediately (waiting
+                // longer cannot improve their per-row amortization); flush
+                // whatever is queued once the oldest request has waited out
+                // the window; otherwise sleep until that deadline.
+                let take = if state.shutdown || n >= max_batch {
+                    max_batch.min(n)
+                } else if n >= TILE && max_batch >= TILE {
+                    (n - n % TILE).min(max_batch)
+                } else if oldest.elapsed() >= window {
+                    n
+                } else {
+                    let remaining = window.saturating_sub(oldest.elapsed());
+                    let (guard, _) = shared.wake.wait_timeout(state, remaining).unwrap();
+                    state = guard;
+                    continue;
+                };
+                break state.queue.drain(..take).collect();
+            }
+        };
+        shared.stats.record_batch(batch.len());
+        // The whole batch is answered by ONE epoch: grab the current handle
+        // once, outside the queue lock. A concurrent reload after this point
+        // affects the next batch, never this one.
+        let epoch = Arc::clone(&shared.current.lock().unwrap());
+        answer(&epoch, &batch);
+    }
+}
+
+/// Run one merged batch through the kernels and deliver each result.
+fn answer(epoch: &EpochState, batch: &[Pending]) {
+    // Partition by (kind, parameter) so every group becomes exactly one
+    // batch-kernel call; each engine guarantees its batch entry points are
+    // bit-identical to the per-query forms, which is what makes coalescing
+    // invisible to callers. A uniform batch (one kind, one parameter — the
+    // common serving shape) skips the partition map entirely.
+    let first_key = batch[0].work.group_key();
+    if batch.iter().all(|p| p.work.group_key() == first_key) {
+        let group: Vec<&Pending> = batch.iter().collect();
+        return answer_group(epoch, &group);
+    }
+    let mut groups: HashMap<(u8, u64), Vec<&Pending>> = HashMap::new();
+    for pending in batch {
+        groups
+            .entry(pending.work.group_key())
+            .or_default()
+            .push(pending);
+    }
+    for group in groups.values() {
+        answer_group(epoch, group);
+    }
+}
+
+/// One batch-kernel call for a group that shares a (kind, parameter) key.
+fn answer_group(epoch: &EpochState, group: &[&Pending]) {
+    let queries: Vec<&[f32]> = group.iter().map(|p| p.work.query()).collect();
+    match &group[0].work {
+        Work::Range { eps, .. } => {
+            let results = epoch.engine.range_batch(&queries, *eps);
+            for (pending, hits) in group.iter().zip(results) {
+                pending.slot.deliver(epoch.epoch, Reply::Range(hits));
+            }
+        }
+        Work::RangeCount { eps, .. } => {
+            let results = epoch.engine.range_count_batch(&queries, *eps);
+            for (pending, count) in group.iter().zip(results) {
+                pending.slot.deliver(epoch.epoch, Reply::Count(count));
+            }
+        }
+        Work::Knn { k, .. } => {
+            let results = epoch.engine.knn_batch(&queries, *k);
+            for (pending, neighbors) in group.iter().zip(results) {
+                pending.slot.deliver(epoch.epoch, Reply::Knn(neighbors));
+            }
+        }
+        Work::Estimate { eps, .. } => {
+            let results = epoch.pipeline.estimate_batch(&queries, *eps);
+            for (pending, estimate) in group.iter().zip(results) {
+                pending.slot.deliver(epoch.epoch, Reply::Estimate(estimate));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::{NetConfig, TrainingSetBuilder};
+    use laf_core::LafConfig;
+    use laf_synth::EmbeddingMixtureConfig;
+    use laf_vector::Dataset;
+
+    fn data(seed: u64) -> Dataset {
+        EmbeddingMixtureConfig {
+            n_points: 300,
+            dim: 12,
+            clusters: 4,
+            noise_fraction: 0.2,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+        .0
+    }
+
+    fn pipeline(seed: u64) -> LafPipeline {
+        LafPipeline::builder(LafConfig::new(0.3, 4, 1.0))
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .train(data(seed))
+            .unwrap()
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        assert_send_sync::<LafServer>();
+        assert_send_sync::<ServeError>();
+        assert_send_sync::<Served<Vec<u32>>>();
+    }
+
+    #[test]
+    fn served_results_match_the_synchronous_path() {
+        let pipeline = pipeline(7);
+        let engine = pipeline.engine();
+        let queries: Vec<Vec<f32>> = (0..40).map(|i| pipeline.data().row(i).to_vec()).collect();
+        let expected_range: Vec<Vec<u32>> = queries.iter().map(|q| engine.range(q, 0.3)).collect();
+        let expected_count: Vec<usize> =
+            queries.iter().map(|q| engine.range_count(q, 0.3)).collect();
+        let expected_knn: Vec<Vec<Neighbor>> = queries.iter().map(|q| engine.knn(q, 5)).collect();
+        let expected_est: Vec<f32> = queries.iter().map(|q| pipeline.estimate(q, 0.3)).collect();
+
+        let server = LafServer::start(pipeline, ServeConfig::default());
+        std::thread::scope(|scope| {
+            for (i, q) in queries.iter().enumerate() {
+                let server = &server;
+                let expected_range = &expected_range;
+                let expected_count = &expected_count;
+                let expected_knn = &expected_knn;
+                let expected_est = &expected_est;
+                scope.spawn(move || {
+                    let served = server.range(q, 0.3).unwrap();
+                    assert_eq!(served.epoch, 1);
+                    assert_eq!(served.value, expected_range[i], "range query {i}");
+                    let count = server.range_count(q, 0.3).unwrap().value;
+                    assert_eq!(count, expected_count[i], "count query {i}");
+                    let knn = server.knn(q, 5).unwrap().value;
+                    assert_eq!(knn.len(), expected_knn[i].len(), "knn query {i}");
+                    for (a, b) in knn.iter().zip(&expected_knn[i]) {
+                        assert_eq!(a.index, b.index, "knn query {i}");
+                        assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "knn query {i}");
+                    }
+                    let est = server.estimate(q, 0.3).unwrap().value;
+                    assert_eq!(est.to_bits(), expected_est[i].to_bits(), "estimate {i}");
+                });
+            }
+        });
+        let report = server.shutdown();
+        assert_eq!(report.submitted, 160);
+        assert_eq!(report.completed, 160);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn tickets_pipeline_requests_from_one_thread() {
+        let pipeline = pipeline(31);
+        let engine = pipeline.engine();
+        let queries: Vec<Vec<f32>> = (0..12).map(|i| pipeline.data().row(i).to_vec()).collect();
+        let expected: Vec<usize> = queries.iter().map(|q| engine.range_count(q, 0.3)).collect();
+        let server = LafServer::start(pipeline, ServeConfig::default());
+        let tickets: Vec<Ticket<usize>> = queries
+            .iter()
+            .map(|q| server.range_count_async(q, 0.3).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let served = ticket.wait();
+            assert_eq!(served.epoch, 1);
+            assert_eq!(served.value, expected[i], "pipelined count query {i}");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 12);
+        assert!(
+            report.batches < 12,
+            "12 pipelined submissions from one thread must coalesce \
+             (got {} batches)",
+            report.batches
+        );
+    }
+
+    #[test]
+    fn dropped_tickets_are_still_answered_and_counted() {
+        let pipeline = pipeline(37);
+        let q: Vec<f32> = pipeline.data().row(0).to_vec();
+        let server = LafServer::start(pipeline, ServeConfig::default());
+        let kept = server.range_count_async(&q, 0.3).unwrap();
+        drop(server.range_count_async(&q, 0.3).unwrap());
+        let served = kept.wait();
+        assert_eq!(served.epoch, 1);
+        let report = server.shutdown();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.completed, 2, "abandoned tickets still drain");
+    }
+
+    #[test]
+    fn uncoalesced_config_serves_identically() {
+        let pipeline = pipeline(9);
+        let engine = pipeline.engine();
+        let q: Vec<f32> = pipeline.data().row(3).to_vec();
+        let expected = engine.range(&q, 0.3);
+        let server = LafServer::start(pipeline, ServeConfig::uncoalesced());
+        assert_eq!(server.range(&q, 0.3).unwrap().value, expected);
+    }
+
+    #[test]
+    fn coalescing_actually_batches_under_concurrency() {
+        let pipeline = pipeline(11);
+        let queries: Vec<Vec<f32>> = (0..64).map(|i| pipeline.data().row(i).to_vec()).collect();
+        let server = LafServer::start(
+            pipeline,
+            ServeConfig {
+                coalesce_window_us: 5_000,
+                ..ServeConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for q in &queries {
+                let server = &server;
+                scope.spawn(move || {
+                    server.range(q, 0.3).unwrap();
+                });
+            }
+        });
+        let report = server.shutdown();
+        assert_eq!(report.completed, 64);
+        assert!(
+            report.batches < 64,
+            "64 concurrent requests must coalesce into fewer than 64 batches \
+             (got {} batches, mean occupancy {:.2})",
+            report.batches,
+            report.mean_batch_occupancy
+        );
+    }
+
+    /// A server whose config lets tests park 3 clients in the queue: below
+    /// the dot4 tile, inside a long window, the dispatcher will not flush
+    /// them until woken.
+    fn parking_server(config: ServeConfig, seed: u64) -> (LafServer, Vec<f32>) {
+        let pipeline = pipeline(seed);
+        let q: Vec<f32> = pipeline.data().row(0).to_vec();
+        (LafServer::start(pipeline, config), q)
+    }
+
+    fn wait_for_depth(server: &LafServer, depth: usize) {
+        while server.queue_depth() < depth {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Wake the dispatcher into its shutdown drain without consuming the
+    /// server (scoped client threads still borrow it).
+    fn trigger_shutdown(server: &LafServer) {
+        server.shared.state.lock().unwrap().shutdown = true;
+        server.shared.wake.notify_all();
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_the_bound() {
+        let (server, q) = parking_server(
+            ServeConfig {
+                coalesce_window_us: 500_000,
+                max_batch: 8,
+                max_queue_depth: 3,
+            },
+            13,
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let server = &server;
+                let q = &q;
+                scope.spawn(move || {
+                    let _ = server.range(q, 0.3);
+                });
+            }
+            wait_for_depth(&server, 3);
+            // The queue is pinned at the bound until the window expires; one
+            // more submission must bounce rather than buffer.
+            match server.range_count(&q, 0.3) {
+                Err(ServeError::Overloaded { depth, limit }) => {
+                    assert_eq!(limit, 3);
+                    assert!(depth >= limit);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            trigger_shutdown(&server);
+        });
+        let report = server.shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 3);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let (server, q) = parking_server(
+            ServeConfig {
+                coalesce_window_us: 500_000,
+                ..ServeConfig::default()
+            },
+            17,
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let server = &server;
+                let q = &q;
+                scope.spawn(move || {
+                    // Queued mid-window; shutdown must still answer it
+                    // rather than losing it.
+                    server.range(q, 0.3).unwrap();
+                });
+            }
+            wait_for_depth(&server, 3);
+            trigger_shutdown(&server);
+        });
+        let report = server.shutdown();
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.completed, 3, "no request may be lost");
+    }
+
+    #[test]
+    fn reload_swaps_epochs_and_prebuilds_the_engine() {
+        let server = LafServer::start(pipeline(19), ServeConfig::default());
+        assert_eq!(server.current_epoch(), 1);
+        let replacement = pipeline(23);
+        let q: Vec<f32> = replacement.data().row(0).to_vec();
+        let expected = replacement.engine().range(&q, 0.3);
+        assert_eq!(server.reload(replacement), 2);
+        assert_eq!(server.current_epoch(), 2);
+        let served = server.range(&q, 0.3).unwrap();
+        assert_eq!(served.epoch, 2);
+        assert_eq!(served.value, expected);
+        assert_eq!(server.stats_report().reloads, 1);
+    }
+
+    #[test]
+    fn submitting_after_shutdown_fails_cleanly() {
+        let mut server = LafServer::start(pipeline(29), ServeConfig::default());
+        let q = vec![0.0f32; 12];
+        server.shutdown_inner();
+        assert_eq!(server.range(&q, 0.3), Err(ServeError::ShuttingDown));
+        assert_eq!(
+            ServeError::ShuttingDown.to_string(),
+            "server is shutting down"
+        );
+        let overloaded = ServeError::Overloaded { depth: 4, limit: 4 };
+        assert!(overloaded.to_string().contains("queue depth 4"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Aggregate serving counters: admission, batch occupancy, reloads.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive) of the batch-occupancy histogram buckets. The
+/// first [`crate::TILE`] buckets are exact sizes — whether the dispatcher
+/// fills whole `dot4` tiles is the main thing the histogram exists to show —
+/// and the tail is power-of-two ranges up to the default `max_batch`.
+const OCCUPANCY_BOUNDS: [u64; 8] = [1, 2, 3, 4, 8, 16, 32, 64];
+
+/// Number of occupancy buckets (the bounds above plus an overflow bucket).
+pub const OCCUPANCY_BUCKETS: usize = OCCUPANCY_BOUNDS.len() + 1;
+
+/// Human-readable label for occupancy bucket `i`.
+fn bucket_label(i: usize) -> String {
+    match i {
+        0..=3 => format!("{}", OCCUPANCY_BOUNDS[i]),
+        _ if i < OCCUPANCY_BOUNDS.len() => {
+            format!("{}-{}", OCCUPANCY_BOUNDS[i - 1] + 1, OCCUPANCY_BOUNDS[i])
+        }
+        _ => format!(">{}", OCCUPANCY_BOUNDS[OCCUPANCY_BOUNDS.len() - 1]),
+    }
+}
+
+fn bucket_index(batch_size: usize) -> usize {
+    OCCUPANCY_BOUNDS
+        .iter()
+        .position(|&b| batch_size as u64 <= b)
+        .unwrap_or(OCCUPANCY_BOUNDS.len())
+}
+
+/// Lock-free aggregate counters maintained by a [`crate::LafServer`].
+///
+/// All counters are monotone (relaxed atomics); [`ServeStats::report`] takes
+/// a point-in-time snapshot. Counts observed while requests are in flight
+/// may be mid-update relative to each other — exact invariants (e.g.
+/// `submitted == completed + rejected`) hold once the server is idle or shut
+/// down.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    tile_batches: AtomicU64,
+    reloads: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
+}
+
+impl ServeStats {
+    /// Record an admitted request and the queue depth it observed.
+    pub(crate) fn record_submit(&self, queue_depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.peak_queue_depth
+            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    /// Record a request rejected by admission control.
+    pub(crate) fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one dispatched batch of `size` requests.
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        if size > 0 && size.is_multiple_of(crate::TILE) {
+            self.tile_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.occupancy[bucket_index(size)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a snapshot hot-reload.
+    pub(crate) fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests admitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by admission control so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn report(&self) -> ServeStatsReport {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        ServeStatsReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            batches,
+            tile_batches: self.tile_batches.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            mean_batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            occupancy: self
+                .occupancy
+                .iter()
+                .enumerate()
+                .map(|(i, c)| OccupancyBucket {
+                    batch_size: bucket_label(i),
+                    batches: c.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero every counter (e.g. between warmup and the timed bench window).
+    pub fn reset(&self) {
+        self.submitted.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.completed.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.tile_batches.store(0, Ordering::Relaxed);
+        self.reloads.store(0, Ordering::Relaxed);
+        self.peak_queue_depth.store(0, Ordering::Relaxed);
+        for bucket in &self.occupancy {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One row of the batch-occupancy histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyBucket {
+    /// Batch-size range this bucket covers (`"1"`..`"4"` exact, then ranges).
+    pub batch_size: String,
+    /// Number of dispatched batches whose size fell in the range.
+    pub batches: u64,
+}
+
+/// Serializable snapshot of [`ServeStats`], embedded in `BENCH_serving.json`
+/// and printed by the `serve-concurrent` example mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStatsReport {
+    /// Requests admitted past admission control.
+    pub submitted: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Kernel batches dispatched.
+    pub batches: u64,
+    /// Batches whose size was a whole multiple of the `dot4` tile.
+    pub tile_batches: u64,
+    /// Snapshot hot-reloads performed.
+    pub reloads: u64,
+    /// Highest queue depth observed at submission time.
+    pub peak_queue_depth: u64,
+    /// `completed / batches` — the average coalescing factor.
+    pub mean_batch_occupancy: f64,
+    /// Histogram of dispatched batch sizes.
+    pub occupancy: Vec<OccupancyBucket>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_exact_tile_sizes_then_ranges() {
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(5), 4);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(64), 7);
+        assert_eq!(bucket_index(65), 8);
+        assert_eq!(bucket_label(0), "1");
+        assert_eq!(bucket_label(4), "5-8");
+        assert_eq!(bucket_label(8), ">64");
+    }
+
+    #[test]
+    fn report_reflects_recorded_events() {
+        let stats = ServeStats::default();
+        stats.record_submit(3);
+        stats.record_submit(7);
+        stats.record_reject();
+        stats.record_batch(4);
+        stats.record_batch(1);
+        stats.record_reload();
+        let report = stats.report();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.tile_batches, 1);
+        assert_eq!(report.reloads, 1);
+        assert_eq!(report.peak_queue_depth, 7);
+        assert!((report.mean_batch_occupancy - 2.5).abs() < 1e-12);
+        assert_eq!(report.occupancy[3].batches, 1, "one size-4 batch");
+        assert_eq!(report.occupancy[0].batches, 1, "one size-1 batch");
+
+        stats.reset();
+        let zeroed = stats.report();
+        assert_eq!(zeroed.submitted, 0);
+        assert_eq!(zeroed.batches, 0);
+        assert!(zeroed.occupancy.iter().all(|b| b.batches == 0));
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let stats = ServeStats::default();
+        stats.record_submit(1);
+        stats.record_batch(3);
+        let report = stats.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServeStatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

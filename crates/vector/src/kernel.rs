@@ -60,6 +60,17 @@ const EUCLID_BAND_FACTOR: f64 = 8.0;
 /// `sqrt` comparison of the Euclidean pushdown.
 const EUCLID_THRESHOLD_SLOP: f64 = 1e-6;
 
+/// Absolute floor of the certified error band. The relative model above
+/// assumes every f32 rounding error is proportional to the value, which
+/// fails once squared magnitudes reach the subnormal range (gradual
+/// underflow rounds with unbounded *relative* error, and products below the
+/// smallest subnormal flush to zero outright). Any comparison this close to
+/// zero routes to the exact fallback instead. The floor is far above every
+/// subnormal-regime error (≤ a few times 1.4e-45 per operation) yet
+/// vanishingly small for realistic data, so it never costs a fast path that
+/// the relative band would have taken correctly.
+const EUCLID_BAND_ABS_FLOOR: f64 = (8.0 * f32::MIN_POSITIVE) as f64;
+
 /// Magnitude ceiling for the Euclidean pushdown's fast paths. Above this the
 /// scalar subtract-form evaluation can overflow `f32` to infinity while the
 /// `f64` dot-form stays finite — the two would then disagree (`inf < eps` is
@@ -316,7 +327,8 @@ impl MetricKernel {
         let magnitude = q_sq + r_sq + 2.0 * d.abs();
         if magnitude < EUCLID_OVERFLOW_GUARD {
             let tol =
-                EUCLID_BAND_FACTOR * (x.len() as f64 + 4.0) * (f32::EPSILON as f64) * magnitude;
+                EUCLID_BAND_FACTOR * (x.len() as f64 + 4.0) * (f32::EPSILON as f64) * magnitude
+                    + EUCLID_BAND_ABS_FLOOR;
             if se_dot + tol < probe.accept_below {
                 return true;
             }

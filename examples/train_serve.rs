@@ -24,6 +24,11 @@
 //! # process mapping the same file:
 //! cargo run --release --example train_serve -- serve-mmap /tmp/pipeline.lafs
 //!
+//! # Concurrent serving front: N pipelined client threads against one
+//! # LafServer, results checked bit-for-bit against the synchronous path,
+//! # then the batch-occupancy histogram — the coalescing win, from the CLI:
+//! cargo run --release --example train_serve -- serve-concurrent /tmp/pipeline.lafs 4
+//!
 //! # Or run all phases in sequence against a temp file:
 //! cargo run --release --example train_serve [engine]
 //! ```
@@ -221,6 +226,128 @@ fn serve(snapshot_path: &str, mmap: bool) {
     }
 }
 
+/// Concurrent serving plane: `n_clients` threads, each keeping several
+/// range-count requests in flight against one [`LafServer`], every answer
+/// checked bit-for-bit against the synchronous engine path. Prints the
+/// batch-occupancy histogram at the end — the direct evidence of how well
+/// the dispatcher coalesced independent requests into `dot4` tiles.
+fn serve_concurrent(snapshot_path: &str, n_clients: usize) {
+    /// Requests each client keeps in flight (via [`Ticket`]s) so the
+    /// dispatcher always has batch-mates to merge.
+    const PIPELINE_DEPTH: usize = 8;
+    const REQUESTS_PER_CLIENT: usize = 2_000;
+    const N_QUERIES: usize = 64;
+    const EPS: f32 = 0.35;
+
+    let pipeline = load_snapshot(snapshot_path).expect("snapshot load");
+    let stride = (pipeline.data().len() / N_QUERIES).max(1);
+    let queries: Vec<Vec<f32>> = (0..N_QUERIES.min(pipeline.data().len()))
+        .map(|i| pipeline.data().row(i * stride).to_vec())
+        .collect();
+    // Ground truth from the synchronous path, before the server takes the
+    // pipeline: coalescing must be invisible to callers.
+    let engine = pipeline.engine();
+    let expected: Vec<usize> = queries.iter().map(|q| engine.range_count(q, EPS)).collect();
+    drop(engine);
+
+    let server = LafServer::start(pipeline, ServeConfig::default());
+    println!(
+        "[serve-concurrent] {n_clients} clients x {REQUESTS_PER_CLIENT} range-count requests, \
+         pipeline depth {PIPELINE_DEPTH}, window {}us, max batch {}",
+        server.config().coalesce_window_us,
+        server.config().max_batch
+    );
+
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..n_clients {
+            let (server, queries, expected) = (&server, &queries, &expected);
+            scope.spawn(move || {
+                let mut inflight: std::collections::VecDeque<(usize, Ticket<usize>)> =
+                    std::collections::VecDeque::with_capacity(PIPELINE_DEPTH);
+                let mut issued = 0usize;
+                let mut i = client; // stagger the query cycle per client
+                while issued < REQUESTS_PER_CLIENT || !inflight.is_empty() {
+                    while issued < REQUESTS_PER_CLIENT && inflight.len() < PIPELINE_DEPTH {
+                        i = (i + 1) % queries.len();
+                        match server.range_count_async(&queries[i], EPS) {
+                            Ok(ticket) => {
+                                inflight.push_back((i, ticket));
+                                issued += 1;
+                            }
+                            // Queue full: stop issuing, drain one, retry.
+                            Err(ServeError::Overloaded { .. }) => break,
+                            Err(e) => panic!("submission failed: {e}"),
+                        }
+                    }
+                    let Some((qi, ticket)) = inflight.pop_front() else {
+                        break;
+                    };
+                    let served = ticket.wait();
+                    assert_eq!(
+                        served.value, expected[qi],
+                        "served result diverged from the synchronous path"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed();
+    let report = server.shutdown();
+
+    let total = n_clients * REQUESTS_PER_CLIENT;
+    println!(
+        "[serve-concurrent] {} requests served in {:.2?} ({:.0} qps), all bit-identical \
+         to the synchronous path",
+        report.completed,
+        elapsed,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "[serve-concurrent] {} batches, mean occupancy {:.2}, {} whole-tile, \
+         peak queue depth {}, {} rejected",
+        report.batches,
+        report.mean_batch_occupancy,
+        report.tile_batches,
+        report.peak_queue_depth,
+        report.rejected
+    );
+    println!("[serve-concurrent] batch-occupancy histogram (batch size -> batches):");
+    let peak = report
+        .occupancy
+        .iter()
+        .map(|b| b.batches)
+        .max()
+        .unwrap_or(0);
+    for bucket in &report.occupancy {
+        let bar = if peak == 0 {
+            0
+        } else {
+            (bucket.batches * 40).div_ceil(peak) as usize
+        };
+        println!(
+            "    {:>6} | {:<40} {}",
+            bucket.batch_size,
+            "#".repeat(bar),
+            bucket.batches
+        );
+    }
+    assert_eq!(
+        report.completed, report.submitted,
+        "every admitted request must be answered"
+    );
+}
+
+fn parse_clients(arg: &str) -> usize {
+    match arg.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("client count must be a positive integer, got `{arg}`");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -228,6 +355,10 @@ fn main() {
         [phase, path, engine] if phase == "train" => train(path, parse_engine(engine)),
         [phase, path] if phase == "serve" => serve(path, false),
         [phase, path] if phase == "serve-mmap" => serve(path, true),
+        [phase, path] if phase == "serve-concurrent" => serve_concurrent(path, 4),
+        [phase, path, n] if phase == "serve-concurrent" => {
+            serve_concurrent(path, parse_clients(n));
+        }
         [] | [_] => {
             let engine = args
                 .first()
@@ -238,13 +369,14 @@ fn main() {
             train(&path, engine);
             serve(&path, false);
             serve(&path, true);
+            serve_concurrent(&path, 4);
             std::fs::remove_file(&path).ok();
             std::fs::remove_file(labels_sidecar(&path)).ok();
         }
         _ => {
             eprintln!(
                 "usage: train_serve [train <snapshot> [engine] | serve <snapshot> | \
-                 serve-mmap <snapshot> | [engine]]"
+                 serve-mmap <snapshot> | serve-concurrent <snapshot> [clients] | [engine]]"
             );
             std::process::exit(2);
         }
