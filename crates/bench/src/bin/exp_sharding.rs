@@ -1,0 +1,36 @@
+//! Sharding sweep: sharded scatter-gather fan-out timing at several shard
+//! counts plus tenant-cache churn counters. Writes `BENCH_sharding.json`.
+//!
+//! Exits non-zero when the sharding regression gates fail, so CI's
+//! bench-smoke job can run this binary directly:
+//!
+//! * every query result and cluster label served through a sharded
+//!   snapshot must be bit-identical to the unsharded reference (the
+//!   scatter-gather correctness contract);
+//! * the snapshot cache's counters must balance — pins = hits + misses =
+//!   unpins, resident bytes within the byte budget, and every reload
+//!   beyond the resident set paid for by exactly one eviction.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let report = laf_bench::sharding::run(&cfg);
+    assert!(
+        report.results_identical,
+        "sharded results diverged from the unsharded reference: {:?}",
+        report
+            .records
+            .iter()
+            .filter(|r| r.divergences > 0)
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.cache_consistent,
+        "snapshot cache accounting inconsistent: {:?}",
+        report.cache
+    );
+    assert!(
+        report.cache.evictions > 0,
+        "the 1-snapshot budget must force evictions, none recorded: {:?}",
+        report.cache
+    );
+}

@@ -22,6 +22,7 @@ fn main() {
     let _ = laf_bench::ablation::run(&cfg);
     let _ = laf_bench::throughput::run(&cfg);
     let _ = laf_bench::serving::run(&cfg);
+    let _ = laf_bench::sharding::run(&cfg);
     println!(
         "\ncomplete experiment suite finished in {:.1?}",
         started.elapsed()

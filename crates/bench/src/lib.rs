@@ -18,6 +18,7 @@
 //! | `exp_throughput` | (not a paper exhibit) queries/sec of the batched parallel kernels vs batch size vs threads |
 //! | `exp_snapshot` | (not a paper exhibit) cold (train+save) vs warm (load) startup to first served clustering |
 //! | `exp_serving` | (not a paper exhibit) coalesced vs one-at-a-time dispatch through the serving front, per offered load |
+//! | `exp_sharding` | (not a paper exhibit) sharded scatter-gather fan-out vs the unsharded engine, plus tenant-cache churn counters |
 //! | `run_all`    | all of the above, writing JSON into `results/` |
 //!
 //! Scale is controlled by environment variables so the same binaries serve
@@ -38,6 +39,7 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 pub mod serving;
+pub mod sharding;
 pub mod snapshot_bench;
 pub mod throughput;
 

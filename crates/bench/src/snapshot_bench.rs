@@ -193,6 +193,7 @@ fn mmap_startup_row(config: &LafConfig, data: Dataset, estimator: MlpEstimator) 
         estimator,
         calibration: None,
         engine: None,
+        shards: Vec::new(),
     };
     snapshot.save(&path).expect("snapshot save");
     let snapshot_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());

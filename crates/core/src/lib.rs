@@ -64,6 +64,14 @@
 //! optionally saves ([`LafPipelineBuilder::train_and_save`]); a **warm**
 //! start restores from a snapshot ([`LafPipeline::load`]) and serves
 //! immediately, bit-exact with the process that trained it.
+//!
+//! Pipelines can additionally be **sharded**
+//! ([`LafPipelineBuilder::shards`]): the snapshot then carries one dataset
+//! slice and one persisted engine structure per shard (format v4), warm
+//! starts restore a `laf_index::ShardedEngine` that fans queries out across
+//! the shards in parallel, and every merged answer — range hits, counts,
+//! knn orderings, cluster labels, [`LafStats`] — is bit-identical to the
+//! unsharded pipeline's.
 
 #![warn(missing_docs)]
 
@@ -83,4 +91,6 @@ pub use laf_dbscan_pp::{LafDbscanPlusPlus, LafDbscanPlusPlusConfig};
 pub use partial::PartialNeighborMap;
 pub use pipeline::{LafPipeline, LafPipelineBuilder, SharedEngine};
 pub use post::PostProcessor;
-pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    section_id, Snapshot, SnapshotError, SnapshotShard, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

@@ -22,14 +22,14 @@
 
 use crate::config::{LafConfig, LafStats};
 use crate::laf_dbscan::LafDbscan;
-use crate::snapshot::{Snapshot, SnapshotError};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotShard};
 use laf_cardest::{
     CardinalityEstimator, EstimatorCalibrator, MlpEstimator, NetConfig, QErrorReport,
     TrainingSetBuilder,
 };
 use laf_clustering::Clustering;
-use laf_index::{build_engine, restore_engine, PersistedEngine, RangeQueryEngine};
-use laf_vector::Dataset;
+use laf_index::{build_engine, restore_engine, PersistedEngine, RangeQueryEngine, ShardedEngine};
+use laf_vector::{Dataset, ShardMap, VectorError};
 use std::fmt;
 use std::ops::Deref;
 use std::path::Path;
@@ -46,6 +46,7 @@ pub struct LafPipelineBuilder {
     net: NetConfig,
     training: TrainingSetBuilder,
     calibrate: bool,
+    shards: usize,
 }
 
 impl LafPipelineBuilder {
@@ -61,6 +62,7 @@ impl LafPipelineBuilder {
             net: NetConfig::small(),
             training,
             calibrate: false,
+            shards: 1,
         }
     }
 
@@ -87,6 +89,22 @@ impl LafPipelineBuilder {
     /// counts, which is measurable on large datasets.
     pub fn calibrate(mut self, on: bool) -> Self {
         self.calibrate = on;
+        self
+    }
+
+    /// Split the dataset into `n` shards (default 1 — unsharded).
+    ///
+    /// With two or more shards the trained snapshot carries one dataset
+    /// slice and, for persistable engine choices, one built engine structure
+    /// *per shard* (snapshot format v4), and every warm start serves queries
+    /// through a [`laf_index::ShardedEngine`] that fans out across the
+    /// shards in parallel and merges the answers bit-identically to the
+    /// unsharded path — labels, stats and knn orderings included. Shard
+    /// counts larger than the dataset are clamped; `0` behaves like `1`.
+    /// The estimator and its training are unaffected: cardinality estimates
+    /// are a property of the whole dataset, not of its layout.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 
@@ -123,20 +141,52 @@ impl LafPipelineBuilder {
         } else {
             None
         };
-        // Persist the built engine structure so warm starts (and this
+        // Persist the built engine structure(s) so warm starts (and this
         // pipeline's own clustering runs) skip the construction cost. Engines
         // with nothing worth saving are skipped up front instead of being
         // built purely to discover `persist()` returns `None`.
-        let engine = if self.config.engine.persistable() {
-            build_engine(
-                self.config.engine,
-                &data,
-                self.config.metric,
-                self.config.eps,
-            )
-            .persist()
+        let shard_map = if self.shards >= 2 {
+            let map = ShardMap::even_split(data.len(), self.shards);
+            // A dataset smaller than two rows degenerates to one shard;
+            // treat that as unsharded rather than writing a trivial manifest.
+            (map.n_shards() >= 2).then_some(map)
         } else {
             None
+        };
+        let build_persisted = |slice: &Dataset| {
+            if self.config.engine.persistable() {
+                build_engine(
+                    self.config.engine,
+                    slice,
+                    self.config.metric,
+                    self.config.eps,
+                )
+                .persist()
+            } else {
+                None
+            }
+        };
+        let (data, shards, engine) = match shard_map {
+            Some(map) => {
+                // Shard slices are zero-copy views into one shared
+                // allocation, so sharding costs no extra dataset memory.
+                let data = data.into_shared();
+                let shards = (0..map.n_shards())
+                    .map(|s| {
+                        let slice = data.slice_rows(map.start(s), map.shard_len(s))?;
+                        let engine = build_persisted(&slice);
+                        Ok(SnapshotShard {
+                            data: slice,
+                            engine,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, VectorError>>()?;
+                (data, shards, None)
+            }
+            None => {
+                let engine = build_persisted(&data);
+                (data, Vec::new(), engine)
+            }
         };
         Ok(LafPipeline::from_snapshot(Snapshot {
             config: self.config,
@@ -144,6 +194,7 @@ impl LafPipelineBuilder {
             estimator,
             calibration,
             engine,
+            shards,
         }))
     }
 
@@ -189,15 +240,48 @@ struct EngineHolder {
 impl SharedEngine {
     /// Build (or restore) the engine for `snapshot`, co-owning the snapshot.
     fn new(snapshot: Arc<Snapshot>) -> Self {
-        // SAFETY: `data` lives inside the `Arc<Snapshot>` heap allocation,
-        // whose address is stable for the allocation's whole lifetime and
-        // whose contents are never mutated after construction (`Snapshot` has
-        // no interior mutability in its dataset). The holder below keeps that
-        // allocation alive for at least as long as the engine, and the field
-        // order guarantees the engine drops first, so the forged `'static`
-        // reference is never dangling while reachable.
+        // SAFETY: `data` — and every shard's dataset below — lives inside
+        // the `Arc<Snapshot>` heap allocation (the shard `Vec`'s buffer is
+        // owned by it), whose addresses are stable for the allocation's
+        // whole lifetime and whose contents are never mutated after
+        // construction (`Snapshot` has no interior mutability in its
+        // datasets). The holder below keeps that allocation alive for at
+        // least as long as the engine, and the field order guarantees the
+        // engine drops first, so the forged `'static` references are never
+        // dangling while reachable.
         let data: &'static Dataset = unsafe { &*std::ptr::addr_of!(snapshot.data) };
         let engine: Box<dyn RangeQueryEngine + 'static> = 'build: {
+            if !snapshot.shards.is_empty() {
+                let cfg = &snapshot.config;
+                let mut engines: Vec<Box<dyn RangeQueryEngine + 'static>> =
+                    Vec::with_capacity(snapshot.shards.len());
+                let mut lens: Vec<usize> = Vec::with_capacity(snapshot.shards.len());
+                for shard in &snapshot.shards {
+                    // SAFETY: see above — the shard lives in the Arc'd
+                    // snapshot's shard buffer, which is never mutated.
+                    let shard_data: &'static Dataset = unsafe { &*std::ptr::addr_of!(shard.data) };
+                    let shard_engine = 'shard: {
+                        if let Some(persisted) = &shard.engine {
+                            if let Ok(engine) = restore_engine(persisted, shard_data) {
+                                break 'shard engine;
+                            }
+                        }
+                        build_engine(cfg.engine, shard_data, cfg.metric, cfg.eps)
+                    };
+                    lens.push(shard_data.len());
+                    engines.push(shard_engine);
+                }
+                // An inconsistent hand-assembled shard layout (`Snapshot`
+                // has public fields) degrades to one engine over the full
+                // dataset rather than panicking mid-serve.
+                if let Ok(map) = ShardMap::from_lens(&lens) {
+                    if map.total_rows() == data.len() {
+                        if let Ok(sharded) = ShardedEngine::new(engines, map) {
+                            break 'build Box::new(sharded);
+                        }
+                    }
+                }
+            }
             if let Some(persisted) = &snapshot.engine {
                 // restore_engine re-validates the structure even though
                 // snapshot decoding already did: `Snapshot` has public fields
@@ -278,6 +362,7 @@ impl LafPipeline {
             estimator,
             calibration: None,
             engine: None,
+            shards: Vec::new(),
         })
     }
 
@@ -776,6 +861,95 @@ mod tests {
         assert_eq!(engine.num_points(), snapshot.data.len());
         let revived = LafPipeline::from_snapshot(snapshot);
         assert_eq!(revived.cluster().labels(), labels_before.as_slice());
+    }
+
+    #[test]
+    fn sharded_pipelines_cluster_bit_identically_to_unsharded() {
+        // The tentpole guarantee at the pipeline level: same training
+        // inputs, different shard counts, byte-identical outputs.
+        let config = LafConfig {
+            engine: EngineChoice::Grid { cell_side: 0.5 },
+            ..LafConfig::new(0.3, 4, 1.0)
+        };
+        let mk = |shards: usize| {
+            LafPipeline::builder(config.clone())
+                .net(NetConfig::tiny())
+                .training(TrainingSetBuilder {
+                    max_queries: Some(60),
+                    ..Default::default()
+                })
+                .shards(shards)
+                .train(data())
+                .unwrap()
+        };
+        let unsharded = mk(1);
+        let (base_clustering, base_stats) = unsharded.cluster_with_stats();
+        for n in [2usize, 3, 7] {
+            let sharded = mk(n);
+            assert_eq!(sharded.snapshot_arc().shards.len(), n, "{n} shards");
+            assert!(sharded.persisted_engine().is_none());
+            let (clustering, stats) = sharded.cluster_with_stats();
+            assert_eq!(
+                clustering.labels(),
+                base_clustering.labels(),
+                "{n} shards: labels must be byte-identical"
+            );
+            assert_eq!(stats, base_stats, "{n} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_warm_start_restores_per_shard_engines_via_mmap() {
+        let dir = std::env::temp_dir().join("laf_core_pipeline_shard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sharded_{}.lafs", std::process::id()));
+        let config = LafConfig {
+            engine: EngineChoice::Ivf {
+                nlist: 4,
+                nprobe: 4,
+            },
+            ..LafConfig::new(0.3, 4, 1.0)
+        };
+        let cold = LafPipeline::builder(config)
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(60),
+                ..Default::default()
+            })
+            .shards(3)
+            .train_and_save(data(), &path)
+            .unwrap();
+        let warm = LafPipeline::load_mmap(&path).unwrap();
+        let snap = warm.snapshot_arc();
+        assert_eq!(snap.shards.len(), 3);
+        for (i, shard) in snap.shards.iter().enumerate() {
+            assert!(
+                cfg!(target_endian = "big") || shard.data.is_mapped(),
+                "shard {i} must be served from the mapping"
+            );
+            assert!(
+                shard.engine.is_some(),
+                "shard {i} must carry its persisted engine"
+            );
+        }
+        let (cold_clustering, cold_stats) = cold.cluster_with_stats();
+        let (warm_clustering, warm_stats) = warm.cluster_with_stats();
+        assert_eq!(cold_clustering.labels(), warm_clustering.labels());
+        assert_eq!(cold_stats, warm_stats);
+        drop(warm);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_counts_larger_than_the_dataset_are_clamped() {
+        let pipeline = builder().shards(10_000).train(data()).unwrap();
+        let snap = pipeline.snapshot_arc();
+        assert_eq!(snap.shards.len(), snap.data.len(), "one row per shard");
+        assert_eq!(
+            snap.shards.iter().map(|s| s.data.len()).sum::<usize>(),
+            snap.data.len()
+        );
+        assert_eq!(pipeline.engine().num_points(), snap.data.len());
     }
 
     #[test]

@@ -20,11 +20,11 @@
 //!
 //! # Wire format
 //!
-//! All integers little-endian. **Version 3** (current writer):
+//! All integers little-endian. **Version 4** (current writer):
 //!
 //! ```text
 //! magic              4 bytes   b"LAFS"
-//! format version     u32       3
+//! format version     u32       4
 //! section count      u32
 //! section table      count x { id: u32, offset: u64, len: u64, crc: u32 }
 //!                              (offsets relative to the payload start; `crc`
@@ -35,7 +35,22 @@
 //!                              payload (magic, version, count, table)
 //! ```
 //!
-//! Version 3 differs from version 2 in exactly one rule: **every section
+//! Version 4 adds **sharding** on top of version 3's container. An
+//! unsharded snapshot keeps the classic sections (config, dataset,
+//! estimator, optional calibration, optional engine — see [`section_id`]).
+//! A sharded snapshot ([`Snapshot::shards`] non-empty) replaces the global
+//! dataset and engine sections with a [`section_id::SHARD_MANIFEST`]
+//! (shard count + per-shard row counts) and one dataset section per shard
+//! ([`section_id::shard_dataset`]) plus, when the engine choice is
+//! persistable, one engine section per shard
+//! ([`section_id::shard_engine`]). Shard slices cover the dataset in global
+//! row order, so the decoder rebuilds the full dataset by concatenation —
+//! and `laf_index::ShardedEngine` answers queries over the restored
+//! per-shard structures bit-identically to the unsharded path.
+//!
+//! **Version 3** (still read; [`Snapshot::encode_v3`] exists for
+//! compatibility tests) is the same container without shard sections. It
+//! differs from version 2 in exactly one rule: **every section
 //! body starts at an 8-byte-aligned file offset** (the writer inserts zero
 //! padding before a section as needed, and the reader rejects nonzero
 //! padding so every byte of the file stays covered by a check). Alignment is
@@ -68,14 +83,15 @@
 //! Compatibility rules: a reader **rejects** an unknown format version or any
 //! checksum mismatch, **ignores** unknown section ids (so a newer writer may
 //! append sections without breaking older readers), and **requires** the
-//! config, dataset and estimator sections. The engine section is optional in
-//! both directions: a v1 snapshot (or a newer snapshot whose engine was not
-//! persistable) simply rebuilds the engine from the restored
-//! [`laf_index::EngineChoice`] — the v1 serving behaviour. Loading a v1/v2
-//! file through [`Snapshot::open_mmap`] works but copies the dataset (their
-//! writers guaranteed no alignment), as does a v3 file whose dataset section
-//! is misaligned or a big-endian host: the zero-copy reinterpret is an
-//! optimization, never a compatibility cliff.
+//! config and estimator sections plus either the dataset section or a shard
+//! manifest with every shard-dataset section it declares. Engine sections
+//! are optional in both directions: a v1 snapshot (or a newer snapshot
+//! whose engine was not persistable) simply rebuilds the engine from the
+//! restored [`laf_index::EngineChoice`] — the v1 serving behaviour. Loading
+//! a v1/v2 file through [`Snapshot::open_mmap`] works but copies the
+//! dataset (their writers guaranteed no alignment), as does a v3+/v4 file
+//! whose dataset section is misaligned or a big-endian host: the zero-copy
+//! reinterpret is an optimization, never a compatibility cliff.
 
 use crate::config::LafConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -92,37 +108,79 @@ use std::sync::Arc;
 /// Magic bytes identifying a LAF snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"LAFS";
 /// Current snapshot format version (what [`Snapshot::encode`] writes).
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 /// Oldest snapshot format version this reader still accepts.
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 /// Alignment (in bytes, relative to the file start) every section body is
-/// padded to in format v3, so a mapped dataset section can be reinterpreted
-/// as `&[f32]` in place.
+/// padded to since format v3, so a mapped dataset section can be
+/// reinterpreted as `&[f32]` in place.
 pub const SECTION_ALIGN: usize = 8;
 
-/// Section id: JSON-encoded [`LafConfig`] (JSON inside the binary container
-/// so configuration fields can evolve under serde's defaulting rules without
-/// a format-version bump).
-const SECTION_CONFIG: u32 = 1;
-/// Section id: flat-buffer encoded [`Dataset`] (`laf_vector::io` format).
-const SECTION_DATASET: u32 = 2;
-/// Section id: binary [`MlpEstimator`] (raw weight bits).
-const SECTION_ESTIMATOR: u32 = 3;
-/// Section id: JSON-encoded [`QErrorReport`] calibration summary (optional).
-const SECTION_CALIBRATION: u32 = 4;
-/// Section id: binary built engine structure (`laf_index::persist` format,
-/// optional, v2 only).
-const SECTION_ENGINE: u32 = 5;
+/// The single registry of snapshot section ids.
+///
+/// Every writer, the decoder and the corruption-error formatter share these
+/// constants and the [`name`](section_id::name) helper, so a section can
+/// never be written under one id and reported under another name.
+pub mod section_id {
+    /// JSON-encoded [`crate::LafConfig`] (JSON inside the binary container
+    /// so configuration fields can evolve under serde's defaulting rules
+    /// without a format-version bump).
+    pub const CONFIG: u32 = 1;
+    /// Flat-buffer encoded [`laf_vector::Dataset`] (`laf_vector::io`
+    /// format). Absent from sharded (v4 manifest) files, whose rows live in
+    /// the per-shard dataset sections instead.
+    pub const DATASET: u32 = 2;
+    /// Binary `MlpEstimator` (raw weight bits).
+    pub const ESTIMATOR: u32 = 3;
+    /// JSON-encoded `QErrorReport` calibration summary (optional).
+    pub const CALIBRATION: u32 = 4;
+    /// Binary built engine structure (`laf_index::persist` format,
+    /// optional, v2+, unsharded files only).
+    pub const ENGINE: u32 = 5;
+    /// Sharded-layout manifest (v4): shard count (`u32`) followed by one
+    /// `u64` row count per shard, in shard order. Presence of this section
+    /// is what makes a v4 file sharded.
+    pub const SHARD_MANIFEST: u32 = 6;
+    /// First shard-dataset section id; shard `i`'s dataset slice is stored
+    /// under [`shard_dataset`]`(i)` in `laf_vector::io` format.
+    pub const SHARD_DATASET_BASE: u32 = 0x1000;
+    /// First shard-engine section id; shard `i`'s persisted engine
+    /// structure (optional per shard) is stored under [`shard_engine`]`(i)`.
+    pub const SHARD_ENGINE_BASE: u32 = 0x2000;
+    /// Maximum number of shards one snapshot may carry: keeps the shard id
+    /// ranges disjoint and bounds the decoder's manifest-driven work.
+    pub const MAX_SHARDS: u32 = SHARD_ENGINE_BASE - SHARD_DATASET_BASE;
 
-/// Human-readable name of a section id, for error messages.
-fn section_name(id: u32) -> &'static str {
-    match id {
-        SECTION_CONFIG => "config",
-        SECTION_DATASET => "dataset",
-        SECTION_ESTIMATOR => "estimator",
-        SECTION_CALIBRATION => "calibration",
-        SECTION_ENGINE => "engine",
-        _ => "unknown",
+    /// Section id of shard `i`'s dataset slice.
+    pub fn shard_dataset(i: u32) -> u32 {
+        debug_assert!(i < MAX_SHARDS);
+        SHARD_DATASET_BASE + i
+    }
+
+    /// Section id of shard `i`'s persisted engine structure.
+    pub fn shard_engine(i: u32) -> u32 {
+        debug_assert!(i < MAX_SHARDS);
+        SHARD_ENGINE_BASE + i
+    }
+
+    /// Human-readable name of a section id, shared by corruption errors and
+    /// the decoders.
+    pub fn name(id: u32) -> &'static str {
+        match id {
+            CONFIG => "config",
+            DATASET => "dataset",
+            ESTIMATOR => "estimator",
+            CALIBRATION => "calibration",
+            ENGINE => "engine",
+            SHARD_MANIFEST => "shard-manifest",
+            id if (SHARD_DATASET_BASE..SHARD_DATASET_BASE + MAX_SHARDS).contains(&id) => {
+                "shard-dataset"
+            }
+            id if (SHARD_ENGINE_BASE..SHARD_ENGINE_BASE + MAX_SHARDS).contains(&id) => {
+                "shard-engine"
+            }
+            _ => "unknown",
+        }
     }
 }
 
@@ -308,6 +366,32 @@ pub struct Snapshot {
     /// persistable (see [`laf_index::EngineChoice::persistable`]). `None` for
     /// v1 snapshots and non-persistable engines; the serving side then
     /// rebuilds from [`LafConfig::engine`].
+    ///
+    /// Always `None` for sharded snapshots, whose engine structures live per
+    /// shard in [`Snapshot::shards`].
+    pub engine: Option<PersistedEngine>,
+    /// Shard layout of a sharded (format v4) snapshot, in shard order.
+    ///
+    /// Empty means unsharded — the classic single-dataset layout. When
+    /// non-empty (two shards or more), [`Snapshot::data`] still holds the
+    /// full logical dataset and each entry's
+    /// [`data`](SnapshotShard::data) is that shard's contiguous row slice —
+    /// after a decode the owned slices are zero-copy views into the very
+    /// allocation behind [`Snapshot::data`], and mapped slices are served in
+    /// place from the file mapping.
+    pub shards: Vec<SnapshotShard>,
+}
+
+/// One shard of a sharded (format v4) snapshot: the dataset slice plus,
+/// when the engine choice is persistable, the engine structure built over
+/// exactly those rows. Row ids inside the persisted structure are
+/// shard-local; `laf_index::ShardedEngine` rebases them at query time.
+#[derive(Debug, Clone)]
+pub struct SnapshotShard {
+    /// This shard's contiguous slice of the dataset, in global row order.
+    pub data: Dataset,
+    /// The engine structure persisted over this shard's rows, when the
+    /// configured engine choice is persistable.
     pub engine: Option<PersistedEngine>,
 }
 
@@ -325,20 +409,22 @@ impl Snapshot {
         self.estimator.encode_binary(&mut estimator_bytes);
 
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(5);
-        sections.push((SECTION_CONFIG, config_json.into_bytes()));
+        sections.push((section_id::CONFIG, config_json.into_bytes()));
         let mut dataset_bytes: Vec<u8> = Vec::with_capacity(vio::encoded_len(&self.data));
         vio::encode_into(&self.data, &mut dataset_bytes);
-        sections.push((SECTION_DATASET, dataset_bytes));
-        sections.push((SECTION_ESTIMATOR, estimator_bytes));
+        sections.push((section_id::DATASET, dataset_bytes));
+        sections.push((section_id::ESTIMATOR, estimator_bytes));
         if let Some(json) = calibration_json {
-            sections.push((SECTION_CALIBRATION, json.into_bytes()));
+            sections.push((section_id::CALIBRATION, json.into_bytes()));
         }
         Ok(sections)
     }
 
-    /// Encode into the current (version-3) snapshot format: per-section CRC
-    /// table, 8-byte-aligned section bodies and, when present, the built
-    /// engine structure. Equivalent to [`Snapshot::encode_to_writer`] into a
+    /// Encode into the current (version-4) snapshot format: per-section CRC
+    /// table and 8-byte-aligned section bodies. An unsharded snapshot keeps
+    /// the classic single-dataset section layout (now under version 4); a
+    /// sharded one writes the shard manifest plus per-shard dataset and
+    /// engine sections. Equivalent to [`Snapshot::encode_to_writer`] into a
     /// fresh buffer.
     pub fn encode(&self) -> Result<Bytes, SnapshotError> {
         let mut buf: Vec<u8> = Vec::new();
@@ -346,23 +432,96 @@ impl Snapshot {
         Ok(Bytes::from(buf))
     }
 
-    /// Stream the version-3 encoding into `writer` without ever assembling
+    /// Encode into the legacy version-3 format (classic single-dataset
+    /// layout, alignment padding). Exists so compatibility tests can pin the
+    /// v3 read path; errors on a sharded snapshot, which needs format v4.
+    pub fn encode_v3(&self) -> Result<Bytes, SnapshotError> {
+        let mut buf: Vec<u8> = Vec::new();
+        self.encode_to_writer_versioned(&mut buf, 3)?;
+        Ok(Bytes::from(buf))
+    }
+
+    /// Stream the version-4 encoding into `writer` without ever assembling
     /// the whole snapshot in memory.
     ///
-    /// The small sections (config, estimator, calibration, engine) are
-    /// materialized — they are KBs — but the dataset section, which dominates
-    /// the file, is checksummed and written in bounded chunks via
-    /// [`laf_vector::io::encode_chunked`]. Peak writer-side memory is
-    /// O(small sections + one chunk) instead of O(snapshot), roughly halving
-    /// train-time peak RSS for large datasets (the old path held the dataset
-    /// *and* its full encoding alive simultaneously).
+    /// The small sections (config, estimator, calibration, engines, shard
+    /// manifest) are materialized — they are KBs — but every dataset
+    /// section, which is where the bytes are, is checksummed and written in
+    /// bounded chunks via [`laf_vector::io::encode_chunked`]. Peak
+    /// writer-side memory is O(small sections + one chunk) instead of
+    /// O(snapshot), roughly halving train-time peak RSS for large datasets
+    /// (the old path held the dataset *and* its full encoding alive
+    /// simultaneously).
     ///
     /// # Errors
-    /// Propagates section serialization failures and writer I/O errors.
-    /// Callers handing in a buffered writer should flush it afterwards (the
-    /// [`Snapshot::save`] convenience does).
+    /// Propagates section serialization failures and writer I/O errors, and
+    /// rejects an inconsistent shard layout (shard rows not summing to the
+    /// dataset, a shard with a different dimensionality, a global engine on
+    /// a sharded snapshot). Callers handing in a buffered writer should
+    /// flush it afterwards (the [`Snapshot::save`] convenience does).
     pub fn encode_to_writer<W: Write>(&self, writer: &mut W) -> Result<(), SnapshotError> {
-        // Section bodies: `None` stands for the dataset, which is streamed.
+        self.encode_to_writer_versioned(writer, SNAPSHOT_VERSION)
+    }
+
+    /// `(len, crc)` of a dataset section without materializing its encoding:
+    /// a CRC pre-pass over the same bounded chunks the writer streams later.
+    fn dataset_entry(data: &Dataset) -> (u64, u32) {
+        let mut crc = Crc32::new();
+        let mut len = 0u64;
+        let _ = vio::encode_chunked::<std::convert::Infallible>(data, |chunk| {
+            crc.update(chunk);
+            len += chunk.len() as u64;
+            Ok(())
+        });
+        debug_assert_eq!(len as usize, vio::encoded_len(data));
+        (len, crc.finalize())
+    }
+
+    fn encode_to_writer_versioned<W: Write>(
+        &self,
+        writer: &mut W,
+        version: u32,
+    ) -> Result<(), SnapshotError> {
+        let sharded = !self.shards.is_empty();
+        if sharded && version < 4 {
+            return Err(SnapshotError::Malformed(format!(
+                "sharded snapshots require format version 4, not {version}"
+            )));
+        }
+        if self.shards.len() > section_id::MAX_SHARDS as usize {
+            return Err(SnapshotError::Malformed(format!(
+                "{} shards exceed the format limit of {}",
+                self.shards.len(),
+                section_id::MAX_SHARDS
+            )));
+        }
+        if sharded {
+            if self.engine.is_some() {
+                return Err(SnapshotError::Malformed(
+                    "sharded snapshots persist engine structures per shard, not globally".into(),
+                ));
+            }
+            let total: usize = self.shards.iter().map(|s| s.data.len()).sum();
+            if total != self.data.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "shard row counts sum to {total} but the dataset holds {} rows",
+                    self.data.len()
+                )));
+            }
+            if let Some(s) = self.shards.iter().find(|s| s.data.dim() != self.data.dim()) {
+                return Err(SnapshotError::Malformed(format!(
+                    "shard dimensionality {} disagrees with the dataset's {}",
+                    s.data.dim(),
+                    self.data.dim()
+                )));
+            }
+        }
+
+        // Section bodies: `Dataset` bodies are streamed, never materialized.
+        enum Body<'a> {
+            Bytes(Vec<u8>),
+            Dataset(&'a Dataset),
+        }
         let config_json = serde_json::to_string(&self.config)?;
         let mut estimator_bytes: Vec<u8> = Vec::new();
         self.estimator.encode_binary(&mut estimator_bytes);
@@ -372,30 +531,47 @@ impl Snapshot {
             .map(serde_json::to_string)
             .transpose()?;
 
-        let (dataset_crc, dataset_len) = {
-            let mut crc = Crc32::new();
-            let mut len = 0u64;
-            let _ = vio::encode_chunked::<std::convert::Infallible>(&self.data, |chunk| {
-                crc.update(chunk);
-                len += chunk.len() as u64;
-                Ok(())
-            });
-            (crc.finalize(), len)
+        let mut sections: Vec<(u32, u64, u32, Body<'_>)> =
+            Vec::with_capacity(5 + 2 * self.shards.len());
+        let push_bytes = |sections: &mut Vec<(u32, u64, u32, Body<'_>)>, id: u32, body: Vec<u8>| {
+            sections.push((id, body.len() as u64, crc32(&body), Body::Bytes(body)));
         };
-        debug_assert_eq!(dataset_len as usize, vio::encoded_len(&self.data));
-
-        let mut sections: Vec<(u32, u64, u32, Option<Vec<u8>>)> = Vec::with_capacity(5);
-        let push_bytes = |sections: &mut Vec<_>, id: u32, body: Vec<u8>| {
-            sections.push((id, body.len() as u64, crc32(&body), Some(body)));
-        };
-        push_bytes(&mut sections, SECTION_CONFIG, config_json.into_bytes());
-        sections.push((SECTION_DATASET, dataset_len, dataset_crc, None));
-        push_bytes(&mut sections, SECTION_ESTIMATOR, estimator_bytes);
-        if let Some(json) = calibration_json {
-            push_bytes(&mut sections, SECTION_CALIBRATION, json.into_bytes());
+        push_bytes(&mut sections, section_id::CONFIG, config_json.into_bytes());
+        if !sharded {
+            let (len, crc) = Self::dataset_entry(&self.data);
+            sections.push((section_id::DATASET, len, crc, Body::Dataset(&self.data)));
         }
-        if let Some(engine) = &self.engine {
-            push_bytes(&mut sections, SECTION_ENGINE, engine.encode());
+        push_bytes(&mut sections, section_id::ESTIMATOR, estimator_bytes);
+        if let Some(json) = calibration_json {
+            push_bytes(&mut sections, section_id::CALIBRATION, json.into_bytes());
+        }
+        if !sharded {
+            if let Some(engine) = &self.engine {
+                push_bytes(&mut sections, section_id::ENGINE, engine.encode());
+            }
+        } else {
+            let mut manifest: Vec<u8> = Vec::with_capacity(4 + 8 * self.shards.len());
+            manifest.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+            for shard in &self.shards {
+                manifest.extend_from_slice(&(shard.data.len() as u64).to_le_bytes());
+            }
+            push_bytes(&mut sections, section_id::SHARD_MANIFEST, manifest);
+            for (i, shard) in self.shards.iter().enumerate() {
+                let (len, crc) = Self::dataset_entry(&shard.data);
+                sections.push((
+                    section_id::shard_dataset(i as u32),
+                    len,
+                    crc,
+                    Body::Dataset(&shard.data),
+                ));
+                if let Some(engine) = &shard.engine {
+                    push_bytes(
+                        &mut sections,
+                        section_id::shard_engine(i as u32),
+                        engine.encode(),
+                    );
+                }
+            }
         }
 
         // Lay out the payload: each section body starts at a file offset
@@ -403,7 +579,7 @@ impl Snapshot {
         let header_len = 12 + sections.len() * 24;
         let mut header: Vec<u8> = Vec::with_capacity(header_len);
         header.extend_from_slice(SNAPSHOT_MAGIC);
-        header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
         let mut pads: Vec<usize> = Vec::with_capacity(sections.len());
         let mut offset = 0u64;
@@ -426,8 +602,8 @@ impl Snapshot {
         for ((_, _, _, body), pad) in sections.iter().zip(&pads) {
             writer.write_all(&ZEROS[..*pad])?;
             match body {
-                Some(bytes) => writer.write_all(bytes)?,
-                None => vio::encode_chunked(&self.data, |chunk| writer.write_all(chunk))?,
+                Body::Bytes(bytes) => writer.write_all(bytes)?,
+                Body::Dataset(data) => vio::encode_chunked(data, |chunk| writer.write_all(chunk))?,
             }
         }
         writer.write_all(&header_crc.to_le_bytes())?;
@@ -441,7 +617,7 @@ impl Snapshot {
     pub fn encode_v2(&self) -> Result<Bytes, SnapshotError> {
         let mut sections = self.common_sections()?;
         if let Some(engine) = &self.engine {
-            sections.push((SECTION_ENGINE, engine.encode()));
+            sections.push((section_id::ENGINE, engine.encode()));
         }
 
         let table_len = sections.len() * 24;
@@ -554,13 +730,13 @@ impl Snapshot {
             let end = offset.checked_add(len).ok_or_else(|| {
                 SnapshotError::Malformed(format!(
                     "section `{}` (id {id}) length overflow",
-                    section_name(id)
+                    section_id::name(id)
                 ))
             })?;
             if end > payload.len() {
                 return Err(SnapshotError::Malformed(format!(
                     "section `{}` (id {id}) spans {offset}..{end} but the payload holds {} bytes",
-                    section_name(id),
+                    section_id::name(id),
                     payload.len()
                 )));
             }
@@ -568,7 +744,7 @@ impl Snapshot {
             if actual != crc {
                 return Err(SnapshotError::Malformed(format!(
                     "section `{}` (id {id}) checksum mismatch: stored {crc:#010x}, computed {actual:#010x}",
-                    section_name(id)
+                    section_id::name(id)
                 )));
             }
             table.push((id, offset, len));
@@ -649,7 +825,7 @@ impl Snapshot {
         let version = cursor.get_u32_le();
         let (table, payload) = match version {
             1 => Self::parse_v1(bytes)?,
-            2 | 3 => Self::parse_tabled(bytes, version)?,
+            2..=4 => Self::parse_tabled(bytes, version)?,
             _ => {
                 return Err(SnapshotError::Malformed(format!(
                     "unsupported snapshot version {version} (this reader supports \
@@ -683,22 +859,127 @@ impl Snapshot {
         };
 
         let config: LafConfig = serde_json::from_str(
-            std::str::from_utf8(required(SECTION_CONFIG, "config")?)
+            std::str::from_utf8(required(section_id::CONFIG, "config")?)
                 .map_err(|e| SnapshotError::Malformed(format!("config is not UTF-8: {e}")))?,
         )?;
-        let dataset_section = required(SECTION_DATASET, "dataset")?;
-        let data = match map {
-            // Zero-copy only for v3: its writer is the one that guarantees
-            // section alignment. `dataset_from_map` still re-checks the
-            // actual pointer and falls back to copying when a (hand-built)
-            // v3 file is misaligned.
-            Some(map) if version >= 3 => {
-                let offset = dataset_section.as_ptr() as usize - bytes.as_ptr() as usize;
-                mapped::dataset_from_map(map, offset, dataset_section.len())?
-            }
-            _ => vio::decode(dataset_section)?,
+        let manifest = if version >= 4 {
+            section(section_id::SHARD_MANIFEST)?
+        } else {
+            None
         };
-        let mut estimator_bytes = required(SECTION_ESTIMATOR, "estimator")?;
+        let (data, shards) = match manifest {
+            Some(manifest) => {
+                if section(section_id::DATASET)?.is_some() || section(section_id::ENGINE)?.is_some()
+                {
+                    return Err(SnapshotError::Malformed(
+                        "sharded snapshot must not carry global dataset or engine sections".into(),
+                    ));
+                }
+                let mut m = manifest;
+                if m.len() < 4 {
+                    return Err(SnapshotError::Malformed(
+                        "shard manifest is shorter than its shard count".into(),
+                    ));
+                }
+                let count = m.get_u32_le() as usize;
+                if count == 0 || count > section_id::MAX_SHARDS as usize {
+                    return Err(SnapshotError::Malformed(format!(
+                        "shard manifest declares {count} shards (supported: 1..={})",
+                        section_id::MAX_SHARDS
+                    )));
+                }
+                if m.len() != count * 8 {
+                    return Err(SnapshotError::Malformed(format!(
+                        "shard manifest holds {} bytes of row counts for {count} shards",
+                        m.len()
+                    )));
+                }
+                let lens: Vec<usize> = (0..count).map(|_| m.get_u64_le() as usize).collect();
+                let mut shard_datas: Vec<Dataset> = Vec::with_capacity(count);
+                for (i, &rows) in lens.iter().enumerate() {
+                    let sec = required(section_id::shard_dataset(i as u32), "shard-dataset")?;
+                    let d = match map {
+                        // Manifests exist only in v4+ files, whose writer
+                        // guarantees section alignment, so every shard slice
+                        // is eligible for the in-place reinterpret.
+                        // `dataset_from_map` still re-checks the actual
+                        // pointer and falls back to copying when a
+                        // (hand-built) file is misaligned.
+                        Some(map) => {
+                            let offset = sec.as_ptr() as usize - bytes.as_ptr() as usize;
+                            mapped::dataset_from_map(map, offset, sec.len())?
+                        }
+                        None => vio::decode(sec)?,
+                    };
+                    if d.len() != rows {
+                        return Err(SnapshotError::Malformed(format!(
+                            "shard {i} holds {} rows but the manifest declares {rows}",
+                            d.len()
+                        )));
+                    }
+                    if let Some(first) = shard_datas.first() {
+                        if d.dim() != first.dim() {
+                            return Err(SnapshotError::Malformed(format!(
+                                "shard {i} is {}-dimensional but shard 0 is {}-dimensional",
+                                d.dim(),
+                                first.dim()
+                            )));
+                        }
+                    }
+                    shard_datas.push(d);
+                }
+                let dim = shard_datas[0].dim();
+                let mut flat: Vec<f32> = Vec::with_capacity(lens.iter().sum::<usize>() * dim);
+                for d in &shard_datas {
+                    flat.extend_from_slice(d.as_flat());
+                }
+                let full = Dataset::from_flat(dim, flat)?;
+                // Owned decodes drop the per-shard copies and re-slice views
+                // of the concatenated buffer, so steady-state memory stays
+                // 1× the dataset; mapped shards are already zero-copy and
+                // keep their file-backed views (the concatenation is then
+                // the only owned copy).
+                let (full, shard_datas) = if shard_datas.iter().any(Dataset::is_mapped) {
+                    (full, shard_datas)
+                } else {
+                    let shared = full.into_shared();
+                    let mut views = Vec::with_capacity(count);
+                    let mut start = 0usize;
+                    for &rows in &lens {
+                        views.push(shared.slice_rows(start, rows)?);
+                        start += rows;
+                    }
+                    (shared, views)
+                };
+                let mut shards = Vec::with_capacity(count);
+                for (i, d) in shard_datas.into_iter().enumerate() {
+                    let engine = section(section_id::shard_engine(i as u32))?
+                        .map(PersistedEngine::decode)
+                        .transpose()?;
+                    if let Some(engine) = &engine {
+                        Self::validate_engine(engine, &config, d.len(), d.dim())?;
+                    }
+                    shards.push(SnapshotShard { data: d, engine });
+                }
+                (full, shards)
+            }
+            None => {
+                let dataset_section = required(section_id::DATASET, "dataset")?;
+                let data = match map {
+                    // Zero-copy only for v3+: those writers are the ones
+                    // that guarantee section alignment. `dataset_from_map`
+                    // still re-checks the actual pointer and falls back to
+                    // copying when a (hand-built) file is misaligned.
+                    Some(map) if version >= 3 => {
+                        let offset = dataset_section.as_ptr() as usize - bytes.as_ptr() as usize;
+                        mapped::dataset_from_map(map, offset, dataset_section.len())?
+                    }
+                    _ => vio::decode(dataset_section)?,
+                };
+                (data, Vec::new())
+            }
+        };
+        let mut estimator_bytes = required(section_id::ESTIMATOR, "estimator")?;
         let estimator = MlpEstimator::decode_binary(&mut estimator_bytes)?;
         if !estimator_bytes.is_empty() {
             return Err(SnapshotError::Malformed(format!(
@@ -713,32 +994,18 @@ impl Snapshot {
                 data.dim()
             )));
         }
-        let calibration = section(SECTION_CALIBRATION)?
+        let calibration = section(section_id::CALIBRATION)?
             .map(|b| -> Result<QErrorReport, SnapshotError> {
                 Ok(serde_json::from_str(std::str::from_utf8(b).map_err(
                     |e| SnapshotError::Malformed(format!("calibration is not UTF-8: {e}")),
                 )?)?)
             })
             .transpose()?;
-        let engine = section(SECTION_ENGINE)?
+        let engine = section(section_id::ENGINE)?
             .map(PersistedEngine::decode)
             .transpose()?;
         if let Some(engine) = &engine {
-            if engine.metric() != config.metric {
-                return Err(SnapshotError::Malformed(format!(
-                    "engine section was persisted under {:?} but the config metric is {:?}",
-                    engine.metric(),
-                    config.metric
-                )));
-            }
-            if !engine.matches_choice(&config.engine) {
-                return Err(SnapshotError::Malformed(format!(
-                    "engine section holds a `{}` structure but the config engine is {:?}",
-                    engine.kind(),
-                    config.engine
-                )));
-            }
-            engine.validate(data.len(), data.dim())?;
+            Self::validate_engine(engine, &config, data.len(), data.dim())?;
         }
 
         Ok(Self {
@@ -747,7 +1014,35 @@ impl Snapshot {
             estimator,
             calibration,
             engine,
+            shards,
         })
+    }
+
+    /// Engine-section sanity checks shared by the global and per-shard
+    /// paths: the persisted metric and structure kind must match the config,
+    /// and the structure must cover exactly the rows it is restored over.
+    fn validate_engine(
+        engine: &PersistedEngine,
+        config: &LafConfig,
+        len: usize,
+        dim: usize,
+    ) -> Result<(), SnapshotError> {
+        if engine.metric() != config.metric {
+            return Err(SnapshotError::Malformed(format!(
+                "engine section was persisted under {:?} but the config metric is {:?}",
+                engine.metric(),
+                config.metric
+            )));
+        }
+        if !engine.matches_choice(&config.engine) {
+            return Err(SnapshotError::Malformed(format!(
+                "engine section holds a `{}` structure but the config engine is {:?}",
+                engine.kind(),
+                config.engine
+            )));
+        }
+        engine.validate(len, dim)?;
+        Ok(())
     }
 
     /// Write the encoded snapshot to `path`, streaming via
@@ -808,7 +1103,29 @@ mod tests {
             estimator,
             calibration: None,
             engine: None,
+            shards: Vec::new(),
         }
+    }
+
+    /// The same snapshot split into `n` shards with per-shard engine
+    /// structures (when the choice is persistable).
+    fn sharded_snapshot(choice: EngineChoice, n: usize) -> Snapshot {
+        let mut snap = trained_snapshot();
+        snap.config.engine = choice;
+        snap.data = snap.data.into_shared();
+        let map = laf_vector::ShardMap::even_split(snap.data.len(), n);
+        snap.shards = (0..map.n_shards())
+            .map(|s| {
+                let data = snap
+                    .data
+                    .slice_rows(map.start(s), map.shard_len(s))
+                    .unwrap();
+                let engine =
+                    build_engine(choice, &data, snap.config.metric, snap.config.eps).persist();
+                SnapshotShard { data, engine }
+            })
+            .collect();
+        snap
     }
 
     /// The same snapshot with a persisted engine structure attached.
@@ -993,7 +1310,7 @@ mod tests {
             let mut corrupt = bytes.clone();
             corrupt[header_len + offset + len / 2] ^= 0x01;
             let err = Snapshot::decode(&corrupt).unwrap_err().to_string();
-            let name = section_name(id);
+            let name = section_id::name(id);
             assert!(
                 err.contains(&format!("section `{name}`")) && err.contains("checksum mismatch"),
                 "flip inside section {id} produced: {err}"
@@ -1036,7 +1353,7 @@ mod tests {
         let mut refs: Vec<(u32, &[u8])> =
             sections.iter().map(|(i, b)| (*i, b.as_slice())).collect();
         refs.push((999, &mystery));
-        for version in [1, 2, 3] {
+        for version in [1, 2, 3, 4] {
             let bytes = build_raw(version, &refs);
             let back = Snapshot::decode(&bytes).unwrap();
             assert_eq!(back.config, snap.config, "version {version}");
@@ -1051,10 +1368,10 @@ mod tests {
         let sections = raw_sections(&snap);
         let refs: Vec<(u32, &[u8])> = sections
             .iter()
-            .filter(|(id, _)| *id != SECTION_ESTIMATOR)
+            .filter(|(id, _)| *id != section_id::ESTIMATOR)
             .map(|(i, b)| (*i, b.as_slice()))
             .collect();
-        for version in [1, 2, 3] {
+        for version in [1, 2, 3, 4] {
             let bytes = build_raw(version, &refs);
             let err = Snapshot::decode(&bytes).unwrap_err();
             assert!(
@@ -1111,7 +1428,7 @@ mod tests {
     }
 
     #[test]
-    fn encode_writes_version_3_with_eight_byte_aligned_sections() {
+    fn encode_writes_version_4_with_eight_byte_aligned_sections() {
         let mut snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
         snap.calibration = Some(QErrorReport {
             evaluated: 5,
@@ -1123,8 +1440,8 @@ mod tests {
         let bytes = snap.encode().unwrap();
         assert_eq!(
             u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-            3,
-            "encode must write format version 3"
+            4,
+            "encode must write format version 4"
         );
         let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
         assert_eq!(count, 5);
@@ -1158,6 +1475,182 @@ mod tests {
         assert_eq!(back.config, snap.config);
         assert_eq!(back.data, snap.data);
         assert_eq!(back.engine, snap.engine);
+    }
+
+    #[test]
+    fn encode_v3_still_writes_the_classic_layout() {
+        let snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        let bytes = snap.encode_v3().unwrap();
+        assert_eq!(bytes[4], 3, "encode_v3 must write format version 3");
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.data, snap.data);
+        assert_eq!(back.engine, snap.engine);
+        assert!(back.shards.is_empty());
+    }
+
+    #[test]
+    fn sharded_snapshots_round_trip_with_per_shard_engines() {
+        for n in [1usize, 3] {
+            let snap = sharded_snapshot(EngineChoice::Grid { cell_side: 0.5 }, n);
+            let bytes = snap.encode().unwrap();
+            assert_eq!(bytes[4], 4, "sharded encode must write format version 4");
+            let back = Snapshot::decode(&bytes).unwrap();
+            assert_eq!(back.config, snap.config);
+            assert_eq!(back.data, snap.data, "{n} shards");
+            assert!(back.engine.is_none());
+            assert_eq!(back.shards.len(), snap.shards.len());
+            for (i, (b, s)) in back.shards.iter().zip(&snap.shards).enumerate() {
+                assert_eq!(b.data, s.data, "{n} shards: shard {i} rows");
+                assert_eq!(b.engine, s.engine, "{n} shards: shard {i} engine");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_decode_reslices_one_shared_allocation() {
+        // The owned decode path must not keep two copies of the dataset
+        // alive: each shard is a zero-copy view into the concatenated
+        // allocation behind `Snapshot::data`.
+        let snap = sharded_snapshot(EngineChoice::Linear, 3);
+        let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert!(back.data.backing().is_shared());
+        let mut start = 0usize;
+        for (i, shard) in back.shards.iter().enumerate() {
+            assert!(shard.data.backing().is_shared(), "shard {i}");
+            assert_eq!(
+                shard.data.as_flat().as_ptr(),
+                back.data.as_flat()[start * back.data.dim()..].as_ptr(),
+                "shard {i} must alias the full dataset's buffer"
+            );
+            start += shard.data.len();
+        }
+        assert_eq!(start, back.data.len());
+    }
+
+    #[test]
+    fn sharded_mmap_serves_every_shard_in_place() {
+        let snap = sharded_snapshot(
+            EngineChoice::Ivf {
+                nlist: 4,
+                nprobe: 4,
+            },
+            3,
+        );
+        let path = temp_path("sharded_mapped.lafs");
+        snap.save(&path).unwrap();
+        let back = Snapshot::open_mmap(&path).unwrap();
+        for (i, shard) in back.shards.iter().enumerate() {
+            assert!(
+                cfg!(target_endian = "big") || shard.data.is_mapped(),
+                "shard {i} of a v4 file written by save() must load zero-copy"
+            );
+        }
+        assert_eq!(back.data, snap.data);
+        for (b, s) in back.shards.iter().zip(&snap.shards) {
+            assert_eq!(b.data, s.data);
+            assert_eq!(b.engine, s.engine);
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shard_manifest_row_count_mismatch_is_rejected() {
+        // Hand-build a v4 file whose manifest disagrees with the shard
+        // sections' actual row counts.
+        let snap = trained_snapshot();
+        let shared = snap.data.clone().into_shared();
+        let a = shared.slice_rows(0, 50).unwrap();
+        let b = shared.slice_rows(50, 70).unwrap();
+        let sections = raw_sections(&snap);
+        let mut manifest: Vec<u8> = Vec::new();
+        manifest.extend_from_slice(&2u32.to_le_bytes());
+        manifest.extend_from_slice(&60u64.to_le_bytes());
+        manifest.extend_from_slice(&60u64.to_le_bytes());
+        let enc_a = vio::encode(&a);
+        let enc_b = vio::encode(&b);
+        let refs: Vec<(u32, &[u8])> = vec![
+            (section_id::CONFIG, sections[0].1.as_slice()),
+            (section_id::ESTIMATOR, sections[2].1.as_slice()),
+            (section_id::SHARD_MANIFEST, manifest.as_slice()),
+            (section_id::shard_dataset(0), enc_a.as_ref()),
+            (section_id::shard_dataset(1), enc_b.as_ref()),
+        ];
+        let err = Snapshot::decode(&build_raw(4, &refs))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("manifest declares"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn sharded_corruption_names_the_shard_section() {
+        let snap = sharded_snapshot(EngineChoice::Grid { cell_side: 0.5 }, 3);
+        let bytes = snap.encode().unwrap().to_vec();
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let header_len = 12 + count * 24;
+        let mut seen = 0usize;
+        for entry in 0..count {
+            let at = 12 + entry * 24;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let name = section_id::name(id);
+            if name != "shard-dataset" && name != "shard-engine" && name != "shard-manifest" {
+                continue;
+            }
+            seen += 1;
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            let mut corrupt = bytes.clone();
+            corrupt[header_len + offset + len / 2] ^= 0x01;
+            let err = Snapshot::decode(&corrupt).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("section `{name}`")) && err.contains("checksum mismatch"),
+                "flip inside section {id} produced: {err}"
+            );
+        }
+        assert_eq!(seen, 7, "manifest + 3 shard datasets + 3 shard engines");
+    }
+
+    #[test]
+    fn encode_rejects_inconsistent_shard_layouts() {
+        // A sharded snapshot cannot be written as v3.
+        let snap = sharded_snapshot(EngineChoice::Grid { cell_side: 0.5 }, 2);
+        let err = snap.encode_v3().unwrap_err().to_string();
+        assert!(err.contains("version 4"), "unexpected error: {err}");
+        // A global engine alongside shards is a layout bug, not a file.
+        let mut with_global = sharded_snapshot(EngineChoice::Grid { cell_side: 0.5 }, 2);
+        with_global.engine = with_global.shards[0].engine.clone();
+        assert!(with_global.encode().is_err());
+        // Shard rows must cover the dataset exactly.
+        let mut short = sharded_snapshot(EngineChoice::Linear, 3);
+        short.shards.pop();
+        let err = short.encode().unwrap_err().to_string();
+        assert!(err.contains("row counts"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn section_id_names_cover_the_shard_ranges() {
+        assert_eq!(section_id::name(section_id::CONFIG), "config");
+        assert_eq!(
+            section_id::name(section_id::SHARD_MANIFEST),
+            "shard-manifest"
+        );
+        assert_eq!(
+            section_id::name(section_id::shard_dataset(0)),
+            "shard-dataset"
+        );
+        assert_eq!(
+            section_id::name(section_id::shard_dataset(section_id::MAX_SHARDS - 1)),
+            "shard-dataset"
+        );
+        assert_eq!(
+            section_id::name(section_id::shard_engine(0)),
+            "shard-engine"
+        );
+        assert_eq!(
+            section_id::name(section_id::shard_engine(section_id::MAX_SHARDS - 1)),
+            "shard-engine"
+        );
+        assert_eq!(section_id::name(999), "unknown");
     }
 
     #[test]
@@ -1223,7 +1716,7 @@ mod tests {
         let snap = trained_snapshot();
         let sections = raw_sections(&snap);
         let config = &sections[0];
-        assert_eq!(config.0, SECTION_CONFIG);
+        assert_eq!(config.0, section_id::CONFIG);
         let header_len = 12 + 4 * 24;
         let mut filler_len = 1usize;
         while (header_len + config.1.len() + filler_len + 20).is_multiple_of(4) {
@@ -1236,7 +1729,7 @@ mod tests {
             (sections[1].0, sections[1].1.as_slice()),
             (sections[2].0, sections[2].1.as_slice()),
         ];
-        assert_eq!(refs[2].0, SECTION_DATASET);
+        assert_eq!(refs[2].0, section_id::DATASET);
         let bytes = build_raw(3, &refs);
         let path = temp_path("misaligned_v3.lafs");
         fs::write(&path, &bytes).unwrap();

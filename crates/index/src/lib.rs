@@ -19,6 +19,11 @@
 //! the number of distance evaluations they perform
 //! ([`RangeQueryEngine::distance_evaluations`]) so the benchmark harness can
 //! report *work saved* in addition to wall-clock time.
+//!
+//! For datasets split into shards, [`ShardedEngine`] fans each query out
+//! across per-shard engines in parallel and merges the answers
+//! bit-identically to the unsharded path (row-id rebasing for `range`,
+//! summation for `range_count`, a NaN-safe [`TopK`] merge for `knn`).
 
 #![warn(missing_docs)]
 
@@ -29,6 +34,8 @@ pub mod ivf;
 pub mod kmeans_tree;
 pub mod linear;
 pub mod persist;
+pub mod sharded;
+pub mod topk;
 
 pub use cover_tree::CoverTree;
 pub use engine::{
@@ -40,3 +47,5 @@ pub use ivf::IvfIndex;
 pub use kmeans_tree::KMeansTree;
 pub use linear::LinearScan;
 pub use persist::{restore_engine, PersistError, PersistedEngine};
+pub use sharded::ShardedEngine;
+pub use topk::TopK;

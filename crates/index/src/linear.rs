@@ -15,9 +15,9 @@
 
 use crate::engine::{KernelMode, Neighbor, RangeQueryEngine};
 use crate::persist::PersistedEngine;
+use crate::topk::TopK;
 use laf_vector::{Dataset, Metric, MetricKernel};
 use rayon::prelude::*;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of queries processed per cache block in the batched kernels: each
@@ -148,45 +148,36 @@ impl<'a> LinearScan<'a> {
         }
     }
 
-    /// Uncounted top-k scan: a bounded max-heap keeps the k best neighbors
-    /// seen so far (`Neighbor`'s total order — distance then index, NaN-safe)
+    /// Uncounted top-k scan through the shared bounded selector
+    /// ([`crate::topk::TopK`]): the k best neighbors seen so far are kept
+    /// under `Neighbor`'s total order (distance then index, NaN-safe)
     /// instead of materializing and sorting all `n` candidates. Equivalent to
-    /// the old collect-all-then-sort by construction: both retain exactly the
+    /// collect-all-then-sort by construction: both retain exactly the
     /// k smallest elements of the same total order, emitted ascending.
     fn knn_uncounted(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
         let k = k.min(self.data.len());
         if k == 0 {
             return Vec::new();
         }
-        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
-        let mut push = |n: Neighbor| {
-            if heap.len() < k {
-                heap.push(n);
-            } else if let Some(worst) = heap.peek() {
-                if n < *worst {
-                    heap.pop();
-                    heap.push(n);
-                }
-            }
-        };
+        let mut top = TopK::new(k);
         match self.mode {
             KernelMode::Generic => {
                 for (i, row) in self.data.rows().enumerate() {
-                    push(Neighbor::new(i as u32, self.metric.dist(q, row)));
+                    top.push(Neighbor::new(i as u32, self.metric.dist(q, row)));
                 }
             }
             KernelMode::Specialized => {
                 let norms = self.data.row_norms();
                 let prep = self.kernel.prepare(q);
                 for (i, row) in self.data.rows().enumerate() {
-                    push(Neighbor::new(
+                    top.push(Neighbor::new(
                         i as u32,
                         self.kernel.dist(&prep, row, norms.norm(i)),
                     ));
                 }
             }
         }
-        heap.into_sorted_vec()
+        top.into_sorted()
     }
 
     /// Blocked range scan for up to [`QUERY_BLOCK`] queries: rows outer,

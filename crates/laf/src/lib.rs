@@ -147,27 +147,29 @@ pub mod prelude {
         RhoApproxDbscan, RhoApproxDbscanConfig,
     };
     pub use laf_core::{
-        CardEstGate, GateDecision, LafConfig, LafDbscan, LafDbscanPlusPlus,
+        section_id, CardEstGate, GateDecision, LafConfig, LafDbscan, LafDbscanPlusPlus,
         LafDbscanPlusPlusConfig, LafPipeline, LafPipelineBuilder, LafStats, PartialNeighborMap,
-        PostProcessor, Prescan, SharedEngine, Snapshot, SnapshotError,
+        PostProcessor, Prescan, SharedEngine, Snapshot, SnapshotError, SnapshotShard,
     };
     pub use laf_index::{
         build_engine, restore_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan,
-        Neighbor, PersistedEngine, RangeQueryEngine, TotalDist,
+        Neighbor, PersistedEngine, RangeQueryEngine, ShardedEngine, TopK, TotalDist,
     };
     pub use laf_metrics::{
         adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,
         ClusteringStats, ContingencyTable, MissedClusterReport,
     };
     pub use laf_serve::{
-        LafServer, ServeConfig, ServeError, ServeStats, ServeStatsReport, Served, Ticket,
+        CacheConfig, CacheError, CacheStatsReport, EvictionPolicy, LafServer, LruPolicy,
+        PinnedSnapshot, ServeConfig, ServeError, ServeStats, ServeStatsReport, Served,
+        SnapshotCache, TenantServer, Ticket,
     };
     pub use laf_synth::{
         BagOfWordsConfig, DatasetCatalog, DatasetSpec, EmbeddingMixtureConfig, SyntheticDataset,
     };
     pub use laf_vector::{
         cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, Dataset,
-        DistanceMetric, EuclideanDistance, GaussianRandomProjection, Metric,
+        DistanceMetric, EuclideanDistance, GaussianRandomProjection, Metric, ShardMap,
     };
 }
 

@@ -63,6 +63,22 @@
 //! exactly which snapshot generation answered. No lock is held across any
 //! kernel work and no request is ever lost or answered by a mix of epochs.
 //!
+//! ## Multi-tenant snapshot cache
+//!
+//! A host that serves many tenants cannot keep every snapshot resident.
+//! [`SnapshotCache`] is a buffer manager over snapshot files: tenants
+//! register their (read-only) snapshot paths, [`SnapshotCache::pin`]
+//! returns a pinned pipeline — loading it via mmap on a miss, evicting
+//! unpinned victims chosen by an [`EvictionPolicy`] (LRU by default) when
+//! the byte budget or entry cap would be exceeded — and dropping the
+//! [`PinnedSnapshot`] guard makes the entry evictable again. Pinned
+//! entries are never evicted; an admission that cannot make room fails
+//! with the typed [`CacheError::Overloaded`], and a non-loading
+//! [`SnapshotCache::try_pin`] reports cold tenants as
+//! [`CacheError::Evicted`]. [`TenantServer`] routes per-tenant queries
+//! through the cache with answers bit-identical to the tenant's own
+//! pipeline.
+//!
 //! ```
 //! use laf_serve::{LafServer, ServeConfig};
 //! # use laf_core::{LafConfig, LafPipeline};
@@ -91,10 +107,17 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod server;
 mod stats;
+mod tenant;
 
+pub use cache::{
+    CacheConfig, CacheError, CacheStats, CacheStatsReport, EvictionPolicy, LruPolicy,
+    PinnedSnapshot, SnapshotCache,
+};
 pub use config::{ServeConfig, TILE};
 pub use server::{LafServer, ServeError, Served, Ticket};
 pub use stats::{OccupancyBucket, ServeStats, ServeStatsReport, OCCUPANCY_BUCKETS};
+pub use tenant::TenantServer;

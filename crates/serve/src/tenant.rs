@@ -1,0 +1,160 @@
+//! Multi-tenant request routing over a [`SnapshotCache`].
+//!
+//! [`TenantServer`] is the thin serving front for hosts that hold many
+//! tenants' snapshots behind one memory budget: every query names a tenant,
+//! the server pins that tenant's pipeline in the shared [`SnapshotCache`]
+//! (loading it on a miss, evicting colder tenants as needed), runs the
+//! query against the cached engine, and releases the pin when the answer is
+//! built. Results are bit-identical to querying the tenant's pipeline
+//! directly — the cache only changes *when* snapshots are resident, never
+//! what they answer.
+
+use crate::cache::{CacheError, PinnedSnapshot, SnapshotCache};
+use laf_clustering::Clustering;
+use laf_core::LafStats;
+use laf_index::Neighbor;
+use std::sync::Arc;
+
+/// Routes per-tenant queries through a shared [`SnapshotCache`].
+///
+/// Cloning is cheap (the cache is shared); a `TenantServer` per worker
+/// thread is the intended usage.
+#[derive(Debug, Clone)]
+pub struct TenantServer {
+    cache: Arc<SnapshotCache>,
+}
+
+impl TenantServer {
+    /// A server routing through `cache`.
+    pub fn new(cache: Arc<SnapshotCache>) -> Self {
+        Self { cache }
+    }
+
+    /// The underlying cache (for registration, stats, or direct pinning).
+    pub fn cache(&self) -> &Arc<SnapshotCache> {
+        &self.cache
+    }
+
+    /// Pin `tenant`'s pipeline for a multi-query request. Prefer the
+    /// one-shot query methods below for single lookups; use an explicit pin
+    /// when several queries must see the same snapshot generation.
+    pub fn pin(&self, tenant: &str) -> Result<PinnedSnapshot, CacheError> {
+        self.cache.pin(tenant)
+    }
+
+    /// ε-range query over `tenant`'s snapshot: row ids within `eps`.
+    pub fn range(&self, tenant: &str, query: &[f32], eps: f32) -> Result<Vec<u32>, CacheError> {
+        let pin = self.cache.pin(tenant)?;
+        Ok(pin.engine().get().range(query, eps))
+    }
+
+    /// ε-range count over `tenant`'s snapshot.
+    pub fn range_count(&self, tenant: &str, query: &[f32], eps: f32) -> Result<usize, CacheError> {
+        let pin = self.cache.pin(tenant)?;
+        Ok(pin.engine().get().range_count(query, eps))
+    }
+
+    /// k-nearest-neighbor query over `tenant`'s snapshot.
+    pub fn knn(&self, tenant: &str, query: &[f32], k: usize) -> Result<Vec<Neighbor>, CacheError> {
+        let pin = self.cache.pin(tenant)?;
+        Ok(pin.engine().get().knn(query, k))
+    }
+
+    /// Learned cardinality estimate from `tenant`'s trained estimator.
+    pub fn estimate(&self, tenant: &str, query: &[f32], eps: f32) -> Result<f32, CacheError> {
+        let pin = self.cache.pin(tenant)?;
+        Ok(pin.estimate(query, eps))
+    }
+
+    /// Run LAF-DBSCAN over `tenant`'s snapshot dataset.
+    pub fn cluster_with_stats(&self, tenant: &str) -> Result<(Clustering, LafStats), CacheError> {
+        let pin = self.cache.pin(tenant)?;
+        Ok(pin.cluster_with_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, SnapshotCache};
+    use laf_cardest::{NetConfig, TrainingSetBuilder};
+    use laf_core::{LafConfig, LafPipeline};
+    use laf_synth::EmbeddingMixtureConfig;
+    use std::path::PathBuf;
+
+    fn snapshot_file(name: &str, seed: u64) -> (PathBuf, u64, LafPipeline) {
+        let (data, _) = EmbeddingMixtureConfig {
+            n_points: 90,
+            dim: 6,
+            clusters: 2,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let dir = std::env::temp_dir().join("laf_serve_tenant");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}_{}.lafs", std::process::id()));
+        let pipeline = LafPipeline::builder(LafConfig::new(0.3, 4, 1.0))
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(40),
+                ..Default::default()
+            })
+            .train_and_save(data, &path)
+            .unwrap();
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        (path, bytes, pipeline)
+    }
+
+    #[test]
+    fn tenant_queries_match_the_direct_pipeline() {
+        let (pa, bytes, direct_a) = snapshot_file("a", 11);
+        let (pb, _, direct_b) = snapshot_file("b", 22);
+        let cache = SnapshotCache::new(CacheConfig {
+            byte_budget: bytes * 4,
+            ..CacheConfig::default()
+        });
+        cache.register("a", &pa);
+        cache.register("b", &pb);
+        let server = TenantServer::new(Arc::clone(&cache));
+        for (tenant, direct) in [("a", &direct_a), ("b", &direct_b)] {
+            let q: Vec<f32> = direct.data().row(0).to_vec();
+            let engine = direct.engine();
+            assert_eq!(
+                server.range(tenant, &q, 0.3).unwrap(),
+                engine.get().range(&q, 0.3)
+            );
+            assert_eq!(
+                server.range_count(tenant, &q, 0.3).unwrap(),
+                engine.get().range_count(&q, 0.3)
+            );
+            assert_eq!(server.knn(tenant, &q, 5).unwrap(), engine.get().knn(&q, 5));
+            assert_eq!(
+                server.estimate(tenant, &q, 0.3).unwrap(),
+                direct.estimate(&q, 0.3)
+            );
+            let (clustering, stats) = server.cluster_with_stats(tenant).unwrap();
+            let (want_clustering, want_stats) = direct.cluster_with_stats();
+            assert_eq!(clustering.labels(), want_clustering.labels());
+            assert_eq!(stats, want_stats);
+        }
+        // Every query after the two misses was a hit.
+        let report = cache.report();
+        assert_eq!(report.misses, 2);
+        assert_eq!(report.pins, report.unpins, "all pins released");
+        for p in [pa, pb] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn unknown_tenants_surface_the_cache_error() {
+        let cache = SnapshotCache::new(CacheConfig::default());
+        let server = TenantServer::new(cache);
+        assert!(matches!(
+            server.range("ghost", &[0.0], 0.3).unwrap_err(),
+            CacheError::UnknownTenant(_)
+        ));
+    }
+}

@@ -13,20 +13,25 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock};
 
-/// The storage behind a [`Dataset`]'s flat `f32` buffer: either an owned
-/// `Vec<f32>` (every mutating constructor) or a borrowed window into a
-/// memory-mapped snapshot file (zero-copy warm starts — see
-/// [`crate::mapped`]).
+/// The storage behind a [`Dataset`]'s flat `f32` buffer: an owned `Vec<f32>`
+/// (every mutating constructor), a reference-counted window into a shared
+/// heap buffer (shard views over one logical dataset — see
+/// [`Dataset::slice_rows`]), or a borrowed window into a memory-mapped
+/// snapshot file (zero-copy warm starts — see [`crate::mapped`]).
 ///
 /// Every accessor on [`Dataset`] goes through [`DataBacking::as_slice`], so
 /// distance kernels, engines and clustering code are oblivious to which
-/// variant they are reading. Mutating a mapped dataset transparently
-/// promotes it to an owned copy first (copy-on-write); the serving path
-/// never mutates, so it stays zero-copy.
+/// variant they are reading. Mutating a mapped or shared dataset
+/// transparently promotes it to an owned copy first (copy-on-write); the
+/// serving path never mutates, so it stays zero-copy.
 #[derive(Clone, Debug)]
 pub enum DataBacking {
     /// Heap-owned flat buffer (the classic backing).
     Owned(Vec<f32>),
+    /// A window into a reference-counted heap buffer. This is how N shard
+    /// views of one logical dataset share a single allocation: the full
+    /// dataset and every [`Dataset::slice_rows`] view bump the same `Arc`.
+    SharedOwned(SharedSlice),
     /// A validated window into a shared read-only file mapping. Only
     /// constructed on little-endian targets (the on-disk format is
     /// little-endian `f32`, so reinterpreting the mapped bytes is only valid
@@ -36,6 +41,29 @@ pub enum DataBacking {
     /// unvalidated one.
     #[cfg(target_endian = "little")]
     Mapped(MappedSlice),
+}
+
+/// A bounds-checked `f32` window into a reference-counted heap buffer.
+///
+/// Fields are private for the same reason as [`MappedSlice`]: every value is
+/// constructed through [`Dataset::into_shared`] / [`Dataset::slice_rows`],
+/// which guarantee `offset + len <= buf.len()`.
+#[derive(Clone, Debug)]
+pub struct SharedSlice {
+    /// The shared allocation keeping the window alive.
+    buf: Arc<Vec<f32>>,
+    /// Offset of the first element within `buf`, in `f32` elements.
+    offset: usize,
+    /// Number of `f32` elements in the window.
+    len: usize,
+}
+
+impl SharedSlice {
+    /// The shared `f32` view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
 }
 
 /// A bounds- and alignment-checked `f32` window into an [`Mmap`].
@@ -78,6 +106,7 @@ impl DataBacking {
     pub fn as_slice(&self) -> &[f32] {
         match self {
             DataBacking::Owned(v) => v,
+            DataBacking::SharedOwned(window) => window.as_slice(),
             #[cfg(target_endian = "little")]
             DataBacking::Mapped(window) => window.as_slice(),
         }
@@ -86,10 +115,15 @@ impl DataBacking {
     /// `true` for the memory-mapped variant.
     pub fn is_mapped(&self) -> bool {
         match self {
-            DataBacking::Owned(_) => false,
+            DataBacking::Owned(_) | DataBacking::SharedOwned(_) => false,
             #[cfg(target_endian = "little")]
             DataBacking::Mapped(_) => true,
         }
+    }
+
+    /// `true` for the reference-counted shared-heap variant.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, DataBacking::SharedOwned(_))
     }
 }
 
@@ -322,18 +356,17 @@ impl Dataset {
         self.norms.get().is_some()
     }
 
-    /// Mutable access to the owned buffer, promoting a mapped backing to an
-    /// owned copy first (copy-on-write). Drops the norm cache: the rows are
-    /// about to change, so cached norms would go stale.
+    /// Mutable access to the owned buffer, promoting a mapped or shared
+    /// backing to an owned copy first (copy-on-write). Drops the norm cache:
+    /// the rows are about to change, so cached norms would go stale.
     fn owned_mut(&mut self) -> &mut Vec<f32> {
         self.norms.take();
-        if self.data.is_mapped() {
+        if !matches!(self.data, DataBacking::Owned(_)) {
             self.data = DataBacking::Owned(self.data.as_slice().to_vec());
         }
         match &mut self.data {
             DataBacking::Owned(v) => v,
-            #[cfg(target_endian = "little")]
-            DataBacking::Mapped(_) => unreachable!("mapped backing promoted above"),
+            _ => unreachable!("non-owned backing promoted above"),
         }
     }
 
@@ -453,13 +486,74 @@ impl Dataset {
     }
 
     /// Consume the dataset and return the flat buffer (copying if it was
-    /// memory-mapped).
+    /// memory-mapped or shared).
     pub fn into_flat(self) -> Vec<f32> {
         match self.data {
             DataBacking::Owned(v) => v,
-            #[cfg(target_endian = "little")]
-            ref mapped @ DataBacking::Mapped(_) => mapped.as_slice().to_vec(),
+            other => other.as_slice().to_vec(),
         }
+    }
+
+    /// Convert an owned backing into a reference-counted shared one without
+    /// copying, so [`Dataset::slice_rows`] views can share the allocation.
+    /// Mapped and already-shared backings are returned unchanged; the norm
+    /// cache survives (the rows do not change).
+    pub fn into_shared(mut self) -> Self {
+        if let DataBacking::Owned(v) = self.data {
+            let len = v.len();
+            self.data = DataBacking::SharedOwned(SharedSlice {
+                buf: Arc::new(v),
+                offset: 0,
+                len,
+            });
+        }
+        self
+    }
+
+    /// A view of `rows` consecutive rows starting at row `start`, as its own
+    /// [`Dataset`]. This is the shard-view primitive: over a shared backing
+    /// ([`Dataset::into_shared`]) or a mapped backing the view costs one
+    /// reference-count bump and no copy; over a plain owned backing the rows
+    /// are copied.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::RowOutOfBounds`] if `start + rows` exceeds the
+    /// dataset length.
+    pub fn slice_rows(&self, start: usize, rows: usize) -> Result<Dataset, VectorError> {
+        let end = start.checked_add(rows).ok_or(VectorError::RowOutOfBounds {
+            index: usize::MAX,
+            len: self.len,
+        })?;
+        if end > self.len {
+            return Err(VectorError::RowOutOfBounds {
+                index: end,
+                len: self.len,
+            });
+        }
+        let data = match &self.data {
+            DataBacking::Owned(v) => {
+                DataBacking::Owned(v[start * self.dim..end * self.dim].to_vec())
+            }
+            DataBacking::SharedOwned(s) => DataBacking::SharedOwned(SharedSlice {
+                buf: Arc::clone(&s.buf),
+                offset: s.offset + start * self.dim,
+                len: rows * self.dim,
+            }),
+            // A row boundary is a multiple of `dim * 4` bytes past a 4-byte
+            // aligned offset, so the view stays alignment-valid.
+            #[cfg(target_endian = "little")]
+            DataBacking::Mapped(m) => DataBacking::Mapped(MappedSlice {
+                map: Arc::clone(&m.map),
+                offset: m.offset + start * self.dim * std::mem::size_of::<f32>(),
+                len: rows * self.dim,
+            }),
+        };
+        Ok(Dataset {
+            dim: self.dim,
+            len: rows,
+            data,
+            norms: OnceLock::new(),
+        })
     }
 
     /// L2-normalize every row in place (rows with near-zero norm are left
@@ -762,6 +856,64 @@ mod tests {
         d.extend_from(&other).unwrap();
         assert!(!d.has_norm_cache(), "extend_from must drop the cache");
         assert_eq!(d.row_norms().len(), 8);
+    }
+
+    #[test]
+    fn shared_views_alias_one_allocation() {
+        let shared = toy().into_shared();
+        assert!(shared.backing().is_shared());
+        assert!(!shared.is_mapped());
+        assert_eq!(shared, toy(), "into_shared must not change contents");
+
+        let head = shared.slice_rows(0, 2).unwrap();
+        let tail = shared.slice_rows(2, 2).unwrap();
+        assert!(head.backing().is_shared() && tail.backing().is_shared());
+        assert_eq!(head.row(1), toy().row(1));
+        assert_eq!(tail.row(0), toy().row(2));
+        // The views and the full dataset read from the same buffer.
+        assert_eq!(
+            shared.as_flat().as_ptr(),
+            head.as_flat().as_ptr(),
+            "head view must alias the shared allocation"
+        );
+        assert!(shared.slice_rows(3, 2).is_err(), "out-of-bounds view");
+        // Empty views are fine (an empty shard).
+        assert_eq!(shared.slice_rows(4, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn slice_rows_on_owned_copies() {
+        let d = toy();
+        let view = d.slice_rows(1, 2).unwrap();
+        assert!(!view.backing().is_shared());
+        assert_eq!(view.row(0), d.row(1));
+        assert_eq!(view.row(1), d.row(2));
+    }
+
+    #[test]
+    fn mutating_a_shared_view_promotes_copy_on_write() {
+        let shared = toy().into_shared();
+        let mut view = shared.slice_rows(0, 2).unwrap();
+        view.row_norms();
+        view.row_mut(0)[0] = 42.0;
+        assert!(
+            !view.backing().is_shared(),
+            "mutation must promote to owned"
+        );
+        assert!(!view.has_norm_cache(), "mutation must drop the cache");
+        assert_eq!(view.row(0)[0], 42.0);
+        // The shared buffer itself is untouched.
+        assert_eq!(shared.row(0), toy().row(0));
+    }
+
+    #[test]
+    fn shared_round_trips_through_serde_and_into_flat() {
+        let shared = toy().into_shared();
+        let json = serde_json::to_string(&shared).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, shared);
+        let view = shared.slice_rows(2, 2).unwrap();
+        assert_eq!(view.clone().into_flat(), view.as_flat().to_vec());
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //!
 //! * [`Dataset`] — a contiguous, row-major `f32` matrix with cheap row access,
 //!   normalization, sampling and serialization, backed either by an owned
-//!   buffer or zero-copy by a memory-mapped file ([`DataBacking`], built in
-//!   [`mapped`]).
+//!   buffer, zero-copy by a memory-mapped file ([`DataBacking`], built in
+//!   [`mapped`]), or by a reference-counted window into a shared allocation
+//!   ([`Dataset::slice_rows`] shard views).
+//! * [`ShardMap`] — the shard-aware row-id mapping that rebases shard-local
+//!   hits to global row ids for the scatter-gather engine.
 //! * [`Distance`] — the distance-metric abstraction with [`CosineDistance`],
 //!   [`AngularDistance`], [`EuclideanDistance`], [`SquaredEuclideanDistance`]
 //!   and [`DotProductSimilarity`] implementations, plus the cosine↔Euclidean
@@ -35,11 +38,12 @@ pub mod kernel;
 pub mod mapped;
 pub mod ops;
 pub mod projection;
+pub mod shard;
 pub mod stats;
 
 #[cfg(target_endian = "little")]
 pub use dataset::MappedSlice;
-pub use dataset::{DataBacking, Dataset, DatasetBuilder, RowNorms};
+pub use dataset::{DataBacking, Dataset, DatasetBuilder, RowNorms, SharedSlice};
 pub use distance::{
     cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, DistanceMetric,
     DotProductSimilarity, EuclideanDistance, Metric, SquaredEuclideanDistance,
@@ -47,6 +51,7 @@ pub use distance::{
 pub use error::VectorError;
 pub use kernel::{MetricKernel, PreparedQuery, RangeProbe};
 pub use projection::GaussianRandomProjection;
+pub use shard::ShardMap;
 
 /// Alias kept for API clarity: every distance used in this workspace is an
 /// object-safe implementation of [`DistanceMetric`].

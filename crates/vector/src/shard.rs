@@ -1,0 +1,188 @@
+//! Shard-aware row-id mapping for one logical dataset split into N slices.
+//!
+//! A [`ShardMap`] records where each shard's contiguous row range starts in
+//! the global row-id space, so scatter-gather code can rebase a shard-local
+//! hit (`shard`, `local`) to the global row id the unsharded path would have
+//! reported — and back. The map is the single source of truth for the split:
+//! the snapshot writer, the sharded decode path and the scatter-gather engine
+//! all derive their row arithmetic from it, which is what keeps sharded
+//! results bit-identical to unsharded ones (same rows, same ids, same order).
+
+use crate::error::VectorError;
+
+/// Global row-id layout of a dataset split into contiguous shards.
+///
+/// Internally a cumulative-starts array: `starts[s]..starts[s + 1]` is shard
+/// `s`'s global row range, `starts[n_shards]` is the total row count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    starts: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Split `total` rows as evenly as possible into `shards` contiguous
+    /// slices: the first `total % shards` shards get one extra row. `shards`
+    /// is clamped to `1..=max(total, 1)`, so no shard is ever empty unless
+    /// the dataset itself is.
+    pub fn even_split(total: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, total.max(1));
+        let base = total / shards;
+        let extra = total % shards;
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut at = 0;
+        starts.push(at);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            starts.push(at);
+        }
+        Self { starts }
+    }
+
+    /// Build a map from explicit per-shard row counts.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::InvalidParameter`] if `lens` is empty.
+    pub fn from_lens(lens: &[usize]) -> Result<Self, VectorError> {
+        if lens.is_empty() {
+            return Err(VectorError::InvalidParameter(
+                "a shard map needs at least one shard".to_string(),
+            ));
+        }
+        let mut starts = Vec::with_capacity(lens.len() + 1);
+        let mut at = 0usize;
+        starts.push(at);
+        for &len in lens {
+            at = at.checked_add(len).ok_or_else(|| {
+                VectorError::InvalidParameter("shard lengths overflow usize".to_string())
+            })?;
+            starts.push(at);
+        }
+        Ok(Self { starts })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total rows across every shard.
+    pub fn total_rows(&self) -> usize {
+        *self.starts.last().expect("starts is never empty")
+    }
+
+    /// Global row id of shard `s`'s first row.
+    pub fn start(&self, s: usize) -> usize {
+        self.starts[s]
+    }
+
+    /// Number of rows in shard `s`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.starts[s + 1] - self.starts[s]
+    }
+
+    /// Shard `s`'s global row range.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.starts[s]..self.starts[s + 1]
+    }
+
+    /// Per-shard row counts, in shard order.
+    pub fn lens(&self) -> impl ExactSizeIterator<Item = usize> + '_ {
+        (0..self.n_shards()).map(|s| self.shard_len(s))
+    }
+
+    /// Rebase a shard-local row id to the global row-id space.
+    pub fn to_global(&self, shard: usize, local: usize) -> usize {
+        debug_assert!(local < self.shard_len(shard));
+        self.starts[shard] + local
+    }
+
+    /// Locate a global row id: returns `(shard, local)`.
+    ///
+    /// # Panics
+    /// Panics if `global >= self.total_rows()`.
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        assert!(
+            global < self.total_rows(),
+            "row {global} out of range for {} total rows",
+            self.total_rows()
+        );
+        // partition_point returns the first shard whose start exceeds
+        // `global`; its predecessor owns the row. Empty shards share a start
+        // with their successor and are correctly skipped (no row can land in
+        // an empty range).
+        let shard = self.starts.partition_point(|&s| s <= global) - 1;
+        (shard, global - self.starts[shard])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_distributes_the_remainder_first() {
+        let m = ShardMap::even_split(10, 3);
+        assert_eq!(m.n_shards(), 3);
+        assert_eq!(m.total_rows(), 10);
+        assert_eq!(m.lens().collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(m.range(1), 4..7);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardMap::even_split(3, 7).n_shards(), 3);
+        assert_eq!(ShardMap::even_split(3, 0).n_shards(), 1);
+        let empty = ShardMap::even_split(0, 5);
+        assert_eq!(empty.n_shards(), 1);
+        assert_eq!(empty.total_rows(), 0);
+    }
+
+    #[test]
+    fn from_lens_round_trips_the_layout() {
+        let m = ShardMap::from_lens(&[4, 0, 3]).unwrap();
+        assert_eq!(m.n_shards(), 3);
+        assert_eq!(m.total_rows(), 7);
+        assert_eq!(m.shard_len(1), 0);
+        assert!(ShardMap::from_lens(&[]).is_err());
+    }
+
+    #[test]
+    fn to_global_and_locate_are_inverses() {
+        let m = ShardMap::from_lens(&[4, 0, 3, 1]).unwrap();
+        for shard in 0..m.n_shards() {
+            for local in 0..m.shard_len(shard) {
+                let global = m.to_global(shard, local);
+                assert_eq!(m.locate(global), (shard, local), "global {global}");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_skips_empty_shards() {
+        let m = ShardMap::from_lens(&[2, 0, 2]).unwrap();
+        assert_eq!(m.locate(2), (2, 0), "row 2 belongs to the non-empty shard");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_panics_past_the_end() {
+        ShardMap::even_split(4, 2).locate(4);
+    }
+
+    #[test]
+    fn even_split_matches_locate_over_every_row() {
+        for total in [1usize, 7, 16, 31] {
+            for shards in [1usize, 2, 3, 7] {
+                let m = ShardMap::even_split(total, shards);
+                let mut seen = 0;
+                for s in 0..m.n_shards() {
+                    for g in m.range(s) {
+                        assert_eq!(m.locate(g), (s, g - m.start(s)));
+                        seen += 1;
+                    }
+                }
+                assert_eq!(seen, total, "split {total}/{shards} must cover all rows");
+            }
+        }
+    }
+}

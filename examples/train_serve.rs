@@ -29,6 +29,12 @@
 //! # then the batch-occupancy histogram — the coalescing win, from the CLI:
 //! cargo run --release --example train_serve -- serve-concurrent /tmp/pipeline.lafs 4
 //!
+//! # Multi-tenant cache: serve two snapshots through a SnapshotCache whose
+//! # byte budget holds only one of them, so every tenant switch evicts and
+//! # reloads (mmap, read-only files suffice); each tenant's labels are
+//! # verified against its own sidecar and the cache counters are checked:
+//! cargo run --release --example train_serve -- serve-tenants /tmp/a.lafs /tmp/b.lafs
+//!
 //! # Or run all phases in sequence against a temp file:
 //! cargo run --release --example train_serve [engine]
 //! ```
@@ -338,6 +344,79 @@ fn serve_concurrent(snapshot_path: &str, n_clients: usize) {
     );
 }
 
+/// Multi-tenant serving plane: two snapshots behind one [`SnapshotCache`]
+/// whose byte budget holds only **one** of them. Every tenant switch in the
+/// alternating access pattern below therefore evicts the other tenant and
+/// reloads from disk (by mmap — read-only snapshot files suffice), while
+/// back-to-back queries on the same tenant hit the resident entry. Each
+/// tenant's clustering is verified against its own training sidecar, and
+/// the cache's accounting is asserted to balance.
+fn serve_tenants(path_a: &str, path_b: &str) {
+    const ROUNDS: usize = 2;
+    const EPS: f32 = 0.35;
+
+    let size = |p: &str| std::fs::metadata(p).expect("snapshot metadata").len();
+    let (a, b) = (size(path_a), size(path_b));
+    // Fits either snapshot alone, never both: the eviction path is
+    // guaranteed to run on every tenant switch.
+    let budget = a.max(b) + a.min(b) / 2;
+    let cache = SnapshotCache::new(CacheConfig {
+        byte_budget: budget,
+        max_entries: 2,
+        tenant_quota: 0,
+    });
+    cache.register("a", path_a);
+    cache.register("b", path_b);
+    let server = TenantServer::new(cache.clone());
+    println!(
+        "[serve-tenants] byte budget {budget} holds one of ({a}, {b}) bytes: \
+         every tenant switch must evict"
+    );
+
+    for _ in 0..ROUNDS {
+        for (tenant, path) in [("a", path_a), ("b", path_b)] {
+            // One pin across the whole request: the miss (or hit) below
+            // keeps the snapshot resident for both the query and the
+            // clustering, and the entry stays pinned — ineligible for
+            // eviction — until the guard drops.
+            let pin = server.pin(tenant).expect("tenant admission");
+            let query: Vec<f32> = pin.data().row(0).to_vec();
+            let count = pin.engine().get().range_count(&query, EPS);
+            assert!(count >= 1, "row 0 must at least match itself");
+            let (clustering, _) = pin.cluster_with_stats();
+            match read_labels(&labels_sidecar(path)) {
+                Some(reference) => assert_eq!(
+                    clustering.labels(),
+                    reference.as_slice(),
+                    "tenant `{tenant}` labels diverged through the cache"
+                ),
+                None => println!("[serve-tenants] no sidecar for `{tenant}`; skipping label check"),
+            }
+        }
+    }
+
+    let report = cache.report();
+    println!(
+        "[serve-tenants] {} hits / {} misses / {} evictions, {} of {} bytes resident",
+        report.hits, report.misses, report.evictions, report.resident_bytes, budget
+    );
+    assert!(
+        report.evictions >= 1,
+        "a cache sized for one snapshot must have evicted on tenant switches"
+    );
+    assert_eq!(report.pins, report.unpins, "every pin must be released");
+    assert!(
+        report.resident_bytes <= budget,
+        "resident bytes exceed the byte budget"
+    );
+    assert_eq!(
+        report.pins,
+        report.hits + report.misses,
+        "every pin must be classified as a hit or a miss"
+    );
+    println!("[serve-tenants] OK: both tenants bit-identical, cache accounting balanced");
+}
+
 fn parse_clients(arg: &str) -> usize {
     match arg.parse::<usize>() {
         Ok(n) if n >= 1 => n,
@@ -359,6 +438,7 @@ fn main() {
         [phase, path, n] if phase == "serve-concurrent" => {
             serve_concurrent(path, parse_clients(n));
         }
+        [phase, path_a, path_b] if phase == "serve-tenants" => serve_tenants(path_a, path_b),
         [] | [_] => {
             let engine = args
                 .first()
@@ -370,13 +450,17 @@ fn main() {
             serve(&path, false);
             serve(&path, true);
             serve_concurrent(&path, 4);
+            // Two tenants over the same snapshot file still churn the
+            // cache: the budget holds one resident entry, not two.
+            serve_tenants(&path, &path);
             std::fs::remove_file(&path).ok();
             std::fs::remove_file(labels_sidecar(&path)).ok();
         }
         _ => {
             eprintln!(
                 "usage: train_serve [train <snapshot> [engine] | serve <snapshot> | \
-                 serve-mmap <snapshot> | serve-concurrent <snapshot> [clients] | [engine]]"
+                 serve-mmap <snapshot> | serve-concurrent <snapshot> [clients] | \
+                 serve-tenants <snapshot_a> <snapshot_b> | [engine]]"
             );
             std::process::exit(2);
         }
