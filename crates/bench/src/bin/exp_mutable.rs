@@ -1,0 +1,39 @@
+//! Mutable-plane benchmark: WAL insert throughput under group commit vs
+//! sync-every-op, merged base+delta read overhead against the frozen base,
+//! crash-recovery (reopen + replay) time, and the post-compaction
+//! bit-exactness gate. Writes `BENCH_mutable.json`.
+//!
+//! Exits non-zero when any of the regression gates fail, so CI's
+//! bench-smoke job can run this binary directly:
+//!
+//! * reopening after an uncoordinated drop must recover the live rows
+//!   bit-identically (the WAL replay contract);
+//! * after compaction the served base must cluster label- and
+//!   stats-identically to a from-scratch pipeline built over the same live
+//!   rows with the same estimator (the mutable plane's acceptance bar);
+//! * group commit must not be slower than syncing every operation — one
+//!   `fdatasync` per batch is the whole point of the serving front's write
+//!   batching.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let report = laf_bench::mutable_bench::run(&cfg);
+    assert!(
+        report.recovery.state_bit_identical,
+        "reopen lost or corrupted committed writes ({} records, {} bytes)",
+        report.recovery.wal_records, report.recovery.wal_bytes
+    );
+    assert!(
+        report.compaction.labels_identical && report.compaction.stats_identical,
+        "compacted base diverged from the from-scratch pipeline \
+         (labels identical: {}, stats identical: {})",
+        report.compaction.labels_identical,
+        report.compaction.stats_identical
+    );
+    assert!(
+        report.group_commit.rows_per_second >= report.per_op_sync.rows_per_second,
+        "group commit ({:.0} rows/s) must not lose to sync-every-op ({:.0} rows/s)",
+        report.group_commit.rows_per_second,
+        report.per_op_sync.rows_per_second
+    );
+}

@@ -23,6 +23,7 @@ fn main() {
     let _ = laf_bench::throughput::run(&cfg);
     let _ = laf_bench::serving::run(&cfg);
     let _ = laf_bench::sharding::run(&cfg);
+    let _ = laf_bench::mutable_bench::run(&cfg);
     println!(
         "\ncomplete experiment suite finished in {:.1?}",
         started.elapsed()

@@ -19,6 +19,7 @@
 //! | `exp_snapshot` | (not a paper exhibit) cold (train+save) vs warm (load) startup to first served clustering |
 //! | `exp_serving` | (not a paper exhibit) coalesced vs one-at-a-time dispatch through the serving front, per offered load |
 //! | `exp_sharding` | (not a paper exhibit) sharded scatter-gather fan-out vs the unsharded engine, plus tenant-cache churn counters |
+//! | `exp_mutable` | (not a paper exhibit) WAL insert throughput, base+delta read overhead, crash-recovery time, post-compaction bit-exactness |
 //! | `run_all`    | all of the above, writing JSON into `results/` |
 //!
 //! Scale is controlled by environment variables so the same binaries serve
@@ -37,6 +38,7 @@
 pub mod ablation;
 pub mod experiments;
 pub mod harness;
+pub mod mutable_bench;
 pub mod report;
 pub mod serving;
 pub mod sharding;

@@ -1,0 +1,408 @@
+//! Mutable-plane benchmark: WAL-backed write throughput, the read-side
+//! price of the delta segment, and crash-recovery (replay) time.
+//!
+//! The mutable serving plane only earns its keep if (a) writes through the
+//! write-ahead log are cheap, (b) reads over base + delta stay close to the
+//! frozen-base path they replace, and (c) reopening after a crash is fast
+//! and loses nothing. This experiment measures all three, then runs the
+//! subsystem's acceptance gate: after a compaction folds the delta and
+//! tombstones into a fresh base, the compacted pipeline must cluster
+//! **bit-identically** to a from-scratch pipeline built over the same live
+//! rows with the same estimator. Writes `<results_dir>/BENCH_mutable.json`.
+
+use crate::harness::HarnessConfig;
+use crate::report::{format_seconds, print_table, write_json};
+use laf_cardest::TrainingSetBuilder;
+use laf_core::{LafConfig, LafPipeline, MutablePipeline};
+use laf_synth::EmbeddingMixtureConfig;
+use laf_vector::Dataset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Insert throughput under one durability policy.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct InsertThroughput {
+    /// Rows inserted.
+    pub rows: usize,
+    /// `fdatasync` calls issued over those rows.
+    pub syncs: usize,
+    /// Wall-clock seconds for the whole batch, including its syncs.
+    pub wall_seconds: f64,
+    /// `rows / wall_seconds`.
+    pub rows_per_second: f64,
+}
+
+/// Read latency of the merged base+delta path against the frozen base it
+/// replaces, for one query kind.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadOverhead {
+    /// `range_count` or `knn`.
+    pub query_kind: String,
+    /// Queries per measured pass.
+    pub queries: usize,
+    /// Best-of-3 seconds for the pass on the frozen base engine.
+    pub base_seconds: f64,
+    /// Best-of-3 seconds for the pass on the mutable pipeline (base engine
+    /// + delta scan + tombstone masking).
+    pub mutable_seconds: f64,
+    /// `mutable_seconds / base_seconds` — the delta's read tax.
+    pub overhead_ratio: f64,
+}
+
+/// Crash-recovery measurement: drop the pipeline, reopen the directory,
+/// replay the log.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RecoveryTiming {
+    /// WAL records replayed on reopen.
+    pub wal_records: usize,
+    /// WAL size in bytes at the drop point.
+    pub wal_bytes: u64,
+    /// Seconds for [`MutablePipeline::open`] (manifest read, base mmap, full
+    /// replay).
+    pub reopen_seconds: f64,
+    /// Live rows after reopen bit-identical to the rows before the drop
+    /// (must be `true`).
+    pub state_bit_identical: bool,
+}
+
+/// The post-compaction acceptance gate.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CompactionVerdict {
+    /// Delta rows + tombstones folded by the compaction.
+    pub folded_ops: usize,
+    /// Seconds for [`MutablePipeline::compact`] (fold, save, manifest flip,
+    /// WAL truncate, base reload).
+    pub compact_seconds: f64,
+    /// Generation after the compaction.
+    pub generation: u64,
+    /// Compacted base clusters label-identically to a from-scratch pipeline
+    /// over the same live rows and estimator (must be `true`).
+    pub labels_identical: bool,
+    /// Same for the [`laf_core::LafStats`] counters (must be `true`).
+    pub stats_identical: bool,
+}
+
+/// The full experiment record written to `BENCH_mutable.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MutableBenchReport {
+    /// Base dataset rows.
+    pub n_points: usize,
+    /// Dataset dimensionality.
+    pub dim: usize,
+    /// Delta rows as a fraction of the base at read-measurement time.
+    pub delta_fraction: f64,
+    /// Tombstoned rows at read-measurement time.
+    pub deletes: usize,
+    /// Inserts with one `fdatasync` for the whole batch (the serving
+    /// front's group commit).
+    pub group_commit: InsertThroughput,
+    /// Inserts with an `fdatasync` after every row (the worst-case
+    /// durability policy).
+    pub per_op_sync: InsertThroughput,
+    /// Merged-read overhead per query kind.
+    pub reads: Vec<ReadOverhead>,
+    /// Reopen-and-replay measurement.
+    pub recovery: RecoveryTiming,
+    /// The bit-exactness gate.
+    pub compaction: CompactionVerdict,
+}
+
+fn bench_dataset(cfg: &HarnessConfig, seed_salt: u64, n_points: usize) -> Dataset {
+    let dim = cfg.dim_cap.unwrap_or(64).clamp(8, 128);
+    EmbeddingMixtureConfig {
+        n_points,
+        dim,
+        clusters: 12,
+        noise_fraction: 0.2,
+        seed: cfg.seed ^ seed_salt,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid benchmark dataset config")
+    .0
+}
+
+/// Bits of every live row, for exact state comparison across a reopen.
+fn live_bits(pipeline: &MutablePipeline) -> Vec<u32> {
+    let data = pipeline.live_dataset().expect("live rows materialize");
+    data.as_flat().iter().map(|v| v.to_bits()).collect()
+}
+
+fn best_of_3(mut pass: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        checksum = pass();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, checksum)
+}
+
+/// Run the mutable-plane measurements and write `BENCH_mutable.json`.
+pub fn run(cfg: &HarnessConfig) -> MutableBenchReport {
+    let n_points = ((1_000_000.0 * cfg.scale) as usize).clamp(500, 24_000);
+    let data = bench_dataset(cfg, 0, n_points);
+    let n_points = data.len();
+    let dim = data.dim();
+    let laf_config = LafConfig::new(0.35, 4, 1.0);
+    println!("\nmutable plane: {n_points} base points x {dim} dims");
+
+    let base_pipeline = LafPipeline::builder(laf_config)
+        .net(cfg.net.clone())
+        .training(TrainingSetBuilder {
+            max_queries: Some(cfg.train_queries),
+            ..Default::default()
+        })
+        .train(data)
+        .expect("base training");
+    let dir = std::env::temp_dir().join(format!(
+        "laf_bench_mutable_{n_points}x{dim}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut mutable = MutablePipeline::create(&dir, &base_pipeline).expect("mutable create");
+    drop(base_pipeline); // serve from the mmap'd base, like a real reopen
+
+    // --- Insert throughput: group commit vs sync-every-op ------------------
+    let group_rows = (n_points / 8).max(32);
+    let per_op_rows = group_rows.min(64);
+    let extra = bench_dataset(cfg, 0xD17A, group_rows + per_op_rows);
+
+    let t = Instant::now();
+    for i in 0..group_rows {
+        mutable.insert(extra.row(i)).expect("logged insert");
+    }
+    mutable.sync().expect("group-commit sync");
+    let group_seconds = t.elapsed().as_secs_f64();
+    let group_commit = InsertThroughput {
+        rows: group_rows,
+        syncs: 1,
+        wall_seconds: group_seconds,
+        rows_per_second: group_rows as f64 / group_seconds.max(f64::EPSILON),
+    };
+
+    let t = Instant::now();
+    for i in group_rows..group_rows + per_op_rows {
+        mutable.insert(extra.row(i)).expect("logged insert");
+        mutable.sync().expect("per-op sync");
+    }
+    let per_op_seconds = t.elapsed().as_secs_f64();
+    let per_op_sync = InsertThroughput {
+        rows: per_op_rows,
+        syncs: per_op_rows,
+        wall_seconds: per_op_seconds,
+        rows_per_second: per_op_rows as f64 / per_op_seconds.max(f64::EPSILON),
+    };
+
+    // A spread of deletes so the masked (tombstone-aware) read paths are the
+    // ones being measured, not the fast deleted==0 shortcut.
+    let deletes = (n_points / 64).max(8);
+    for i in 0..deletes {
+        let target = (i * 131) % mutable.len();
+        mutable.delete(target).expect("logged delete");
+    }
+    mutable.sync().expect("delete sync");
+    let wal_records = group_rows + per_op_rows + deletes;
+    let delta_fraction = mutable.delta_len() as f64 / n_points as f64;
+
+    // --- Read overhead: frozen base engine vs merged base+delta ------------
+    let eps = mutable.base().config().eps;
+    let stride = (n_points / 64).max(1);
+    let queries: Vec<Vec<f32>> = (0..64.min(n_points))
+        .map(|i| mutable.base().data().row(i * stride).to_vec())
+        .collect();
+    let engine = mutable.base().engine();
+
+    let (count_base, base_sum) = best_of_3(|| {
+        queries
+            .iter()
+            .map(|q| engine.get().range_count(q, eps) as u64)
+            .sum()
+    });
+    let (count_mutable, mutable_sum) = best_of_3(|| {
+        queries
+            .iter()
+            .map(|q| mutable.range_count(q, eps) as u64)
+            .sum()
+    });
+    let (knn_base, _) = best_of_3(|| {
+        queries
+            .iter()
+            .map(|q| engine.get().knn(q, 10).len() as u64)
+            .sum()
+    });
+    let (knn_mutable, _) = best_of_3(|| {
+        queries
+            .iter()
+            .map(|q| mutable.knn(q, 10).len() as u64)
+            .sum()
+    });
+    drop(engine);
+    println!(
+        "read passes: {} queries, base counted {base_sum} rows, merged counted {mutable_sum}",
+        queries.len()
+    );
+    let reads = vec![
+        ReadOverhead {
+            query_kind: "range_count".to_string(),
+            queries: queries.len(),
+            base_seconds: count_base,
+            mutable_seconds: count_mutable,
+            overhead_ratio: count_mutable / count_base.max(f64::EPSILON),
+        },
+        ReadOverhead {
+            query_kind: "knn".to_string(),
+            queries: queries.len(),
+            base_seconds: knn_base,
+            mutable_seconds: knn_mutable,
+            overhead_ratio: knn_mutable / knn_base.max(f64::EPSILON),
+        },
+    ];
+
+    // --- Crash recovery: drop without ceremony, reopen, replay -------------
+    let bits_before = live_bits(&mutable);
+    let wal_bytes = mutable.wal_len_bytes();
+    drop(mutable);
+    let t = Instant::now();
+    let mut mutable = MutablePipeline::open(&dir).expect("reopen replays the log");
+    let reopen_seconds = t.elapsed().as_secs_f64();
+    let recovery = RecoveryTiming {
+        wal_records,
+        wal_bytes,
+        reopen_seconds,
+        state_bit_identical: live_bits(&mutable) == bits_before,
+    };
+
+    // --- Compaction gate: fold, then race a from-scratch pipeline ----------
+    let live = mutable.live_dataset().expect("live rows materialize");
+    let estimator = mutable.base().estimator().clone();
+    let scratch_config = mutable.base().config().clone();
+    let folded_ops = mutable.pending_ops();
+    let t = Instant::now();
+    mutable.compact().expect("compaction");
+    let compact_seconds = t.elapsed().as_secs_f64();
+    let (compacted_clustering, compacted_stats) = mutable.base().cluster_with_stats();
+    let scratch = LafPipeline::from_parts(scratch_config, live, estimator);
+    let (scratch_clustering, scratch_stats) = scratch.cluster_with_stats();
+    let compaction = CompactionVerdict {
+        folded_ops,
+        compact_seconds,
+        generation: mutable.generation(),
+        labels_identical: compacted_clustering.labels() == scratch_clustering.labels(),
+        stats_identical: compacted_stats == scratch_stats,
+    };
+    drop(mutable);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = MutableBenchReport {
+        n_points,
+        dim,
+        delta_fraction,
+        deletes,
+        group_commit,
+        per_op_sync,
+        reads,
+        recovery,
+        compaction,
+    };
+
+    let write_rows = vec![
+        vec![
+            "group commit (1 sync)".to_string(),
+            group_commit.rows.to_string(),
+            group_commit.syncs.to_string(),
+            format_seconds(group_commit.wall_seconds),
+            format!("{:.0}", group_commit.rows_per_second),
+        ],
+        vec![
+            "sync every op".to_string(),
+            per_op_sync.rows.to_string(),
+            per_op_sync.syncs.to_string(),
+            format_seconds(per_op_sync.wall_seconds),
+            format!("{:.0}", per_op_sync.rows_per_second),
+        ],
+    ];
+    print_table(
+        "Mutable plane: WAL insert throughput by durability policy",
+        &["policy", "rows", "syncs", "wall", "rows/s"],
+        &write_rows,
+    );
+
+    let read_rows: Vec<Vec<String>> = report
+        .reads
+        .iter()
+        .map(|r| {
+            vec![
+                r.query_kind.clone(),
+                r.queries.to_string(),
+                format_seconds(r.base_seconds),
+                format_seconds(r.mutable_seconds),
+                format!("{:.2}x", r.overhead_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Merged-read overhead at {:.1}% delta, {} tombstones",
+            report.delta_fraction * 100.0,
+            report.deletes
+        ),
+        &["query", "queries", "frozen base", "base+delta", "overhead"],
+        &read_rows,
+    );
+
+    println!(
+        "recovery: {} records / {} bytes replayed in {} (state bit-identical: {})",
+        recovery.wal_records,
+        recovery.wal_bytes,
+        format_seconds(recovery.reopen_seconds),
+        recovery.state_bit_identical
+    );
+    println!(
+        "compaction: {} ops folded in {} -> generation {} (labels identical: {}, stats identical: {})",
+        compaction.folded_ops,
+        format_seconds(compaction.compact_seconds),
+        compaction.generation,
+        compaction.labels_identical,
+        compaction.stats_identical
+    );
+
+    write_json(&cfg.results_dir, "BENCH_mutable", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::NetConfig;
+
+    #[test]
+    fn mutable_plane_is_measured_and_bit_exact() {
+        let cfg = HarnessConfig {
+            scale: 0.001,
+            dim_cap: Some(12),
+            train_queries: 60,
+            net: NetConfig::tiny(),
+            results_dir: std::env::temp_dir().join("laf_bench_mutable_test"),
+            ..Default::default()
+        };
+        let report = run(&cfg);
+        assert!(report.group_commit.rows >= 32);
+        assert!(report.group_commit.rows_per_second > 0.0);
+        assert!(report.per_op_sync.syncs == report.per_op_sync.rows);
+        assert_eq!(report.reads.len(), 2);
+        for r in &report.reads {
+            assert!(r.base_seconds > 0.0 && r.mutable_seconds > 0.0);
+        }
+        // The two acceptance bars of the subsystem: reopening after a crash
+        // loses nothing, and a compacted base is indistinguishable from a
+        // pipeline built from scratch over the same rows.
+        assert!(report.recovery.state_bit_identical);
+        assert!(report.recovery.wal_records > 0);
+        assert!(report.compaction.labels_identical);
+        assert!(report.compaction.stats_identical);
+        assert_eq!(report.compaction.generation, 1);
+        assert!(cfg.results_dir.join("BENCH_mutable.json").exists());
+    }
+}

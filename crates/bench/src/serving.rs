@@ -32,7 +32,7 @@ use crate::harness::HarnessConfig;
 use crate::report::{print_table, write_json};
 use laf_cardest::{NetConfig, TrainingSetBuilder};
 use laf_core::{LafConfig, LafPipeline};
-use laf_serve::{LafServer, ServeConfig, ServeError, ServeStatsReport, Ticket};
+use laf_serve::{LafServer, ServeConfig, ServeStatsReport, Ticket};
 use laf_synth::EmbeddingMixtureConfig;
 use laf_vector::Dataset;
 use serde::Serialize;
@@ -186,8 +186,7 @@ fn drive(
                                     // closed-loop client waits out its oldest
                                     // ticket (below), which itself drains the
                                     // queue that bounced this submission.
-                                    Err(ServeError::Overloaded { .. }) => break,
-                                    Err(ServeError::ShuttingDown) => break,
+                                    Err(_) => break,
                                 }
                             }
                         }
@@ -275,6 +274,7 @@ pub fn run(cfg: &HarnessConfig) -> ServingReport {
                 coalesce_window_us: 200,
                 max_batch: 64,
                 max_queue_depth: 512,
+                ..ServeConfig::default()
             },
         ),
     ];

@@ -79,18 +79,22 @@ pub mod config;
 pub mod gate;
 pub mod laf_dbscan;
 pub mod laf_dbscan_pp;
+pub mod mutable;
 pub mod partial;
 pub mod pipeline;
 pub mod post;
 pub mod snapshot;
+pub mod wal;
 
 pub use config::{LafConfig, LafStats};
 pub use gate::{CardEstGate, GateDecision, Prescan};
 pub use laf_dbscan::LafDbscan;
 pub use laf_dbscan_pp::{LafDbscanPlusPlus, LafDbscanPlusPlusConfig};
+pub use mutable::{Manifest, MutablePipeline, MANIFEST_FILE, WAL_FILE};
 pub use partial::PartialNeighborMap;
 pub use pipeline::{LafPipeline, LafPipelineBuilder, SharedEngine};
 pub use post::PostProcessor;
 pub use snapshot::{
     section_id, Snapshot, SnapshotError, SnapshotShard, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
+pub use wal::{Wal, WalOp, WalRecord};

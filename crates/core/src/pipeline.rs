@@ -686,7 +686,7 @@ mod tests {
     }
 
     #[test]
-    fn cover_tree_pipelines_fall_back_to_rebuild() {
+    fn cover_tree_pipelines_persist_their_arena() {
         let config = LafConfig {
             engine: EngineChoice::CoverTree { basis: 2.0 },
             ..LafConfig::new(0.3, 4, 1.0)
@@ -699,15 +699,16 @@ mod tests {
             })
             .train(data())
             .unwrap();
-        assert!(cold.persisted_engine().is_none());
+        // The arena-flattening persist path covers every engine kind now;
+        // warm starts restore the cover tree instead of rebuilding it.
+        assert!(cold.persisted_engine().is_some());
         let warm = LafPipeline::from_snapshot_bytes(&cold.to_snapshot_bytes().unwrap()).unwrap();
-        assert!(warm.persisted_engine().is_none());
-        // The fallback path still serves: the engine is rebuilt from config.
+        assert!(warm.persisted_engine().is_some());
         assert_eq!(warm.engine().num_points(), warm.data().len());
         assert_eq!(
             cold.cluster().labels(),
             warm.cluster().labels(),
-            "rebuild fallback must stay bit-exact"
+            "restored arena must stay bit-exact"
         );
     }
 

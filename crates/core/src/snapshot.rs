@@ -1226,6 +1226,7 @@ mod tests {
                 nlist: 4,
                 nprobe: 2,
             },
+            EngineChoice::CoverTree { basis: 2.0 },
         ] {
             let snap = snapshot_with_engine(choice);
             let persisted = snap.engine.clone().expect("persistable engine");
@@ -1235,9 +1236,14 @@ mod tests {
     }
 
     #[test]
-    fn non_persistable_engine_is_omitted_not_fatal() {
-        let snap = snapshot_with_engine(EngineChoice::CoverTree { basis: 2.0 });
-        assert!(snap.engine.is_none());
+    fn omitted_engine_section_is_not_fatal() {
+        // Every engine kind persists now, but the engine section stays
+        // optional on the wire (v1 snapshots, hand-assembled values): an
+        // omitted section decodes to `None` and serving rebuilds from the
+        // config.
+        let mut snap = snapshot_with_engine(EngineChoice::CoverTree { basis: 2.0 });
+        assert!(snap.engine.is_some(), "cover trees persist their arena");
+        snap.engine = None;
         let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
         assert!(back.engine.is_none());
         assert_eq!(back.config.engine, EngineChoice::CoverTree { basis: 2.0 });

@@ -15,6 +15,7 @@
 //! Equation (1). Results are reported back in the engine's public metric.
 
 use crate::engine::{Neighbor, RangeQueryEngine, TotalDist};
+use crate::persist::{PersistError, PersistedCoverTree, PersistedCtNode, PersistedEngine};
 use laf_vector::distance::DistanceMetric;
 use laf_vector::{cosine_to_euclidean, euclidean_to_cosine, Dataset, EuclideanDistance, Metric};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +69,55 @@ impl<'a> CoverTree<'a> {
             tree.root = Some(root);
         }
         tree
+    }
+
+    /// Re-attach a persisted node arena to `data`, skipping the
+    /// farthest-point-sampling construction. Callers normally go through
+    /// [`crate::restore_engine`], which validates the structure against the
+    /// dataset first; the restored tree answers every query byte-identically
+    /// to the tree the structure was extracted from (the arena determines
+    /// the traversal completely).
+    ///
+    /// # Errors
+    /// Returns [`PersistError`] when the structural parameters are outside
+    /// their valid domains (deep consistency with the dataset is
+    /// [`PersistedEngine::validate`]'s job).
+    pub fn from_persisted(data: &'a Dataset, p: &PersistedCoverTree) -> Result<Self, PersistError> {
+        if !(p.basis.is_finite() && p.basis > 1.0) {
+            return Err(PersistError::new(format!(
+                "cover-tree basis {} is not greater than 1",
+                p.basis
+            )));
+        }
+        match p.root {
+            Some(root) if (root as usize) >= p.nodes.len() => {
+                return Err(PersistError::new(format!(
+                    "root id {root} out of range for {} nodes",
+                    p.nodes.len()
+                )));
+            }
+            None if !p.nodes.is_empty() => {
+                return Err(PersistError::new("tree has nodes but no root".to_string()));
+            }
+            _ => {}
+        }
+        Ok(Self {
+            data,
+            metric: p.metric,
+            basis: p.basis,
+            nodes: p
+                .nodes
+                .iter()
+                .map(|n| Node {
+                    center: n.center,
+                    radius: n.radius,
+                    children: n.children.clone(),
+                    points: n.points.clone(),
+                })
+                .collect(),
+            root: p.root,
+            evaluations: AtomicU64::new(0),
+        })
     }
 
     /// The basis this tree was built with.
@@ -341,6 +391,24 @@ impl RangeQueryEngine for CoverTree<'_> {
         heap
     }
 
+    fn persist(&self) -> Option<PersistedEngine> {
+        Some(PersistedEngine::CoverTree(PersistedCoverTree {
+            metric: self.metric,
+            basis: self.basis,
+            root: self.root,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| PersistedCtNode {
+                    center: n.center,
+                    radius: n.radius,
+                    children: n.children.clone(),
+                    points: n.points.clone(),
+                })
+                .collect(),
+        }))
+    }
+
     fn distance_evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
@@ -469,5 +537,62 @@ mod tests {
         let data = sample_data();
         let tree = CoverTree::new(&data, Metric::Cosine, 2.0);
         assert!(tree.knn(data.row(0), 0).is_empty());
+    }
+
+    #[test]
+    fn persisted_arena_round_trips_bit_identically() {
+        let data = sample_data();
+        let tree = CoverTree::new(&data, Metric::Cosine, 2.0);
+        let persisted = tree.persist().expect("cover tree persists its arena");
+        persisted.validate(data.len(), data.dim()).unwrap();
+        let bytes = persisted.encode();
+        let decoded = PersistedEngine::decode(&bytes).unwrap();
+        assert_eq!(decoded, persisted, "codec round trip");
+        let restored = crate::persist::restore_engine(&decoded, &data).unwrap();
+        for &q in &[0usize, 17, 99, 333] {
+            for &eps in &[0.05f32, 0.2, 0.5] {
+                assert_eq!(
+                    restored.range(data.row(q), eps),
+                    tree.range(data.row(q), eps)
+                );
+            }
+            assert_eq!(restored.knn(data.row(q), 10), tree.knn(data.row(q), 10));
+        }
+    }
+
+    #[test]
+    fn persisted_arena_rejects_inconsistent_structures() {
+        let data = sample_data();
+        let tree = CoverTree::new(&data, Metric::Cosine, 2.0);
+        let PersistedEngine::CoverTree(good) = tree.persist().unwrap() else {
+            panic!("wrong persisted kind");
+        };
+        // A center out of range.
+        let mut bad = good.clone();
+        bad.nodes[0].center = data.len() as u32;
+        assert!(PersistedEngine::CoverTree(bad)
+            .validate(data.len(), data.dim())
+            .is_err());
+        // A basis that would not have been accepted at construction.
+        let mut bad = good.clone();
+        bad.basis = 1.0;
+        assert!(PersistedEngine::CoverTree(bad)
+            .validate(data.len(), data.dim())
+            .is_err());
+        // Dropping a leaf's points breaks exactly-once coverage.
+        let mut bad = good.clone();
+        let leaf = bad
+            .nodes
+            .iter()
+            .position(|n| !n.points.is_empty())
+            .expect("tree has a leaf");
+        bad.nodes[leaf].points.pop();
+        assert!(PersistedEngine::CoverTree(bad)
+            .validate(data.len(), data.dim())
+            .is_err());
+        // The pristine structure still validates.
+        assert!(PersistedEngine::CoverTree(good)
+            .validate(data.len(), data.dim())
+            .is_ok());
     }
 }

@@ -212,10 +212,12 @@ pub enum EngineChoice {
 
 impl EngineChoice {
     /// Whether engines of this kind support structure persistence
-    /// ([`RangeQueryEngine::persist`] returns `Some`). Callers use this to
-    /// avoid building an engine purely to discover there is nothing to save.
+    /// ([`RangeQueryEngine::persist`] returns `Some`). Every kind now does —
+    /// the cover tree's arena flattening was the last to land — but the
+    /// method is kept so callers stay robust to future non-persistable
+    /// engines (and so older call sites keep compiling).
     pub fn persistable(&self) -> bool {
-        !matches!(self, EngineChoice::CoverTree { .. })
+        true
     }
 }
 

@@ -46,6 +46,8 @@ pub use grid::{GridIndex, MIN_CELL_SIDE};
 pub use ivf::IvfIndex;
 pub use kmeans_tree::KMeansTree;
 pub use linear::LinearScan;
-pub use persist::{restore_engine, PersistError, PersistedEngine};
+pub use persist::{
+    restore_engine, PersistError, PersistedCoverTree, PersistedCtNode, PersistedEngine,
+};
 pub use sharded::ShardedEngine;
 pub use topk::TopK;

@@ -9,10 +9,11 @@
 //! re-attaches a persisted structure to a dataset without re-running the
 //! bucketing / k-means work a fresh [`crate::build_engine`] would pay.
 //!
-//! Extraction is exposed through [`crate::RangeQueryEngine::persist`]: engines
-//! whose construction is worth amortizing return `Some(structure)`, engines
-//! with nothing worth saving (the cover tree, for now) return `None` and
-//! callers fall back to rebuilding from the [`crate::EngineChoice`].
+//! Extraction is exposed through [`crate::RangeQueryEngine::persist`]: every
+//! engine kind returns `Some(structure)` — the cover tree's node arena is
+//! flattened like the k-means tree's ([`PersistedCoverTree`]) — so snapshots
+//! never fall back to rebuilding from the [`crate::EngineChoice`] unless the
+//! snapshot predates structure persistence (format v1).
 //!
 //! # Wire format (engine structure version 1)
 //!
@@ -21,7 +22,8 @@
 //! ```text
 //! magic      4 bytes   b"LAFE"
 //! version    u32       currently 1
-//! kind       u32       0 = linear, 1 = grid, 2 = k-means tree, 3 = IVF
+//! kind       u32       0 = linear, 1 = grid, 2 = k-means tree, 3 = IVF,
+//!                      4 = cover tree
 //! metric     u8        0 cosine, 1 angular, 2 euclidean, 3 squared, 4 negdot
 //! body       kind-specific (see the `encode_into` source)
 //! ```
@@ -34,6 +36,7 @@
 //! consistency with the dataset the structure is restored over is checked by
 //! [`PersistedEngine::validate`].
 
+use crate::cover_tree::CoverTree;
 use crate::engine::{EngineChoice, RangeQueryEngine};
 use crate::grid::GridIndex;
 use crate::ivf::IvfIndex;
@@ -52,6 +55,7 @@ const KIND_LINEAR: u32 = 0;
 const KIND_GRID: u32 = 1;
 const KIND_KMEANS_TREE: u32 = 2;
 const KIND_IVF: u32 = 3;
+const KIND_COVER: u32 = 4;
 
 /// Error produced while encoding, decoding or restoring a persisted engine
 /// structure.
@@ -188,6 +192,36 @@ pub struct PersistedIvf {
     pub lists: Vec<PersistedIvfList>,
 }
 
+/// One cover-tree node. Leaves carry points and no children; internal nodes
+/// carry children and no points (their center row is owned by one of the
+/// child subtrees).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedCtNode {
+    /// Dataset row index of this node's center.
+    pub center: u32,
+    /// Covering radius in the tree's internal Euclidean space.
+    pub radius: f32,
+    /// Child node ids (empty for leaves).
+    pub children: Vec<u32>,
+    /// Dataset rows stored at this node (leaves only).
+    pub points: Vec<u32>,
+}
+
+/// The built structure of a [`CoverTree`]: the flat node arena the
+/// farthest-point-sampling construction produces, plus the basis knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedCoverTree {
+    /// Metric the tree answers queries under (internally the tree works in
+    /// Euclidean space and converts thresholds; see [`crate::cover_tree`]).
+    pub metric: Metric,
+    /// Basis the tree was built with (strictly greater than 1).
+    pub basis: f32,
+    /// Root node id (`None` only for an empty dataset).
+    pub root: Option<u32>,
+    /// Flat node arena; child ids index into it.
+    pub nodes: Vec<PersistedCtNode>,
+}
+
 /// An owned, serializable engine structure, extracted from a built engine via
 /// [`RangeQueryEngine::persist`] and re-attached to a dataset via
 /// [`restore_engine`].
@@ -209,6 +243,8 @@ pub enum PersistedEngine {
     KMeansTree(PersistedKMeansTree),
     /// A built [`IvfIndex`].
     Ivf(PersistedIvf),
+    /// A built [`CoverTree`].
+    CoverTree(PersistedCoverTree),
 }
 
 impl PersistedEngine {
@@ -219,6 +255,7 @@ impl PersistedEngine {
             PersistedEngine::Grid(_) => "grid",
             PersistedEngine::KMeansTree(_) => "kmeans_tree",
             PersistedEngine::Ivf(_) => "ivf",
+            PersistedEngine::CoverTree(_) => "cover_tree",
         }
     }
 
@@ -229,6 +266,7 @@ impl PersistedEngine {
             PersistedEngine::Grid(g) => g.metric,
             PersistedEngine::KMeansTree(t) => t.metric,
             PersistedEngine::Ivf(i) => i.metric,
+            PersistedEngine::CoverTree(t) => t.metric,
         }
     }
 
@@ -245,6 +283,10 @@ impl PersistedEngine {
                     EngineChoice::KMeansTree { .. }
                 )
                 | (PersistedEngine::Ivf(_), EngineChoice::Ivf { .. })
+                | (
+                    PersistedEngine::CoverTree(_),
+                    EngineChoice::CoverTree { .. }
+                )
         )
     }
 
@@ -321,6 +363,34 @@ impl PersistedEngine {
                     }
                 }
             }
+            PersistedEngine::CoverTree(t) => {
+                buf.put_u32_le(KIND_COVER);
+                buf.put_u8(metric_tag(t.metric));
+                buf.put_f32_le(t.basis);
+                match t.root {
+                    Some(root) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(root);
+                    }
+                    None => {
+                        buf.put_u8(0);
+                        buf.put_u32_le(0);
+                    }
+                }
+                buf.put_u64_le(t.nodes.len() as u64);
+                for node in &t.nodes {
+                    buf.put_u32_le(node.center);
+                    buf.put_f32_le(node.radius);
+                    buf.put_u32_le(node.children.len() as u32);
+                    for &c in &node.children {
+                        buf.put_u32_le(c);
+                    }
+                    buf.put_u32_le(node.points.len() as u32);
+                    for &p in &node.points {
+                        buf.put_u32_le(p);
+                    }
+                }
+            }
         }
     }
 
@@ -365,6 +435,7 @@ impl PersistedEngine {
                 PersistedEngine::KMeansTree(Self::decode_kmeans_tree(&mut bytes, metric)?)
             }
             KIND_IVF => PersistedEngine::Ivf(Self::decode_ivf(&mut bytes, metric)?),
+            KIND_COVER => PersistedEngine::CoverTree(Self::decode_cover(&mut bytes, metric)?),
             other => return Err(PersistError::new(format!("unknown engine kind {other}"))),
         };
         if bytes.remaining() != 0 {
@@ -509,13 +580,69 @@ impl PersistedEngine {
         })
     }
 
+    fn decode_cover(bytes: &mut &[u8], metric: Metric) -> Result<PersistedCoverTree, PersistError> {
+        if bytes.remaining() < 17 {
+            return Err(PersistError::new("cover tree header truncated"));
+        }
+        let basis = bytes.get_f32_le();
+        let has_root = bytes.get_u8();
+        let root_id = bytes.get_u32_le();
+        let root = match has_root {
+            0 => None,
+            1 => Some(root_id),
+            other => {
+                return Err(PersistError::new(format!(
+                    "invalid root presence flag {other}"
+                )))
+            }
+        };
+        let n_nodes = bytes.get_u64_le();
+        // Each node carries at least its center, radius and two counts.
+        let n_nodes = check_count(n_nodes, 16, bytes.remaining(), "cover-tree node")?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            if bytes.remaining() < 12 {
+                return Err(PersistError::new("cover-tree node truncated"));
+            }
+            let center = bytes.get_u32_le();
+            let radius = bytes.get_f32_le();
+            let n_children = bytes.get_u32_le() as u64;
+            let n_children = check_count(n_children, 4, bytes.remaining(), "cover-tree child")?;
+            let mut children = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                children.push(bytes.get_u32_le());
+            }
+            if bytes.remaining() < 4 {
+                return Err(PersistError::new("cover-tree node truncated"));
+            }
+            let n_points = bytes.get_u32_le() as u64;
+            let n_points = check_count(n_points, 4, bytes.remaining(), "cover-tree leaf point")?;
+            let mut points = Vec::with_capacity(n_points);
+            for _ in 0..n_points {
+                points.push(bytes.get_u32_le());
+            }
+            nodes.push(PersistedCtNode {
+                center,
+                radius,
+                children,
+                points,
+            });
+        }
+        Ok(PersistedCoverTree {
+            metric,
+            basis,
+            root,
+            nodes,
+        })
+    }
+
     /// Check the structure is consistent with a dataset of `n_points` rows in
     /// `dim` dimensions: coordinate/centroid dimensionalities match, every
     /// point index is in range, every row is bucketed **exactly once** (a
-    /// duplicated index cannot mask an omitted row), the k-means tree arena
-    /// is a single well-formed tree (so `traverse` terminates and visits each
-    /// leaf at most once), and the structural parameters are in their valid
-    /// domains.
+    /// duplicated index cannot mask an omitted row), the k-means and cover
+    /// tree arenas are single well-formed trees (so traversal terminates and
+    /// visits each leaf at most once), and the structural parameters are in
+    /// their valid domains.
     ///
     /// # Errors
     /// Returns [`PersistError`] naming the first inconsistency found.
@@ -693,6 +820,85 @@ impl PersistedEngine {
                 }
                 check_coverage(covered)
             }
+            PersistedEngine::CoverTree(t) => {
+                if !(t.basis.is_finite() && t.basis > 1.0) {
+                    return Err(PersistError::new(format!(
+                        "cover-tree basis {} is not greater than 1",
+                        t.basis
+                    )));
+                }
+                let root = match t.root {
+                    Some(root) if (root as usize) < t.nodes.len() => root as usize,
+                    Some(root) => {
+                        return Err(PersistError::new(format!(
+                            "root id {root} out of range for {} nodes",
+                            t.nodes.len()
+                        )))
+                    }
+                    None if t.nodes.is_empty() && n_points == 0 => return Ok(()),
+                    None => {
+                        return Err(PersistError::new(
+                            "tree has nodes or points but no root".to_string(),
+                        ))
+                    }
+                };
+                // Same shape discipline as the k-means arena (children are
+                // pushed before their parent): child ids strictly below the
+                // parent's and exactly one parentless node, the root — this
+                // rules out cycles and shared subtrees, so the recursive
+                // range/knn traversals terminate and visit each leaf once.
+                let mut has_parent = vec![false; t.nodes.len()];
+                let mut covered = 0u64;
+                for (id, node) in t.nodes.iter().enumerate() {
+                    if node.center as usize >= n_points {
+                        return Err(PersistError::new(format!(
+                            "node {id} center {} out of range for {n_points} dataset rows",
+                            node.center
+                        )));
+                    }
+                    if !(node.radius.is_finite() && node.radius >= 0.0) {
+                        return Err(PersistError::new(format!(
+                            "node {id} radius {} is not a finite non-negative value",
+                            node.radius
+                        )));
+                    }
+                    // Points live on leaves only: the traversals never read
+                    // an internal node's point list, so points stored there
+                    // would pass the coverage count yet be unreachable.
+                    if !node.children.is_empty() && !node.points.is_empty() {
+                        return Err(PersistError::new(format!(
+                            "internal node {id} carries {} points (points belong to leaves)",
+                            node.points.len()
+                        )));
+                    }
+                    for &c in &node.children {
+                        let c = c as usize;
+                        if c >= id {
+                            return Err(PersistError::new(format!(
+                                "child id {c} is not strictly below its parent node {id}"
+                            )));
+                        }
+                        if has_parent[c] {
+                            return Err(PersistError::new(format!(
+                                "node {c} is referenced by more than one parent"
+                            )));
+                        }
+                        has_parent[c] = true;
+                    }
+                    mark_rows(&node.points, &mut seen, &mut covered)?;
+                }
+                if has_parent[root] {
+                    return Err(PersistError::new(format!(
+                        "root node {root} is referenced as another node's child"
+                    )));
+                }
+                if let Some(orphan) = (0..t.nodes.len()).find(|&i| i != root && !has_parent[i]) {
+                    return Err(PersistError::new(format!(
+                        "node {orphan} is unreachable from the root"
+                    )));
+                }
+                check_coverage(covered)
+            }
         }
     }
 }
@@ -715,6 +921,7 @@ pub fn restore_engine<'a>(
         PersistedEngine::Grid(g) => Box::new(GridIndex::from_persisted(data, g)?),
         PersistedEngine::KMeansTree(t) => Box::new(KMeansTree::from_persisted(data, t)?),
         PersistedEngine::Ivf(i) => Box::new(IvfIndex::from_persisted(data, i)?),
+        PersistedEngine::CoverTree(t) => Box::new(CoverTree::from_persisted(data, t)?),
     })
 }
 
@@ -750,6 +957,7 @@ mod tests {
                 nlist: 8,
                 nprobe: 3,
             },
+            EngineChoice::CoverTree { basis: 2.0 },
         ]
     }
 
@@ -784,7 +992,7 @@ mod tests {
     }
 
     #[test]
-    fn cover_tree_is_not_persistable() {
+    fn every_engine_kind_is_persistable() {
         let data = sample_data();
         let built = build_engine(
             EngineChoice::CoverTree { basis: 2.0 },
@@ -792,8 +1000,8 @@ mod tests {
             Metric::Cosine,
             0.3,
         );
-        assert!(built.persist().is_none());
-        assert!(!EngineChoice::CoverTree { basis: 2.0 }.persistable());
+        assert!(built.persist().is_some(), "cover tree flattens its arena");
+        assert!(EngineChoice::CoverTree { basis: 2.0 }.persistable());
         assert!(EngineChoice::Linear.persistable());
     }
 

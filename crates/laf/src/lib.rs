@@ -78,6 +78,75 @@ pub mod serve {
     pub use laf_serve::*;
 }
 
+/// The unified error type of the facade: every fallible layer folds into
+/// one enum, so applications can hold a single error type across snapshot
+/// I/O, the serving front and the tenant cache instead of juggling
+/// `SnapshotError` / `ServeError` / `CacheError` per call site.
+///
+/// Marked `#[non_exhaustive]`: new layers add variants without a breaking
+/// change, so matches need a wildcard arm. `From` conversions from each
+/// layer error make `?` work directly in functions returning
+/// `Result<_, laf::Error>`.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum Error {
+    /// Snapshot encoding, decoding or I/O failed ([`core::SnapshotError`]).
+    Snapshot(core::SnapshotError),
+    /// The serving front rejected a submission ([`serve::ServeError`]).
+    Serve(serve::ServeError),
+    /// The multi-tenant snapshot cache failed ([`serve::CacheError`]).
+    Cache(serve::CacheError),
+    /// A write reached a mutable pipeline but was rejected
+    /// ([`serve::WriteError`]).
+    Write(serve::WriteError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::Serve(e) => write!(f, "serve error: {e}"),
+            Error::Cache(e) => write!(f, "cache error: {e}"),
+            Error::Write(e) => write!(f, "write error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Snapshot(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            Error::Cache(e) => Some(e),
+            Error::Write(e) => Some(e),
+        }
+    }
+}
+
+impl From<core::SnapshotError> for Error {
+    fn from(e: core::SnapshotError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
+impl From<serve::ServeError> for Error {
+    fn from(e: serve::ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<serve::CacheError> for Error {
+    fn from(e: serve::CacheError) -> Self {
+        Error::Cache(e)
+    }
+}
+
+impl From<serve::WriteError> for Error {
+    fn from(e: serve::WriteError) -> Self {
+        Error::Write(e)
+    }
+}
+
 /// Persist a trained [`core::LafPipeline`] as a versioned, checksummed
 /// binary snapshot at `path`.
 ///
@@ -134,8 +203,14 @@ pub fn load_snapshot_mmap<P: AsRef<std::path::Path>>(
 }
 
 /// One-stop import for applications.
+///
+/// Error handling: the prelude exports the unified [`crate::Error`]; the
+/// per-layer error names (`SnapshotError`, `ServeError`, `CacheError`) are
+/// still present as **deprecated aliases** and will be removed — match on
+/// `laf::Error`, or import the layer types from their modules
+/// ([`crate::core`], [`crate::serve`]) when a single layer is meant.
 pub mod prelude {
-    pub use crate::{load_snapshot, load_snapshot_mmap, save_snapshot};
+    pub use crate::{load_snapshot, load_snapshot_mmap, save_snapshot, Error};
     pub use laf_cardest::{
         CardinalityEstimator, ConstantEstimator, ExactEstimator, HistogramEstimator, Mlp,
         MlpEstimator, NetConfig, RmiConfig, RmiEstimator, SamplingEstimator, TrainingSet,
@@ -148,8 +223,9 @@ pub mod prelude {
     };
     pub use laf_core::{
         section_id, CardEstGate, GateDecision, LafConfig, LafDbscan, LafDbscanPlusPlus,
-        LafDbscanPlusPlusConfig, LafPipeline, LafPipelineBuilder, LafStats, PartialNeighborMap,
-        PostProcessor, Prescan, SharedEngine, Snapshot, SnapshotError, SnapshotShard,
+        LafDbscanPlusPlusConfig, LafPipeline, LafPipelineBuilder, LafStats, Manifest,
+        MutablePipeline, PartialNeighborMap, PostProcessor, Prescan, SharedEngine, Snapshot,
+        SnapshotShard, Wal, WalOp, WalRecord,
     };
     pub use laf_index::{
         build_engine, restore_engine, CoverTree, EngineChoice, GridIndex, KMeansTree, LinearScan,
@@ -160,17 +236,39 @@ pub mod prelude {
         ClusteringStats, ContingencyTable, MissedClusterReport,
     };
     pub use laf_serve::{
-        CacheConfig, CacheError, CacheStatsReport, EvictionPolicy, LafServer, LruPolicy,
-        PinnedSnapshot, ServeConfig, ServeError, ServeStats, ServeStatsReport, Served,
-        SnapshotCache, TenantServer, Ticket,
+        CacheConfig, CacheStatsReport, EvictionPolicy, LafServer, LruPolicy, PinnedSnapshot,
+        QueryRequest, QueryResponse, ServeConfig, ServeStats, ServeStatsReport, Served,
+        SnapshotCache, TenantServer, Ticket, WriteError,
     };
     pub use laf_synth::{
         BagOfWordsConfig, DatasetCatalog, DatasetSpec, EmbeddingMixtureConfig, SyntheticDataset,
     };
     pub use laf_vector::{
         cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, Dataset,
-        DistanceMetric, EuclideanDistance, GaussianRandomProjection, Metric, ShardMap,
+        DeltaSegment, DistanceMetric, EuclideanDistance, GaussianRandomProjection, Metric,
+        ShardMap, TombstoneSet,
     };
+
+    /// Deprecated alias kept for migration; see the prelude docs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "match on `laf::Error` or import `laf::core::SnapshotError`"
+    )]
+    pub type SnapshotError = laf_core::SnapshotError;
+
+    /// Deprecated alias kept for migration; see the prelude docs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "match on `laf::Error` or import `laf::serve::ServeError`"
+    )]
+    pub type ServeError = laf_serve::ServeError;
+
+    /// Deprecated alias kept for migration; see the prelude docs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "match on `laf::Error` or import `laf::serve::CacheError`"
+    )]
+    pub type CacheError = laf_serve::CacheError;
 }
 
 #[cfg(test)]

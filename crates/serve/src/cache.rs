@@ -107,6 +107,13 @@ pub enum CacheError {
         /// The underlying snapshot error.
         source: SnapshotError,
     },
+    /// A write request was routed to a tenant's cached snapshot. Cached
+    /// snapshots are read-only by construction (many pins share one mmap);
+    /// writes need a dedicated mutable server for the tenant.
+    ReadOnly {
+        /// The tenant whose snapshot the write targeted.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -134,6 +141,12 @@ impl fmt::Display for CacheError {
             }
             CacheError::Load { tenant, source } => {
                 write!(f, "loading tenant `{tenant}` snapshot failed: {source}")
+            }
+            CacheError::ReadOnly { tenant } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` snapshot is read-only: writes need a mutable server"
+                )
             }
         }
     }

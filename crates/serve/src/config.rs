@@ -29,6 +29,12 @@ pub struct ServeConfig {
     /// are rejected with [`crate::ServeError::Overloaded`] instead of
     /// buffering without limit.
     pub max_queue_depth: usize,
+    /// Mutable servers only: once a batch leaves at least this many pending
+    /// operations (delta rows + tombstones), the dispatcher folds them into
+    /// a fresh base snapshot and publishes it as a new epoch. `0` disables
+    /// automatic compaction (the default — immutable servers and callers
+    /// that compact on their own schedule).
+    pub compact_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +43,7 @@ impl Default for ServeConfig {
             coalesce_window_us: 200,
             max_batch: 64,
             max_queue_depth: 1024,
+            compact_threshold: 0,
         }
     }
 }
@@ -84,6 +91,7 @@ mod tests {
             coalesce_window_us: 750,
             max_batch: 32,
             max_queue_depth: 256,
+            compact_threshold: 128,
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: ServeConfig = serde_json::from_str(&json).unwrap();

@@ -27,6 +27,28 @@
 //! dispatcher coalesces whatever is queued, no matter how many threads
 //! queued it.
 //!
+//! ## One front door
+//!
+//! Every request kind — the four reads and the two writes — is a variant of
+//! [`QueryRequest`], answered by the matching [`QueryResponse`] variant
+//! through [`LafServer::submit`] / [`LafServer::submit_async`] (and
+//! [`TenantServer::submit`] for multi-tenant routing). The per-kind typed
+//! methods are thin wrappers over the same submission path, kept so
+//! existing call sites read naturally; routers and protocol shims should
+//! hold `QueryRequest` values and call `submit`.
+//!
+//! ## Mutable serving
+//!
+//! [`LafServer::start_mutable`] serves a [`laf_core::MutablePipeline`]:
+//! insert/delete requests route through its write-ahead log and reads
+//! answer through the merged base+delta path, all in queue order, so a
+//! caller that pipelines a write then a read observes its own write.
+//! Writes in one batch share a single WAL sync (group commit) and are
+//! acknowledged only after it succeeds. With
+//! [`ServeConfig::compact_threshold`] set, the dispatcher folds the delta
+//! into a fresh base snapshot in the background of the request stream and
+//! publishes it as a new epoch — the mutable plane's hot-reload.
+//!
 //! ## Flush policy
 //!
 //! The dispatcher flushes the queue into a batch when the first of these
@@ -109,6 +131,7 @@
 
 mod cache;
 mod config;
+mod request;
 mod server;
 mod stats;
 mod tenant;
@@ -118,6 +141,7 @@ pub use cache::{
     PinnedSnapshot, SnapshotCache,
 };
 pub use config::{ServeConfig, TILE};
+pub use request::{QueryRequest, QueryResponse, WriteError};
 pub use server::{LafServer, ServeError, Served, Ticket};
 pub use stats::{OccupancyBucket, ServeStats, ServeStatsReport, OCCUPANCY_BUCKETS};
 pub use tenant::TenantServer;

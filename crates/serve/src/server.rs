@@ -1,8 +1,9 @@
 //! The coalescing dispatcher: [`LafServer`].
 
 use crate::config::{ServeConfig, TILE};
+use crate::request::{QueryRequest, QueryResponse, WriteError};
 use crate::stats::{ServeStats, ServeStatsReport};
-use laf_core::{LafPipeline, SharedEngine};
+use laf_core::{LafPipeline, MutablePipeline, SharedEngine, SnapshotError};
 use laf_index::Neighbor;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -25,6 +26,10 @@ pub enum ServeError {
     },
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
+    /// A write was submitted to a server without a mutable pipeline (one
+    /// started with [`LafServer::start`] rather than
+    /// [`LafServer::start_mutable`]).
+    ReadOnly,
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +39,7 @@ impl fmt::Display for ServeError {
                 write!(f, "server overloaded: queue depth {depth} at limit {limit}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ReadOnly => write!(f, "server is read-only: writes need start_mutable"),
         }
     }
 }
@@ -61,6 +67,8 @@ enum Work {
     RangeCount { query: Vec<f32>, eps: f32 },
     Knn { query: Vec<f32>, k: usize },
     Estimate { query: Vec<f32>, eps: f32 },
+    Insert { row: Vec<f32> },
+    Delete { dense: u64 },
 }
 
 impl Work {
@@ -70,18 +78,23 @@ impl Work {
             | Work::RangeCount { query, .. }
             | Work::Knn { query, .. }
             | Work::Estimate { query, .. } => query,
+            Work::Insert { row } => row,
+            Work::Delete { .. } => &[],
         }
     }
 
     /// Batch-grouping key: requests dispatch through one kernel call iff
     /// they share a kind and its parameter (ε compared by bit pattern — the
-    /// kernels take one ε per batch).
+    /// kernels take one ε per batch). Writes never group (they only occur
+    /// on the mutable path, which processes the batch in queue order).
     fn group_key(&self) -> (u8, u64) {
         match self {
             Work::Range { eps, .. } => (0, eps.to_bits() as u64),
             Work::RangeCount { eps, .. } => (1, eps.to_bits() as u64),
             Work::Knn { k, .. } => (2, *k as u64),
             Work::Estimate { eps, .. } => (3, eps.to_bits() as u64),
+            Work::Insert { .. } => (4, 0),
+            Work::Delete { dense } => (5, *dense),
         }
     }
 }
@@ -92,6 +105,8 @@ enum Reply {
     Count(usize),
     Knn(Vec<Neighbor>),
     Estimate(f32),
+    Written(u64),
+    Rejected(WriteError),
 }
 
 /// The rendezvous cell a blocked caller waits on.
@@ -182,6 +197,11 @@ struct Shared {
     /// Signals the dispatcher: work arrived or shutdown was requested.
     wake: Condvar,
     current: Mutex<Arc<EpochState>>,
+    /// The mutable pipeline, when this server was started with
+    /// [`LafServer::start_mutable`]. Only the dispatcher locks it on the
+    /// hot path (batches are processed in queue order under one guard), so
+    /// the mutex is uncontended in steady state.
+    mutable: Option<Mutex<MutablePipeline>>,
     stats: ServeStats,
 }
 
@@ -218,6 +238,48 @@ impl LafServer {
     /// on [`LafServer::shutdown`] or drop.
     pub fn start(pipeline: LafPipeline, config: ServeConfig) -> Self {
         let engine = pipeline.engine();
+        Self::start_inner(
+            EpochState {
+                epoch: 1,
+                pipeline: Arc::new(pipeline),
+                engine,
+            },
+            config,
+            None,
+        )
+    }
+
+    /// Start a **mutable** serving front over a [`MutablePipeline`].
+    ///
+    /// Reads answer through the pipeline's merged base+delta path
+    /// (bit-identical to a from-scratch pipeline over the live rows) and
+    /// writes route through its write-ahead log, all processed **in queue
+    /// order** by the dispatcher — a caller that pipelines an insert
+    /// followed by a read observes its own write. Writes in one batch are
+    /// group-committed: a single WAL sync covers the batch, and results are
+    /// delivered only after it succeeds.
+    ///
+    /// When [`ServeConfig::compact_threshold`] is non-zero, the dispatcher
+    /// folds the delta into a fresh base snapshot after any batch that
+    /// leaves at least that many pending operations, and publishes the
+    /// compacted base as a new epoch — the same epoch-tagged flip as
+    /// [`LafServer::reload`], so readers can tell exactly which base
+    /// generation served them.
+    pub fn start_mutable(mutable: MutablePipeline, config: ServeConfig) -> Self {
+        let engine = mutable.base().engine();
+        let epoch = EpochState {
+            epoch: 1,
+            pipeline: Arc::clone(mutable.base()),
+            engine,
+        };
+        Self::start_inner(epoch, config, Some(mutable))
+    }
+
+    fn start_inner(
+        epoch: EpochState,
+        config: ServeConfig,
+        mutable: Option<MutablePipeline>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(QueueState {
@@ -225,11 +287,8 @@ impl LafServer {
                 shutdown: false,
             }),
             wake: Condvar::new(),
-            current: Mutex::new(Arc::new(EpochState {
-                epoch: 1,
-                pipeline: Arc::new(pipeline),
-                engine,
-            })),
+            current: Mutex::new(Arc::new(epoch)),
+            mutable: mutable.map(Mutex::new),
             stats: ServeStats::default(),
         });
         let dispatcher = {
@@ -245,6 +304,70 @@ impl LafServer {
         }
     }
 
+    /// Whether this server was started with [`LafServer::start_mutable`]
+    /// (writes are admitted and reads see the mutable merge path).
+    pub fn is_mutable(&self) -> bool {
+        self.shared.mutable.is_some()
+    }
+
+    /// The single submission path every entry point funnels through:
+    /// admission control, the queue, and the wake policy live in
+    /// [`LafServer::enqueue`]; `extract` narrows the delivered [`Reply`] to
+    /// the caller's type.
+    fn submit_work<T>(&self, work: Work, extract: fn(Reply) -> T) -> Result<Ticket<T>, ServeError> {
+        Ok(Ticket {
+            slot: self.enqueue(work)?,
+            extract,
+        })
+    }
+
+    /// Submit any request kind without blocking on its result.
+    ///
+    /// This is the unified front door: one entry point for every read and
+    /// write kind, so routers hold a single `QueryRequest` value instead of
+    /// dispatching across per-kind methods. The typed methods
+    /// ([`LafServer::range_async`], …) remain as thin wrappers. Write kinds
+    /// require a mutable server ([`LafServer::start_mutable`]) and fail at
+    /// submission with [`ServeError::ReadOnly`] otherwise.
+    pub fn submit_async(&self, request: QueryRequest) -> Result<Ticket<QueryResponse>, ServeError> {
+        let work = match request {
+            QueryRequest::Range { query, eps } => Work::Range { query, eps },
+            QueryRequest::RangeCount { query, eps } => Work::RangeCount { query, eps },
+            QueryRequest::Knn { query, k } => Work::Knn { query, k },
+            QueryRequest::Estimate { query, eps } => Work::Estimate { query, eps },
+            QueryRequest::Insert { row } => {
+                self.require_mutable()?;
+                Work::Insert { row }
+            }
+            QueryRequest::Delete { dense } => {
+                self.require_mutable()?;
+                Work::Delete { dense }
+            }
+        };
+        self.submit_work(work, |reply| match reply {
+            Reply::Range(hits) => QueryResponse::Range(hits),
+            Reply::Count(n) => QueryResponse::Count(n),
+            Reply::Knn(neighbors) => QueryResponse::Knn(neighbors),
+            Reply::Estimate(est) => QueryResponse::Estimate(est),
+            Reply::Written(lsn) => QueryResponse::Written { lsn },
+            Reply::Rejected(err) => QueryResponse::Rejected(err),
+        })
+    }
+
+    /// Submit any request kind and block until it is served; see
+    /// [`LafServer::submit_async`].
+    pub fn submit(&self, request: QueryRequest) -> Result<Served<QueryResponse>, ServeError> {
+        Ok(self.submit_async(request)?.wait())
+    }
+
+    fn require_mutable(&self) -> Result<(), ServeError> {
+        if self.shared.mutable.is_some() {
+            Ok(())
+        } else {
+            Err(ServeError::ReadOnly)
+        }
+    }
+
     /// Submit an ε-range query without blocking on its result.
     ///
     /// The returned [`Ticket`] resolves (via [`Ticket::wait`]) to the same
@@ -252,64 +375,85 @@ impl LafServer {
     /// resolved epoch. Submitting several tickets before waiting pipelines
     /// requests from one thread.
     pub fn range_async(&self, query: &[f32], eps: f32) -> Result<Ticket<Vec<u32>>, ServeError> {
-        let slot = self.enqueue(Work::Range {
-            query: query.to_vec(),
-            eps,
-        })?;
-        Ok(Ticket {
-            slot,
-            extract: |reply| match reply {
+        self.submit_work(
+            Work::Range {
+                query: query.to_vec(),
+                eps,
+            },
+            |reply| match reply {
                 Reply::Range(hits) => hits,
                 _ => unreachable!("dispatcher answered a range request with another kind"),
             },
-        })
+        )
     }
 
     /// Submit a neighbor-count query without blocking; see
     /// [`LafServer::range_async`].
     pub fn range_count_async(&self, query: &[f32], eps: f32) -> Result<Ticket<usize>, ServeError> {
-        let slot = self.enqueue(Work::RangeCount {
-            query: query.to_vec(),
-            eps,
-        })?;
-        Ok(Ticket {
-            slot,
-            extract: |reply| match reply {
+        self.submit_work(
+            Work::RangeCount {
+                query: query.to_vec(),
+                eps,
+            },
+            |reply| match reply {
                 Reply::Count(n) => n,
                 _ => unreachable!("dispatcher answered a count request with another kind"),
             },
-        })
+        )
     }
 
     /// Submit a k-nearest-neighbor query without blocking; see
     /// [`LafServer::range_async`].
     pub fn knn_async(&self, query: &[f32], k: usize) -> Result<Ticket<Vec<Neighbor>>, ServeError> {
-        let slot = self.enqueue(Work::Knn {
-            query: query.to_vec(),
-            k,
-        })?;
-        Ok(Ticket {
-            slot,
-            extract: |reply| match reply {
+        self.submit_work(
+            Work::Knn {
+                query: query.to_vec(),
+                k,
+            },
+            |reply| match reply {
                 Reply::Knn(neighbors) => neighbors,
                 _ => unreachable!("dispatcher answered a knn request with another kind"),
             },
-        })
+        )
     }
 
     /// Submit a learned cardinality estimate without blocking; see
     /// [`LafServer::range_async`].
     pub fn estimate_async(&self, query: &[f32], eps: f32) -> Result<Ticket<f32>, ServeError> {
-        let slot = self.enqueue(Work::Estimate {
-            query: query.to_vec(),
-            eps,
-        })?;
-        Ok(Ticket {
-            slot,
-            extract: |reply| match reply {
+        self.submit_work(
+            Work::Estimate {
+                query: query.to_vec(),
+                eps,
+            },
+            |reply| match reply {
                 Reply::Estimate(est) => est,
                 _ => unreachable!("dispatcher answered an estimate request with another kind"),
             },
+        )
+    }
+
+    /// Submit a row insert without blocking (mutable servers only).
+    ///
+    /// The ticket resolves to the write's WAL sequence number, delivered
+    /// after the batch's group commit reaches stable storage, or to a
+    /// [`WriteError`] when the pipeline rejected the write.
+    pub fn insert_async(&self, row: &[f32]) -> Result<Ticket<Result<u64, WriteError>>, ServeError> {
+        self.require_mutable()?;
+        self.submit_work(Work::Insert { row: row.to_vec() }, |reply| match reply {
+            Reply::Written(lsn) => Ok(lsn),
+            Reply::Rejected(err) => Err(err),
+            _ => unreachable!("dispatcher answered an insert request with another kind"),
+        })
+    }
+
+    /// Submit a delete of dense live id `dense` without blocking (mutable
+    /// servers only); see [`LafServer::insert_async`].
+    pub fn delete_async(&self, dense: u64) -> Result<Ticket<Result<u64, WriteError>>, ServeError> {
+        self.require_mutable()?;
+        self.submit_work(Work::Delete { dense }, |reply| match reply {
+            Reply::Written(lsn) => Ok(lsn),
+            Reply::Rejected(err) => Err(err),
+            _ => unreachable!("dispatcher answered a delete request with another kind"),
         })
     }
 
@@ -335,6 +479,19 @@ impl LafServer {
         Ok(self.estimate_async(query, eps)?.wait())
     }
 
+    /// Insert a row through the write-ahead log, blocking until the write's
+    /// group commit is durable (mutable servers only). Resolves to the
+    /// write's WAL sequence number.
+    pub fn insert(&self, row: &[f32]) -> Result<Served<Result<u64, WriteError>>, ServeError> {
+        Ok(self.insert_async(row)?.wait())
+    }
+
+    /// Delete the row with dense live id `dense`, blocking like
+    /// [`LafServer::insert`] (mutable servers only).
+    pub fn delete(&self, dense: u64) -> Result<Served<Result<u64, WriteError>>, ServeError> {
+        Ok(self.delete_async(dense)?.wait())
+    }
+
     /// Atomically swap the served snapshot: an epoch-tagged
     /// `Arc<LafPipeline>` flip.
     ///
@@ -343,7 +500,14 @@ impl LafServer {
     /// drained into a batch finish on the epoch they were dispatched with
     /// (their batch holds the old `Arc`); requests dispatched after the swap
     /// see the new one. Returns the new epoch number.
+    ///
+    /// Immutable servers only: a mutable server publishes new epochs
+    /// itself, through compaction.
     pub fn reload(&self, pipeline: LafPipeline) -> u64 {
+        debug_assert!(
+            self.shared.mutable.is_none(),
+            "reload() on a mutable server: compaction publishes its epochs"
+        );
         let engine = pipeline.engine();
         let pipeline = Arc::new(pipeline);
         let mut current = self.shared.current.lock().unwrap();
@@ -455,6 +619,13 @@ fn dispatch_loop(shared: &Shared) {
             loop {
                 if state.queue.is_empty() {
                     if state.shutdown {
+                        drop(state);
+                        // Final durability point: queued writes were group-
+                        // committed per batch, but make shutdown an explicit
+                        // sync so a clean stop never depends on batch timing.
+                        if let Some(mutable) = &shared.mutable {
+                            let _ = mutable.lock().unwrap().sync();
+                        }
                         return;
                     }
                     state = shared.wake.wait(state).unwrap();
@@ -483,11 +654,78 @@ fn dispatch_loop(shared: &Shared) {
             }
         };
         shared.stats.record_batch(batch.len());
-        // The whole batch is answered by ONE epoch: grab the current handle
-        // once, outside the queue lock. A concurrent reload after this point
-        // affects the next batch, never this one.
-        let epoch = Arc::clone(&shared.current.lock().unwrap());
-        answer(&epoch, &batch);
+        match &shared.mutable {
+            Some(mutable) => answer_mutable(shared, mutable, &batch),
+            None => {
+                // The whole batch is answered by ONE epoch: grab the current
+                // handle once, outside the queue lock. A concurrent reload
+                // after this point affects the next batch, never this one.
+                let epoch = Arc::clone(&shared.current.lock().unwrap());
+                answer(&epoch, &batch);
+            }
+        }
+    }
+}
+
+/// Answer one batch on the mutable path: every request — read or write —
+/// is processed **in queue order** against the merged base+delta state, so
+/// a pipelined caller reads its own writes. Successful writes are
+/// group-committed with one WAL sync before any of them is acknowledged; if
+/// the sync fails, their acks degrade to [`WriteError::Storage`] (the
+/// in-memory state may be ahead of the log, exactly as if the process had
+/// crashed before the sync — replay recovers the synced prefix).
+///
+/// After delivery, folds the delta into a fresh base and publishes it as a
+/// new epoch when [`ServeConfig::compact_threshold`] is reached.
+fn answer_mutable(shared: &Shared, mutable: &Mutex<MutablePipeline>, batch: &[Pending]) {
+    let mut pipeline = mutable.lock().unwrap();
+    let epoch = shared.current.lock().unwrap().epoch;
+    let mut replies: Vec<Reply> = Vec::with_capacity(batch.len());
+    let mut wrote = false;
+    for pending in batch {
+        let reply = match &pending.work {
+            Work::Range { query, eps } => Reply::Range(pipeline.range(query, *eps)),
+            Work::RangeCount { query, eps } => Reply::Count(pipeline.range_count(query, *eps)),
+            Work::Knn { query, k } => Reply::Knn(pipeline.knn(query, *k)),
+            Work::Estimate { query, eps } => Reply::Estimate(pipeline.estimate(query, *eps)),
+            Work::Insert { row } => match pipeline.insert(row) {
+                Ok(lsn) => {
+                    wrote = true;
+                    Reply::Written(lsn)
+                }
+                Err(SnapshotError::Malformed(_)) => Reply::Rejected(WriteError::DimensionMismatch),
+                Err(_) => Reply::Rejected(WriteError::Storage),
+            },
+            Work::Delete { dense } => match pipeline.delete(*dense as usize) {
+                Ok(lsn) => {
+                    wrote = true;
+                    Reply::Written(lsn)
+                }
+                Err(SnapshotError::Malformed(_)) => Reply::Rejected(WriteError::OutOfBounds),
+                Err(_) => Reply::Rejected(WriteError::Storage),
+            },
+        };
+        replies.push(reply);
+    }
+    let commit_failed = wrote && pipeline.sync().is_err();
+    for (pending, reply) in batch.iter().zip(replies) {
+        let reply = match reply {
+            Reply::Written(_) if commit_failed => Reply::Rejected(WriteError::Storage),
+            other => other,
+        };
+        pending.slot.deliver(epoch, reply);
+    }
+
+    let threshold = shared.config.compact_threshold;
+    if threshold != 0 && pipeline.pending_ops() >= threshold && pipeline.compact().is_ok() {
+        let engine = pipeline.base().engine();
+        let mut current = shared.current.lock().unwrap();
+        *current = Arc::new(EpochState {
+            epoch: current.epoch + 1,
+            pipeline: Arc::clone(pipeline.base()),
+            engine,
+        });
+        shared.stats.record_reload();
     }
 }
 
@@ -542,6 +780,9 @@ fn answer_group(epoch: &EpochState, group: &[&Pending]) {
             for (pending, estimate) in group.iter().zip(results) {
                 pending.slot.deliver(epoch.epoch, Reply::Estimate(estimate));
             }
+        }
+        Work::Insert { .. } | Work::Delete { .. } => {
+            unreachable!("writes are admitted only on mutable servers, which answer in order")
         }
     }
 }
@@ -739,6 +980,7 @@ mod tests {
                 coalesce_window_us: 500_000,
                 max_batch: 8,
                 max_queue_depth: 3,
+                ..ServeConfig::default()
             },
             13,
         );
@@ -807,6 +1049,161 @@ mod tests {
         assert_eq!(served.epoch, 2);
         assert_eq!(served.value, expected);
         assert_eq!(server.stats_report().reloads, 1);
+    }
+
+    fn mutable_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("laf_serve_mutable_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn unified_submit_matches_the_typed_methods() {
+        let pipeline = pipeline(43);
+        let engine = pipeline.engine();
+        let q: Vec<f32> = pipeline.data().row(5).to_vec();
+        let expected_range = engine.range(&q, 0.3);
+        let expected_count = engine.range_count(&q, 0.3);
+        let expected_est = pipeline.estimate(&q, 0.3);
+        let server = LafServer::start(pipeline, ServeConfig::default());
+        assert!(!server.is_mutable());
+        match server
+            .submit(QueryRequest::Range {
+                query: q.clone(),
+                eps: 0.3,
+            })
+            .unwrap()
+            .value
+        {
+            QueryResponse::Range(hits) => assert_eq!(hits, expected_range),
+            other => panic!("range request answered with {other:?}"),
+        }
+        match server
+            .submit(QueryRequest::RangeCount {
+                query: q.clone(),
+                eps: 0.3,
+            })
+            .unwrap()
+            .value
+        {
+            QueryResponse::Count(n) => assert_eq!(n, expected_count),
+            other => panic!("count request answered with {other:?}"),
+        }
+        match server
+            .submit(QueryRequest::Knn {
+                query: q.clone(),
+                k: 3,
+            })
+            .unwrap()
+            .value
+        {
+            QueryResponse::Knn(neighbors) => assert_eq!(neighbors.len(), 3),
+            other => panic!("knn request answered with {other:?}"),
+        }
+        match server
+            .submit(QueryRequest::Estimate {
+                query: q.clone(),
+                eps: 0.3,
+            })
+            .unwrap()
+            .value
+        {
+            QueryResponse::Estimate(est) => assert_eq!(est.to_bits(), expected_est.to_bits()),
+            other => panic!("estimate request answered with {other:?}"),
+        }
+        // Writes bounce at submission on a read-only server.
+        assert_eq!(
+            server
+                .submit(QueryRequest::Insert { row: q.clone() })
+                .unwrap_err(),
+            ServeError::ReadOnly
+        );
+        assert_eq!(server.insert(&q).unwrap_err(), ServeError::ReadOnly);
+        assert_eq!(server.delete(0).unwrap_err(), ServeError::ReadOnly);
+    }
+
+    #[test]
+    fn mutable_server_reads_its_own_writes_in_queue_order() {
+        use laf_core::MutablePipeline;
+        let frozen = pipeline(47);
+        let n_base = frozen.data().len() as u32;
+        let dir = mutable_dir("ryw");
+        let mutable = MutablePipeline::create(&dir, &frozen).unwrap();
+        let server = LafServer::start_mutable(mutable, ServeConfig::default());
+        assert!(server.is_mutable());
+
+        // Pipeline an insert, a read that must see it, a delete, and a read
+        // that must see the delete — all in flight before any wait.
+        let row = vec![9.0f32; 12];
+        let t_insert = server.insert_async(&row).unwrap();
+        let t_seen = server.range_count_async(&row, 1e-3).unwrap();
+        let t_delete = server.delete_async(n_base as u64).unwrap();
+        let t_gone = server.range_count_async(&row, 1e-3).unwrap();
+        assert_eq!(t_insert.wait().value, Ok(1), "first WAL record is LSN 1");
+        assert_eq!(t_seen.wait().value, 1, "a pipelined read sees the insert");
+        assert_eq!(t_delete.wait().value, Ok(2));
+        assert_eq!(t_gone.wait().value, 0, "and then sees the delete");
+
+        // Processing-time rejections come back through the response.
+        assert_eq!(
+            server.insert(&[1.0]).unwrap().value,
+            Err(WriteError::DimensionMismatch)
+        );
+        assert_eq!(
+            server.delete(u64::MAX).unwrap().value,
+            Err(WriteError::OutOfBounds)
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_threshold_publishes_new_epochs() {
+        use laf_core::MutablePipeline;
+        let frozen = pipeline(53);
+        let q: Vec<f32> = frozen.data().row(0).to_vec();
+        let dir = mutable_dir("compact");
+        let mutable = MutablePipeline::create(&dir, &frozen).unwrap();
+        let server = LafServer::start_mutable(
+            mutable,
+            ServeConfig {
+                compact_threshold: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let before = server.range(&q, 0.3).unwrap();
+        assert_eq!(before.epoch, 1);
+        let row = vec![4.0f32; 12];
+        server.insert(&row).unwrap().value.unwrap();
+        // The write batch left pending_ops >= 1, so the dispatcher folded
+        // the delta into a new base and published it as epoch 2; answers
+        // are unchanged by the fold.
+        let after = server.range(&q, 0.3).unwrap();
+        assert_eq!(after.epoch, 2, "compaction bumps the served epoch");
+        assert_eq!(after.value, before.value);
+        assert_eq!(server.range_count(&row, 1e-3).unwrap().value, 1);
+        assert_eq!(server.stats_report().reloads, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutable_server_state_survives_shutdown_and_reopen() {
+        use laf_core::MutablePipeline;
+        let frozen = pipeline(59);
+        let dir = mutable_dir("durable");
+        let mutable = MutablePipeline::create(&dir, &frozen).unwrap();
+        let n_before = mutable.len();
+        let server = LafServer::start_mutable(mutable, ServeConfig::default());
+        let row = vec![2.5f32; 12];
+        server.insert(&row).unwrap().value.unwrap();
+        server.delete(0).unwrap().value.unwrap();
+        server.shutdown();
+        let reopened = MutablePipeline::open(&dir).unwrap();
+        assert_eq!(reopened.len(), n_before, "+1 insert, -1 delete");
+        assert_eq!(reopened.last_lsn(), 2, "both writes recovered from the WAL");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

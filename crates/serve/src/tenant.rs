@@ -10,6 +10,7 @@
 //! what they answer.
 
 use crate::cache::{CacheError, PinnedSnapshot, SnapshotCache};
+use crate::request::{QueryRequest, QueryResponse};
 use laf_clustering::Clustering;
 use laf_core::LafStats;
 use laf_index::Neighbor;
@@ -42,28 +43,93 @@ impl TenantServer {
         self.cache.pin(tenant)
     }
 
+    /// Answer any [`QueryRequest`] over `tenant`'s snapshot — the unified
+    /// request path every typed method below funnels through. Read kinds
+    /// pin the tenant's pipeline for exactly one query; write kinds fail
+    /// with [`CacheError::ReadOnly`] (cached snapshots are shared, mmap'd
+    /// and immutable — a tenant that takes writes needs its own mutable
+    /// server, [`crate::LafServer::start_mutable`]).
+    pub fn submit(&self, tenant: &str, request: QueryRequest) -> Result<QueryResponse, CacheError> {
+        match request {
+            QueryRequest::Insert { .. } | QueryRequest::Delete { .. } => {
+                return Err(CacheError::ReadOnly {
+                    tenant: tenant.to_string(),
+                })
+            }
+            _ => {}
+        }
+        let pin = self.cache.pin(tenant)?;
+        Ok(match request {
+            QueryRequest::Range { query, eps } => {
+                QueryResponse::Range(pin.engine().get().range(&query, eps))
+            }
+            QueryRequest::RangeCount { query, eps } => {
+                QueryResponse::Count(pin.engine().get().range_count(&query, eps))
+            }
+            QueryRequest::Knn { query, k } => QueryResponse::Knn(pin.engine().get().knn(&query, k)),
+            QueryRequest::Estimate { query, eps } => {
+                QueryResponse::Estimate(pin.estimate(&query, eps))
+            }
+            QueryRequest::Insert { .. } | QueryRequest::Delete { .. } => {
+                unreachable!("write kinds rejected before pinning")
+            }
+        })
+    }
+
     /// ε-range query over `tenant`'s snapshot: row ids within `eps`.
     pub fn range(&self, tenant: &str, query: &[f32], eps: f32) -> Result<Vec<u32>, CacheError> {
-        let pin = self.cache.pin(tenant)?;
-        Ok(pin.engine().get().range(query, eps))
+        match self.submit(
+            tenant,
+            QueryRequest::Range {
+                query: query.to_vec(),
+                eps,
+            },
+        )? {
+            QueryResponse::Range(hits) => Ok(hits),
+            _ => unreachable!("range requests resolve to range responses"),
+        }
     }
 
     /// ε-range count over `tenant`'s snapshot.
     pub fn range_count(&self, tenant: &str, query: &[f32], eps: f32) -> Result<usize, CacheError> {
-        let pin = self.cache.pin(tenant)?;
-        Ok(pin.engine().get().range_count(query, eps))
+        match self.submit(
+            tenant,
+            QueryRequest::RangeCount {
+                query: query.to_vec(),
+                eps,
+            },
+        )? {
+            QueryResponse::Count(n) => Ok(n),
+            _ => unreachable!("count requests resolve to count responses"),
+        }
     }
 
     /// k-nearest-neighbor query over `tenant`'s snapshot.
     pub fn knn(&self, tenant: &str, query: &[f32], k: usize) -> Result<Vec<Neighbor>, CacheError> {
-        let pin = self.cache.pin(tenant)?;
-        Ok(pin.engine().get().knn(query, k))
+        match self.submit(
+            tenant,
+            QueryRequest::Knn {
+                query: query.to_vec(),
+                k,
+            },
+        )? {
+            QueryResponse::Knn(neighbors) => Ok(neighbors),
+            _ => unreachable!("knn requests resolve to knn responses"),
+        }
     }
 
     /// Learned cardinality estimate from `tenant`'s trained estimator.
     pub fn estimate(&self, tenant: &str, query: &[f32], eps: f32) -> Result<f32, CacheError> {
-        let pin = self.cache.pin(tenant)?;
-        Ok(pin.estimate(query, eps))
+        match self.submit(
+            tenant,
+            QueryRequest::Estimate {
+                query: query.to_vec(),
+                eps,
+            },
+        )? {
+            QueryResponse::Estimate(est) => Ok(est),
+            _ => unreachable!("estimate requests resolve to estimate responses"),
+        }
     }
 
     /// Run LAF-DBSCAN over `tenant`'s snapshot dataset.
@@ -146,6 +212,27 @@ mod tests {
         for p in [pa, pb] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn tenant_writes_are_rejected_as_read_only() {
+        let cache = SnapshotCache::new(CacheConfig::default());
+        let server = TenantServer::new(cache);
+        // Rejected before the pin: no UnknownTenant for a write, even on a
+        // tenant that was never registered — the kind is wrong regardless.
+        match server
+            .submit("anyone", QueryRequest::Insert { row: vec![0.0] })
+            .unwrap_err()
+        {
+            CacheError::ReadOnly { tenant } => assert_eq!(tenant, "anyone"),
+            other => panic!("expected ReadOnly, got {other}"),
+        }
+        assert!(matches!(
+            server
+                .submit("anyone", QueryRequest::Delete { dense: 0 })
+                .unwrap_err(),
+            CacheError::ReadOnly { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Mutable delta segment and tombstone bitmap for the serving write path.
+//!
+//! The snapshot machinery serves a **frozen** base dataset (often straight
+//! from a file mapping). Mutability is layered on top, LSM-style, with two
+//! small owned structures:
+//!
+//! * [`DeltaSegment`] — an append-only, owned [`Dataset`] holding every row
+//!   inserted since the base snapshot was built. Reads scan it linearly
+//!   alongside the base engine; compaction folds it into a fresh base.
+//! * [`TombstoneSet`] — a bitmap over the **physical row space** (base rows
+//!   first, delta rows after) masking deleted rows out of every answer.
+//!
+//! ## Dense live ids
+//!
+//! Callers never see physical ids. Every query answer and every delete
+//! target uses **dense live ids**: live rows numbered `0..live` in physical
+//! order, exactly the row ids a from-scratch pipeline over the surviving
+//! rows would use. The bitmap maintains an auxiliary per-word prefix count
+//! so the physical→dense mapping (`dense = phys − rank(phys)`) is O(1) per
+//! lookup, and the dense→physical inverse ([`TombstoneSet::select_live`])
+//! is a binary search. Because compaction writes survivors in physical
+//! order, dense ids are **stable across compaction** — which is what makes
+//! replaying a delete-by-id log over a compacted base well-defined.
+
+use crate::dataset::Dataset;
+use crate::error::VectorError;
+
+const WORD_BITS: usize = 64;
+
+/// Bitmap over the physical row space marking deleted rows, with O(1)
+/// physical→dense rank queries.
+///
+/// The set grows with the physical space (see [`TombstoneSet::grow_to`]);
+/// marking is idempotent and reports whether the bit was newly set.
+#[derive(Debug, Clone, Default)]
+pub struct TombstoneSet {
+    /// One bit per physical row; set = deleted.
+    words: Vec<u64>,
+    /// `prefix[w]` = number of set bits in `words[..w]` (exclusive), kept
+    /// current by [`TombstoneSet::mark`] so rank queries never scan.
+    prefix: Vec<u32>,
+    /// Number of physical rows covered (bits beyond `len` are never set).
+    len: usize,
+    /// Total deleted rows.
+    deleted: usize,
+}
+
+impl TombstoneSet {
+    /// An empty set covering `len` physical rows.
+    pub fn new(len: usize) -> Self {
+        let words = len.div_ceil(WORD_BITS);
+        Self {
+            words: vec![0; words],
+            prefix: vec![0; words],
+            len,
+            deleted: 0,
+        }
+    }
+
+    /// Number of physical rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of deleted rows.
+    pub fn deleted(&self) -> usize {
+        self.deleted
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn live(&self) -> usize {
+        self.len - self.deleted
+    }
+
+    /// Extend the covered physical space to `len` rows (new rows are live).
+    /// Shrinking is not supported; a smaller `len` is a no-op.
+    pub fn grow_to(&mut self, len: usize) {
+        if len <= self.len {
+            return;
+        }
+        self.len = len;
+        let words = len.div_ceil(WORD_BITS);
+        while self.words.len() < words {
+            let carried = self
+                .prefix
+                .last()
+                .copied()
+                .unwrap_or(0)
+                .wrapping_add(self.words.last().map_or(0, |w| w.count_ones()));
+            self.words.push(0);
+            self.prefix.push(carried);
+        }
+    }
+
+    /// Mark physical row `i` deleted. Returns `true` if the row was live
+    /// (the bit was newly set), `false` if it was already deleted.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn mark(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "tombstone index {i} out of {} rows", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let bit = 1u64 << b;
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.deleted += 1;
+        for p in &mut self.prefix[w + 1..] {
+            *p += 1;
+        }
+        true
+    }
+
+    /// Whether physical row `i` is deleted. Out-of-range rows read as live.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of deleted rows strictly below physical row `i` — the amount
+    /// the physical id shifts down by when densified: for a live row,
+    /// `dense = i - rank(i)`.
+    pub fn rank(&self, i: usize) -> usize {
+        let i = i.min(self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        if w < self.words.len() {
+            let mask = (1u64 << b) - 1; // b < 64 here since w would advance
+            (self.words[w] & mask).count_ones() as usize + self.prefix[w] as usize
+        } else {
+            self.deleted
+        }
+    }
+
+    /// Dense live id of physical row `i`, or `None` if the row is deleted.
+    pub fn dense_of(&self, i: usize) -> Option<usize> {
+        if self.contains(i) {
+            None
+        } else {
+            Some(i - self.rank(i))
+        }
+    }
+
+    /// Physical row of dense live id `d` — the inverse of
+    /// [`TombstoneSet::dense_of`]. `None` if `d >= self.live()`.
+    pub fn select_live(&self, d: usize) -> Option<usize> {
+        if d >= self.live() {
+            return None;
+        }
+        // dense(p) = p - rank(p) counts live rows strictly below p; it is
+        // nondecreasing and steps by one exactly after each live row, so the
+        // live row with dense id `d` is the largest p with dense(p) <= d.
+        let (mut lo, mut hi) = (0usize, self.len); // invariant: dense(lo) <= d < dense(hi+?)
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if mid - self.rank(mid) <= d {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let p = lo - 1;
+        debug_assert!(!self.contains(p) && p - self.rank(p) == d);
+        Some(p)
+    }
+
+    /// Iterate the physical ids of all live rows, in physical order.
+    pub fn iter_live(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| !self.contains(i))
+    }
+}
+
+/// Append-only segment of rows inserted since the base snapshot was built.
+///
+/// A thin wrapper over an owned [`Dataset`] that fixes the dimensionality to
+/// the base dataset's and hands the rows to a linear-scan engine for the
+/// merged read path. Physical ids of delta rows are `base_len + local`.
+#[derive(Debug, Clone)]
+pub struct DeltaSegment {
+    rows: Dataset,
+}
+
+impl DeltaSegment {
+    /// An empty segment for `dim`-dimensional rows.
+    ///
+    /// # Errors
+    /// Returns [`VectorError`] when `dim` is zero.
+    pub fn new(dim: usize) -> Result<Self, VectorError> {
+        Ok(Self {
+            rows: Dataset::new(dim)?,
+        })
+    }
+
+    /// Number of rows in the segment.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.rows.dim()
+    }
+
+    /// Append a row; its delta-local id is the pre-append length.
+    ///
+    /// # Errors
+    /// Returns [`VectorError`] on a dimensionality mismatch.
+    pub fn push(&mut self, row: &[f32]) -> Result<usize, VectorError> {
+        let local = self.rows.len();
+        self.rows.push(row)?;
+        Ok(local)
+    }
+
+    /// The `i`-th inserted row.
+    pub fn row(&self, i: usize) -> &[f32] {
+        self.rows.row(i)
+    }
+
+    /// The segment's rows as a [`Dataset`] (for the linear-scan read path
+    /// and for compaction).
+    pub fn dataset(&self) -> &Dataset {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_dense_track_marks() {
+        let mut t = TombstoneSet::new(200);
+        assert_eq!(t.live(), 200);
+        assert!(t.mark(3));
+        assert!(t.mark(64));
+        assert!(t.mark(130));
+        assert!(!t.mark(3), "second mark is a no-op");
+        assert_eq!(t.deleted(), 3);
+        assert!(t.contains(64) && !t.contains(65));
+        assert_eq!(t.rank(0), 0);
+        assert_eq!(t.rank(4), 1);
+        assert_eq!(t.rank(64), 1);
+        assert_eq!(t.rank(65), 2);
+        assert_eq!(t.rank(200), 3);
+        assert_eq!(t.dense_of(3), None);
+        assert_eq!(t.dense_of(2), Some(2));
+        assert_eq!(t.dense_of(4), Some(3));
+        assert_eq!(t.dense_of(199), Some(196));
+    }
+
+    #[test]
+    fn select_live_inverts_dense_of() {
+        let mut t = TombstoneSet::new(300);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 255, 299] {
+            t.mark(i);
+        }
+        for d in 0..t.live() {
+            let p = t.select_live(d).unwrap();
+            assert_eq!(t.dense_of(p), Some(d), "dense {d} -> phys {p}");
+        }
+        assert_eq!(t.select_live(t.live()), None);
+        // Exhaustive agreement with the naive enumeration.
+        let live: Vec<usize> = t.iter_live().collect();
+        for (d, &p) in live.iter().enumerate() {
+            assert_eq!(t.select_live(d), Some(p));
+        }
+    }
+
+    #[test]
+    fn grow_preserves_prefix_counts() {
+        let mut t = TombstoneSet::new(10);
+        t.mark(9);
+        t.grow_to(500);
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.rank(500), 1);
+        assert!(t.mark(400));
+        assert_eq!(t.rank(401), 2);
+        assert_eq!(t.dense_of(499), Some(497));
+        // Growing smaller is a no-op.
+        t.grow_to(5);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn empty_set_is_all_live() {
+        let t = TombstoneSet::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.select_live(0), None);
+        let t = TombstoneSet::new(64);
+        assert_eq!(t.rank(64), 0);
+        assert_eq!(t.select_live(63), Some(63));
+    }
+
+    #[test]
+    fn delta_segment_appends_and_reads_back() {
+        let mut d = DeltaSegment::new(3).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.push(&[1.0, 0.0, 0.0]).unwrap(), 0);
+        assert_eq!(d.push(&[0.0, 1.0, 0.0]).unwrap(), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.row(1), &[0.0, 1.0, 0.0]);
+        assert!(d.push(&[1.0]).is_err(), "dimension mismatch rejected");
+        assert_eq!(d.dataset().len(), 2);
+    }
+}

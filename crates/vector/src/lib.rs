@@ -21,6 +21,9 @@
 //!   caching ([`Dataset::row_norms`]), dot-only predicates with threshold
 //!   pushdown, and the query-major [`ops::dot4`] mini-GEMM batch path, all
 //!   bit-identical to the generic evaluation.
+//! * [`DeltaSegment`] and [`TombstoneSet`] — the mutable-plane substrate:
+//!   an append-only segment of inserted rows plus a deletion bitmap with
+//!   O(1) physical→dense rank queries (see [`delta`]).
 //! * [`GaussianRandomProjection`] — the ANN-benchmark-style dimensionality
 //!   reduction the paper applies to the NYTimes bag-of-words vectors.
 //! * low-level kernels in [`ops`] used by every other crate.
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod delta;
 pub mod distance;
 pub mod error;
 pub mod io;
@@ -44,6 +48,7 @@ pub mod stats;
 #[cfg(target_endian = "little")]
 pub use dataset::MappedSlice;
 pub use dataset::{DataBacking, Dataset, DatasetBuilder, RowNorms, SharedSlice};
+pub use delta::{DeltaSegment, TombstoneSet};
 pub use distance::{
     cosine_to_euclidean, euclidean_to_cosine, AngularDistance, CosineDistance, DistanceMetric,
     DotProductSimilarity, EuclideanDistance, Metric, SquaredEuclideanDistance,

@@ -35,6 +35,12 @@
 //! # verified against its own sidecar and the cache counters are checked:
 //! cargo run --release --example train_serve -- serve-tenants /tmp/a.lafs /tmp/b.lafs
 //!
+//! # Mutable plane crash-recovery smoke: build a mutable pipeline
+//! # directory, write through the WAL, tear the log tail at several byte
+//! # offsets, reopen each copy, and assert recovery lands exactly on the
+//! # committed prefix; then compact and verify answers are unchanged:
+//! cargo run --release --example train_serve -- serve-mutable /tmp/mutable-dir
+//!
 //! # Or run all phases in sequence against a temp file:
 //! cargo run --release --example train_serve [engine]
 //! ```
@@ -48,6 +54,7 @@
 //! runs to catch snapshot format regressions.
 
 use laf::prelude::*;
+use laf::serve::ServeError;
 use std::time::Instant;
 
 fn demo_dataset() -> Dataset {
@@ -417,6 +424,144 @@ fn serve_tenants(path_a: &str, path_b: &str) {
     println!("[serve-tenants] OK: both tenants bit-identical, cache accounting balanced");
 }
 
+/// Mutable-plane crash-recovery smoke. Builds a small mutable pipeline in
+/// `dir`, applies a synced insert/delete workload recording the WAL byte
+/// boundary and live-row bits after every operation, then for several kill
+/// points — including one that tears the final frame mid-record — copies
+/// the directory, truncates the log at the kill point, reopens, and asserts
+/// the recovered rows are bit-identical to the longest committed prefix.
+/// Finishes by proving post-recovery durability (insert, sync, reopen) and
+/// compacting, verifying answers are unchanged by the fold.
+fn serve_mutable(dir: &str) {
+    use laf::core::WAL_FILE;
+
+    let (data, _) = EmbeddingMixtureConfig {
+        n_points: 800,
+        dim: 16,
+        clusters: 4,
+        noise_fraction: 0.15,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid generator config");
+    let pipeline = LafPipeline::builder(LafConfig::new(0.35, 4, 1.0))
+        .training(TrainingSetBuilder {
+            max_queries: Some(120),
+            ..Default::default()
+        })
+        .train(data)
+        .expect("training");
+
+    std::fs::remove_dir_all(dir).ok();
+    let mut mutable = MutablePipeline::create(dir, &pipeline).expect("mutable create");
+    println!(
+        "[serve-mutable] {} base rows x {} dims in {dir}",
+        mutable.len(),
+        mutable.dim()
+    );
+
+    let live_bits = |m: &MutablePipeline| -> Vec<u32> {
+        let live = m.live_dataset().expect("live rows materialize");
+        live.as_flat().iter().map(|v| v.to_bits()).collect()
+    };
+    let copy_dir = |from: &str, to: &std::path::Path| {
+        std::fs::remove_dir_all(to).ok();
+        std::fs::create_dir_all(to).expect("scratch dir");
+        for entry in std::fs::read_dir(from).expect("read mutable dir") {
+            let entry = entry.expect("dir entry");
+            std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy file");
+        }
+    };
+
+    // A synced workload, recording the durability frontier and the exact
+    // live-row bits after every operation.
+    let row: Vec<f32> = mutable.row(0).to_vec();
+    let mut boundaries: Vec<u64> = Vec::new();
+    let mut states: Vec<Vec<u32>> = vec![live_bits(&mutable)]; // states[i] = after i ops
+    for op in 0..8usize {
+        if op % 3 == 2 {
+            mutable.delete(op * 13 % mutable.len()).expect("delete");
+        } else {
+            let mut r = row.clone();
+            r[0] += op as f32;
+            mutable.insert(&r).expect("insert");
+        }
+        mutable.sync().expect("sync");
+        boundaries.push(mutable.wal_len_bytes());
+        states.push(live_bits(&mutable));
+    }
+    let full_len = *boundaries.last().expect("non-empty workload");
+
+    // Kill points: mid-frame tears (last frame and an interior frame) plus
+    // every exact frame boundary.
+    let mut kill_points: Vec<u64> = vec![full_len - 3, boundaries[3] + 5];
+    kill_points.extend(boundaries.iter().copied());
+    let scratch = std::path::PathBuf::from(format!("{dir}-crash"));
+    for &kill in &kill_points {
+        copy_dir(dir, &scratch);
+        let wal = scratch.join(WAL_FILE);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open wal copy");
+        file.set_len(kill).expect("truncate to kill point");
+        drop(file);
+        let reopened = MutablePipeline::open(&scratch).expect("recovery must succeed");
+        let committed = boundaries.iter().filter(|&&b| b <= kill).count();
+        assert_eq!(
+            live_bits(&reopened),
+            states[committed],
+            "kill at byte {kill}: recovery must land exactly on the {committed}-op prefix"
+        );
+    }
+    println!(
+        "[serve-mutable] {} kill points recovered exactly (workload {} ops, {} WAL bytes)",
+        kill_points.len(),
+        boundaries.len(),
+        full_len
+    );
+
+    // Post-recovery durability on the last torn copy: a write after replay
+    // must survive its own crash-reopen cycle.
+    let mut recovered = MutablePipeline::open(&scratch).expect("reopen torn copy");
+    let len_before = recovered.len();
+    recovered.insert(&row).expect("post-recovery insert");
+    recovered.sync().expect("post-recovery sync");
+    drop(recovered);
+    let recovered = MutablePipeline::open(&scratch).expect("reopen after recovery write");
+    assert_eq!(recovered.len(), len_before + 1, "post-recovery write lost");
+    drop(recovered);
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Compaction must not change a single answer.
+    let query: Vec<f32> = mutable.row(1).to_vec();
+    let range_before = mutable.range(&query, 0.35);
+    let knn_before = mutable.knn(&query, 8);
+    mutable.compact().expect("compaction");
+    assert_eq!(mutable.pending_ops(), 0, "compaction must fold everything");
+    assert_eq!(mutable.generation(), 1, "compaction must bump generation");
+    assert_eq!(
+        mutable.range(&query, 0.35),
+        range_before,
+        "range answers must be unchanged by compaction"
+    );
+    let knn_after = mutable.knn(&query, 8);
+    assert_eq!(knn_before.len(), knn_after.len());
+    for (a, b) in knn_before.iter().zip(&knn_after) {
+        assert_eq!(
+            (a.index, a.dist.to_bits()),
+            (b.index, b.dist.to_bits()),
+            "knn answers must be bit-identical across compaction"
+        );
+    }
+    println!(
+        "[serve-mutable] OK: committed prefix recovered at every kill point, \
+         answers bit-identical across compaction (generation {})",
+        mutable.generation()
+    );
+}
+
 fn parse_clients(arg: &str) -> usize {
     match arg.parse::<usize>() {
         Ok(n) if n >= 1 => n,
@@ -439,6 +584,7 @@ fn main() {
             serve_concurrent(path, parse_clients(n));
         }
         [phase, path_a, path_b] if phase == "serve-tenants" => serve_tenants(path_a, path_b),
+        [phase, dir] if phase == "serve-mutable" => serve_mutable(dir),
         [] | [_] => {
             let engine = args
                 .first()
@@ -453,6 +599,9 @@ fn main() {
             // Two tenants over the same snapshot file still churn the
             // cache: the budget holds one resident entry, not two.
             serve_tenants(&path, &path);
+            let mutable_dir = format!("{path}.mutable");
+            serve_mutable(&mutable_dir);
+            std::fs::remove_dir_all(&mutable_dir).ok();
             std::fs::remove_file(&path).ok();
             std::fs::remove_file(labels_sidecar(&path)).ok();
         }
@@ -460,7 +609,7 @@ fn main() {
             eprintln!(
                 "usage: train_serve [train <snapshot> [engine] | serve <snapshot> | \
                  serve-mmap <snapshot> | serve-concurrent <snapshot> [clients] | \
-                 serve-tenants <snapshot_a> <snapshot_b> | [engine]]"
+                 serve-tenants <snapshot_a> <snapshot_b> | serve-mutable <dir> | [engine]]"
             );
             std::process::exit(2);
         }

@@ -13,6 +13,7 @@
 //!   mutually consistent with residency.
 
 use laf::prelude::*;
+use laf::serve::CacheError;
 use std::path::PathBuf;
 use std::sync::Arc;
 
