@@ -28,7 +28,10 @@
 //! (write-temp + rename). Compaction orders its steps so every crash
 //! window recovers exactly: write the new base, flip the manifest (its
 //! `base_lsn` records which WAL prefix the base already folds in), then
-//! truncate the log. A crash before the flip replays the full log over the
+//! truncate the log. Each step is made durable before the next runs — the
+//! base file and manifest are fsynced, and the directory is fsynced after
+//! each creation/rename — so the ordering holds across power loss, not just
+//! process crashes. A crash before the flip replays the full log over the
 //! old base; a crash after the flip but before the truncate skips the
 //! already-folded prefix by LSN. Nothing is lost or applied twice.
 //!
@@ -46,12 +49,14 @@
 //! ascending-id concatenation for `range`, summation for counts, and a
 //! NaN-safe [`laf_index::TopK`] merge for `knn`.
 
+use crate::config::LafConfig;
 use crate::pipeline::LafPipeline;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::wal::{Wal, WalOp, WalRecord};
 use laf_index::{build_engine, LinearScan, Neighbor, RangeQueryEngine, TopK};
-use laf_vector::{DeltaSegment, TombstoneSet};
+use laf_vector::{Dataset, DeltaSegment, TombstoneSet};
 use serde::{Deserialize, Serialize};
+use std::cell::OnceCell;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -59,6 +64,15 @@ use std::sync::Arc;
 pub const MANIFEST_FILE: &str = "MANIFEST";
 /// Name of the write-ahead log file inside a mutable pipeline directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// fsync a directory so the creations/renames inside it are durable — a
+/// file's own fsync does not cover its directory entry, and the compaction
+/// crash ordering (base before manifest before truncate) only holds if each
+/// step's entry reaches disk before the next step runs.
+fn sync_dir(dir: &Path) -> Result<(), SnapshotError> {
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
 
 /// The recovery authority of a mutable pipeline directory: which base
 /// snapshot is current and which WAL prefix it already folds in.
@@ -86,8 +100,10 @@ impl Manifest {
         Ok(serde_json::from_str(&text)?)
     }
 
-    /// Write atomically: serialize to `MANIFEST.tmp`, fsync, rename over
-    /// the live file.
+    /// Write atomically and durably: serialize to `MANIFEST.tmp`, fsync,
+    /// rename over the live file, fsync the directory (without which a
+    /// power loss could undo the rename even though the caller moved on to
+    /// truncating the WAL).
     fn write(&self, dir: &Path) -> Result<(), SnapshotError> {
         let tmp = dir.join("MANIFEST.tmp");
         let json = serde_json::to_string_pretty(self)?;
@@ -98,7 +114,50 @@ impl Manifest {
             file.sync_data()?;
         }
         std::fs::rename(&tmp, Self::path(dir))?;
+        sync_dir(dir)?;
         Ok(())
+    }
+}
+
+/// A built engine over a point-in-time copy of the delta rows, cached by
+/// [`MutablePipeline`] so repeated `knn` calls don't pay the engine build
+/// (k-means tree, IVF training, …) per query.
+///
+/// Engines borrow the [`Dataset`] they index, so the holder owns a stable
+/// copy of the delta's dataset alongside the engine — the same co-ownership
+/// idiom as the pipeline-level `SharedEngine`. Field order is load-bearing:
+/// `engine` holds pointers into `data`'s allocation and must drop first.
+struct DeltaEngine {
+    engine: Box<dyn RangeQueryEngine + 'static>,
+    _data: Box<Dataset>,
+}
+
+impl DeltaEngine {
+    fn build(delta: &DeltaSegment, config: &LafConfig) -> Self {
+        // Snapshot the delta rows: the copy is immutable for the holder's
+        // whole lifetime, unlike the live segment a later insert may grow
+        // (and reallocate) under the cache.
+        let data = Box::new(delta.dataset().clone());
+        // SAFETY: `data` is boxed, so the `Dataset` the engine borrows has a
+        // stable address for the holder's whole lifetime (moving the holder
+        // moves the box pointer, not the pointee), its heap buffers are
+        // owned by it, and nothing mutates it after this point. The field
+        // order above drops the engine strictly before the dataset, so the
+        // forged `'static` references are never dangling.
+        let data_ref: &'static Dataset = unsafe { &*std::ptr::from_ref::<Dataset>(data.as_ref()) };
+        let engine = build_engine(config.engine, data_ref, config.metric, config.eps);
+        Self {
+            engine,
+            _data: data,
+        }
+    }
+}
+
+impl std::fmt::Debug for DeltaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaEngine")
+            .field("num_points", &self.engine.num_points())
+            .finish_non_exhaustive()
     }
 }
 
@@ -120,6 +179,11 @@ pub struct MutablePipeline {
     tombstones: TombstoneSet,
     /// LSN of the last applied mutation (0 when none since the base).
     last_lsn: u64,
+    /// Lazily built knn engine over the current delta rows; reset whenever
+    /// the delta changes (insert, compaction). Deletes only touch the
+    /// tombstone bitmap — which is applied outside the engine — so they
+    /// leave the cache valid.
+    delta_engine: OnceCell<DeltaEngine>,
 }
 
 impl MutablePipeline {
@@ -144,6 +208,9 @@ impl MutablePipeline {
         // A stale log from an aborted earlier initialization must not be
         // replayed over the fresh base.
         std::fs::remove_file(dir.join(WAL_FILE)).ok();
+        // The base's directory entry must be durable before the manifest
+        // points at it.
+        sync_dir(dir)?;
         Manifest {
             base: base_name,
             base_lsn: 0,
@@ -167,7 +234,13 @@ impl MutablePipeline {
         let dir = dir.as_ref().to_path_buf();
         let manifest = Manifest::read(&dir)?;
         let base = LafPipeline::load_mmap(dir.join(&manifest.base))?;
-        let (wal, records) = Wal::open(dir.join(WAL_FILE))?;
+        let (mut wal, records) = Wal::open(dir.join(WAL_FILE))?;
+        // A log truncated by a compaction reopens empty with its sequence
+        // reset to 1, but the manifest still says LSNs <= base_lsn are
+        // folded into the base. Resume numbering past that point, or new
+        // writes would commit at already-folded LSNs and the next replay
+        // would skip them (and a later compaction would regress base_lsn).
+        wal.set_lsn_floor(manifest.base_lsn);
         let base_len = base.data().len();
         let dim = base.data().dim();
         let mut this = Self {
@@ -178,6 +251,7 @@ impl MutablePipeline {
             delta: DeltaSegment::new(dim).map_err(SnapshotError::Vector)?,
             tombstones: TombstoneSet::new(base_len),
             last_lsn: manifest.base_lsn,
+            delta_engine: OnceCell::new(),
         };
         for WalRecord { lsn, op } in records {
             if lsn <= manifest.base_lsn {
@@ -196,6 +270,8 @@ impl MutablePipeline {
             WalOp::Insert(row) => {
                 self.delta.push(row).map_err(SnapshotError::Vector)?;
                 self.tombstones.grow_to(self.phys_len());
+                // The cached delta engine indexes a stale copy of the rows.
+                self.delta_engine = OnceCell::new();
             }
             WalOp::Delete(dense) => {
                 let phys = self
@@ -387,14 +463,15 @@ impl MutablePipeline {
     /// conversion rather than the linear-scan kernel), so scoring delta
     /// rows with a matching engine makes the merged (distance, id) multiset
     /// identical to a from-scratch engine's over the live rows.
-    fn delta_knn_engine(&self) -> Box<dyn RangeQueryEngine + '_> {
-        let config = self.base.config();
-        build_engine(
-            config.engine,
-            self.delta.dataset(),
-            config.metric,
-            config.eps,
-        )
+    ///
+    /// Built at most once per delta state: the [`DeltaEngine`] cache is
+    /// reset whenever the delta changes, so back-to-back knn queries (the
+    /// common serving shape) don't pay an engine build each.
+    fn delta_knn_engine(&self) -> &dyn RangeQueryEngine {
+        self.delta_engine
+            .get_or_init(|| DeltaEngine::build(&self.delta, self.base.config()))
+            .engine
+            .as_ref()
     }
 
     /// ε-range query: dense live ids within `eps` of `query`, ascending —
@@ -530,6 +607,11 @@ impl MutablePipeline {
         let base_name = format!("base-{generation}.lafs");
         let pipeline = LafPipeline::from_snapshot(snapshot);
         pipeline.save(self.dir.join(&base_name))?;
+        // Crash ordering: the new base (synced to disk by `save`) and its
+        // directory entry must be durable before the manifest can point at
+        // it; `Manifest::write` then syncs its own rename before the WAL
+        // truncation below makes the log unable to rebuild the delta.
+        sync_dir(&self.dir)?;
         Manifest {
             base: base_name,
             base_lsn: self.last_lsn,
@@ -545,6 +627,7 @@ impl MutablePipeline {
         self.generation = generation;
         self.delta = DeltaSegment::new(self.dim()).map_err(SnapshotError::Vector)?;
         self.tombstones = TombstoneSet::new(self.base_len());
+        self.delta_engine = OnceCell::new();
         std::fs::remove_file(self.dir.join(old_base)).ok();
         Ok(())
     }

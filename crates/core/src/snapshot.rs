@@ -1053,6 +1053,10 @@ impl Snapshot {
         let mut writer = std::io::BufWriter::new(file);
         self.encode_to_writer(&mut writer)?;
         writer.flush()?;
+        // fsync so callers sequencing durability steps against this file
+        // (compaction flips its manifest only once the new base is on disk)
+        // get contents-on-stable-storage, not just contents-in-page-cache.
+        writer.get_ref().sync_all()?;
         Ok(())
     }
 

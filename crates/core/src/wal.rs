@@ -83,6 +83,11 @@ pub struct Wal {
     next_lsn: u64,
     /// Byte length of the intact log (header + committed frames).
     end: u64,
+    /// Set when a failed append could not be rolled back: the bytes past
+    /// `end` (and the file cursor) are in an unknown state, so further
+    /// appends could land after garbage and be silently dropped by the next
+    /// recovery. A poisoned log refuses all appends.
+    poisoned: bool,
 }
 
 impl Wal {
@@ -117,6 +122,7 @@ impl Wal {
                     path,
                     next_lsn: 1,
                     end: HEADER_LEN,
+                    poisoned: false,
                 },
                 Vec::new(),
             ));
@@ -169,9 +175,24 @@ impl Wal {
                 path,
                 next_lsn: last_lsn + 1,
                 end: good_end as u64,
+                poisoned: false,
             },
             records,
         ))
+    }
+
+    /// Raise the next assigned LSN so every future [`Wal::append`] commits
+    /// strictly past `floor`. A no-op when the log's sequence is already
+    /// beyond it.
+    ///
+    /// [`crate::MutablePipeline::open`] calls this with the manifest's
+    /// `base_lsn`: compaction truncates the log but the manifest still
+    /// records that LSNs `<= base_lsn` are folded into the base, so a log
+    /// reopened empty must resume numbering past that point — otherwise new
+    /// writes would commit at already-folded LSNs and the next replay would
+    /// silently skip them.
+    pub fn set_lsn_floor(&mut self, floor: u64) {
+        self.next_lsn = self.next_lsn.max(floor.saturating_add(1));
     }
 
     /// Path of the log file.
@@ -196,8 +217,20 @@ impl Wal {
     /// leaves a torn tail that the next [`Wal::open`] truncates away.
     ///
     /// # Errors
-    /// Returns [`SnapshotError`] on I/O failures.
+    /// Returns [`SnapshotError`] on I/O failures. A failed append is rolled
+    /// back (the file is restored to the last committed frame) so later
+    /// appends start clean; if the rollback itself fails the log is
+    /// **poisoned** and every further append fails fast — otherwise a later
+    /// frame would land after the partial bytes and recovery, truncating at
+    /// the first corrupt frame, would silently drop it.
     pub fn append(&mut self, op: &WalOp) -> Result<u64, SnapshotError> {
+        if self.poisoned {
+            return Err(SnapshotError::Malformed(format!(
+                "write-ahead log {} is poisoned: a failed append could not \
+                 be rolled back (reopen the log to recover)",
+                self.path.display()
+            )));
+        }
         let lsn = self.next_lsn;
         let mut body = Vec::new();
         body.put_u64_le(lsn);
@@ -217,10 +250,28 @@ impl Wal {
         frame.put_u32_le(body.len() as u32);
         frame.put_slice(&body);
         frame.put_u32_le(crc32(&body));
-        self.file.write_all(&frame)?;
+        if let Err(err) = self.file.write_all(&frame) {
+            self.rollback_to_committed();
+            return Err(err.into());
+        }
         self.next_lsn = lsn + 1;
         self.end += frame.len() as u64;
         Ok(lsn)
+    }
+
+    /// Restore the log to its last committed frame after a failed append:
+    /// drop any partial frame bytes past `end` and park the cursor back at
+    /// `end` (a failed `write_all` leaves both in an indeterminate state).
+    /// Poisons the log when the restore itself fails.
+    fn rollback_to_committed(&mut self) {
+        let restored = self
+            .file
+            .set_len(self.end)
+            .and_then(|()| self.file.seek(SeekFrom::Start(self.end)))
+            .is_ok();
+        if !restored {
+            self.poisoned = true;
+        }
     }
 
     /// Flush appended frames to stable storage (`fdatasync`).
@@ -395,6 +446,75 @@ mod tests {
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0].lsn, 3);
         assert_eq!(wal.next_lsn(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lsn_floor_resumes_numbering_past_a_folded_prefix() {
+        let path = temp_path("lsn_floor");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        // A fresh (or post-compaction-reopened) log starts at LSN 1; a floor
+        // simulating a manifest with base_lsn = 7 must push it past 7.
+        assert_eq!(wal.next_lsn(), 1);
+        wal.set_lsn_floor(7);
+        assert_eq!(wal.next_lsn(), 8);
+        // A floor at or below the current sequence is a no-op.
+        wal.set_lsn_floor(3);
+        assert_eq!(wal.next_lsn(), 8);
+        assert_eq!(wal.append(&WalOp::Delete(0)).unwrap(), 8);
+        drop(wal);
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].lsn, 8);
+        assert_eq!(wal.next_lsn(), 9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_to_the_committed_frame() {
+        let path = temp_path("rollback");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalOp::Insert(vec![1.0, 2.0])).unwrap();
+        wal.append(&WalOp::Delete(0)).unwrap();
+        // Simulate the state a failed `write_all` leaves behind — partial
+        // frame bytes past `end` with the cursor somewhere after them — then
+        // run the same restore the append error path runs.
+        wal.file.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        wal.rollback_to_committed();
+        assert!(!wal.poisoned, "restore on a healthy file must succeed");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            wal.len_bytes(),
+            "partial bytes dropped from disk"
+        );
+        // The next append lands directly after the committed prefix and the
+        // whole log (including it) survives a reopen intact.
+        wal.append(&WalOp::Delete(1)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 3, "no record lost to the partial write");
+        assert_eq!(replayed[2].op, WalOp::Delete(1));
+        assert_eq!(wal.next_lsn(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_log_refuses_appends() {
+        let path = temp_path("poisoned");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalOp::Delete(0)).unwrap();
+        wal.poisoned = true;
+        let err = wal.append(&WalOp::Delete(1)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed(_)));
+        // Reopening recovers: the committed prefix replays and appends work.
+        drop(wal);
+        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        wal.append(&WalOp::Delete(1)).unwrap();
         std::fs::remove_file(&path).ok();
     }
 

@@ -213,3 +213,74 @@ fn recovery_after_compaction_skips_folded_records() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Compaction truncates the WAL, so a reopened log restarts its sequence —
+/// which must resume *past* the manifest's `base_lsn`, or writes after the
+/// reopen would commit at already-folded LSNs and the next replay would
+/// silently drop them (and a further compaction would regress `base_lsn`).
+#[test]
+fn writes_after_a_post_compaction_reopen_survive_the_next_reopen() {
+    let (data, _) = EmbeddingMixtureConfig {
+        n_points: 40,
+        dim: DIM,
+        clusters: 2,
+        noise_fraction: 0.1,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap();
+    let trained = LafPipeline::builder(LafConfig::new(0.3, 4, 1.0))
+        .net(NetConfig::tiny())
+        .training(TrainingSetBuilder {
+            max_queries: Some(30),
+            ..Default::default()
+        })
+        .train(data)
+        .unwrap();
+
+    let extra = gen_data(8, 23);
+    let dir = unique_dir("post_compaction_writes");
+    let mut mutable = MutablePipeline::create(&dir, &trained).unwrap();
+    for &op in &workload()[..5] {
+        apply(&mut mutable, op, &extra);
+    }
+    mutable.compact().unwrap();
+    let base_lsn = mutable.last_lsn();
+    drop(mutable);
+
+    // Reopen after the compaction: the (empty) log must hand out LSNs past
+    // the folded prefix the manifest records.
+    let mut reopened = MutablePipeline::open(&dir).unwrap();
+    let lsn = reopened.insert(extra.row(6)).unwrap();
+    assert!(
+        lsn > base_lsn,
+        "post-reopen write committed at LSN {lsn}, inside the folded prefix (base_lsn {base_lsn})"
+    );
+    reopened.delete(0).unwrap();
+    reopened.sync().unwrap();
+    let want = reopened.live_dataset().unwrap();
+    drop(reopened);
+
+    // Both writes must replay on the next open...
+    let mut again = MutablePipeline::open(&dir).unwrap();
+    assert_eq!(
+        again.live_dataset().unwrap().as_flat(),
+        want.as_flat(),
+        "acknowledged writes lost across compact -> reopen -> write -> reopen"
+    );
+    // ...and a further compaction must not regress base_lsn below them.
+    again.compact().unwrap();
+    assert!(
+        again.last_lsn() >= lsn,
+        "compaction regressed the LSN frontier"
+    );
+    drop(again);
+    let last = MutablePipeline::open(&dir).unwrap();
+    assert_eq!(
+        last.live_dataset().unwrap().as_flat(),
+        want.as_flat(),
+        "state diverged across the second compaction"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -613,6 +613,10 @@ impl Drop for LafServer {
 fn dispatch_loop(shared: &Shared) {
     let window = shared.config.window();
     let max_batch = shared.config.max_batch.max(1);
+    // Backoff latch for failed compactions: pending-op count the backlog
+    // must reach before compaction is attempted again (0 = no failure
+    // outstanding). Dispatcher-local — only this thread compacts.
+    let mut compact_floor = 0usize;
     loop {
         let batch: Vec<Pending> = {
             let mut state = shared.state.lock().unwrap();
@@ -655,7 +659,7 @@ fn dispatch_loop(shared: &Shared) {
         };
         shared.stats.record_batch(batch.len());
         match &shared.mutable {
-            Some(mutable) => answer_mutable(shared, mutable, &batch),
+            Some(mutable) => answer_mutable(shared, mutable, &batch, &mut compact_floor),
             None => {
                 // The whole batch is answered by ONE epoch: grab the current
                 // handle once, outside the queue lock. A concurrent reload
@@ -676,8 +680,17 @@ fn dispatch_loop(shared: &Shared) {
 /// crashed before the sync — replay recovers the synced prefix).
 ///
 /// After delivery, folds the delta into a fresh base and publishes it as a
-/// new epoch when [`ServeConfig::compact_threshold`] is reached.
-fn answer_mutable(shared: &Shared, mutable: &Mutex<MutablePipeline>, batch: &[Pending]) {
+/// new epoch when [`ServeConfig::compact_threshold`] is reached. A failed
+/// compaction is counted on [`ServeStats`] and raises `compact_floor` so
+/// the (likely still-failing, full-rebuild-sized) attempt is not retried on
+/// every subsequent batch — only once the write backlog has grown by
+/// another threshold's worth of operations.
+fn answer_mutable(
+    shared: &Shared,
+    mutable: &Mutex<MutablePipeline>,
+    batch: &[Pending],
+    compact_floor: &mut usize,
+) {
     let mut pipeline = mutable.lock().unwrap();
     let epoch = shared.current.lock().unwrap().epoch;
     let mut replies: Vec<Reply> = Vec::with_capacity(batch.len());
@@ -717,15 +730,25 @@ fn answer_mutable(shared: &Shared, mutable: &Mutex<MutablePipeline>, batch: &[Pe
     }
 
     let threshold = shared.config.compact_threshold;
-    if threshold != 0 && pipeline.pending_ops() >= threshold && pipeline.compact().is_ok() {
-        let engine = pipeline.base().engine();
-        let mut current = shared.current.lock().unwrap();
-        *current = Arc::new(EpochState {
-            epoch: current.epoch + 1,
-            pipeline: Arc::clone(pipeline.base()),
-            engine,
-        });
-        shared.stats.record_reload();
+    let pending = pipeline.pending_ops();
+    if threshold != 0 && pending >= threshold && pending >= *compact_floor {
+        match pipeline.compact() {
+            Ok(()) => {
+                *compact_floor = 0;
+                let engine = pipeline.base().engine();
+                let mut current = shared.current.lock().unwrap();
+                *current = Arc::new(EpochState {
+                    epoch: current.epoch + 1,
+                    pipeline: Arc::clone(pipeline.base()),
+                    engine,
+                });
+                shared.stats.record_reload();
+            }
+            Err(_) => {
+                shared.stats.record_compact_failure();
+                *compact_floor = pending + threshold;
+            }
+        }
     }
 }
 
@@ -1184,6 +1207,57 @@ mod tests {
         assert_eq!(after.value, before.value);
         assert_eq!(server.range_count(&row, 1e-3).unwrap().value, 1);
         assert_eq!(server.stats_report().reloads, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_compaction_is_counted_and_backed_off() {
+        use laf_core::MutablePipeline;
+        let frozen = pipeline(59);
+        let q: Vec<f32> = frozen.data().row(0).to_vec();
+        let dir = mutable_dir("compact_fail");
+        let mutable = MutablePipeline::create(&dir, &frozen).unwrap();
+        // Block the manifest flip: `Manifest::write` creates MANIFEST.tmp,
+        // which fails (EISDIR) while this directory squats on the name, so
+        // every compaction attempt errors after the write batch is acked.
+        let blocker = dir.join("MANIFEST.tmp");
+        std::fs::create_dir(&blocker).unwrap();
+        let server = LafServer::start_mutable(
+            mutable,
+            ServeConfig {
+                compact_threshold: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let row = vec![4.0f32; 12];
+        server.insert(&row).unwrap().value.unwrap();
+        let reads = server.range(&q, 0.3).unwrap();
+        assert_eq!(reads.epoch, 1, "no epoch published by a failed compaction");
+        let report = server.stats_report();
+        assert_eq!(report.reloads, 0);
+        assert_eq!(report.compact_failures, 1, "failure surfaced in stats");
+        // Backoff: read-only batches (backlog unchanged) must not retry the
+        // failing full rebuild.
+        server.range(&q, 0.3).unwrap();
+        server.range_count(&q, 0.3).unwrap();
+        assert_eq!(
+            server.stats_report().compact_failures,
+            1,
+            "no retry until the backlog grows"
+        );
+        // Once the backlog grows past the floor (old pending 1 + threshold
+        // 1 = 2) and the blocker is gone, compaction recovers, publishes an
+        // epoch, and resets the latch.
+        std::fs::remove_dir(&blocker).unwrap();
+        server.insert(&row).unwrap().value.unwrap();
+        let after = server.range(&q, 0.3).unwrap();
+        assert_eq!(after.epoch, 2, "recovered compaction publishes an epoch");
+        assert_eq!(after.value, reads.value);
+        let report = server.stats_report();
+        assert_eq!(report.reloads, 1);
+        assert_eq!(report.compact_failures, 1);
+        assert_eq!(server.range_count(&row, 1e-3).unwrap().value, 2);
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -45,6 +45,7 @@ pub struct ServeStats {
     batches: AtomicU64,
     tile_batches: AtomicU64,
     reloads: AtomicU64,
+    compact_failures: AtomicU64,
     peak_queue_depth: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
 }
@@ -77,6 +78,17 @@ impl ServeStats {
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a failed background compaction (the error itself is not
+    /// surfaced to any request — this counter is the diagnostic).
+    pub(crate) fn record_compact_failure(&self) {
+        self.compact_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Background compactions that failed so far.
+    pub fn compact_failures(&self) -> u64 {
+        self.compact_failures.load(Ordering::Relaxed)
+    }
+
     /// Requests admitted so far.
     pub fn submitted(&self) -> u64 {
         self.submitted.load(Ordering::Relaxed)
@@ -103,6 +115,7 @@ impl ServeStats {
             batches,
             tile_batches: self.tile_batches.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
+            compact_failures: self.compact_failures.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             mean_batch_occupancy: if batches == 0 {
                 0.0
@@ -129,6 +142,7 @@ impl ServeStats {
         self.batches.store(0, Ordering::Relaxed);
         self.tile_batches.store(0, Ordering::Relaxed);
         self.reloads.store(0, Ordering::Relaxed);
+        self.compact_failures.store(0, Ordering::Relaxed);
         self.peak_queue_depth.store(0, Ordering::Relaxed);
         for bucket in &self.occupancy {
             bucket.store(0, Ordering::Relaxed);
@@ -161,6 +175,9 @@ pub struct ServeStatsReport {
     pub tile_batches: u64,
     /// Snapshot hot-reloads performed.
     pub reloads: u64,
+    /// Background compactions that failed (mutable servers only; the
+    /// dispatcher backs off until the write backlog grows further).
+    pub compact_failures: u64,
     /// Highest queue depth observed at submission time.
     pub peak_queue_depth: u64,
     /// `completed / batches` — the average coalescing factor.
