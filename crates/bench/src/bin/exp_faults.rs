@@ -1,0 +1,65 @@
+//! Fault-model benchmark: the degraded-load matrix (one flipped bit per
+//! snapshot section), cache scrub/quarantine timings, and — when built
+//! with `--features fault-injection` — a fixed-seed chaos replay with
+//! recovery timings. Writes `BENCH_faults.json`.
+//!
+//! Exits non-zero when any robustness gate fails, so CI's chaos-smoke job
+//! can run this binary directly:
+//!
+//! * a corrupt engine section must load degraded with cluster labels
+//!   byte-identical to a clean load (the engine is pure redundancy);
+//! * a corrupt estimator section must serve gate-off, labels identical to
+//!   exact DBSCAN (degraded means slower, never wrong);
+//! * corrupt dataset/config sections must be rejected with typed errors;
+//! * the scrub must quarantine the corrupted tenant (typed on pin) and a
+//!   repaired re-registration must lift the quarantine;
+//! * the chaos replay's recovery must land bit-identically on the
+//!   acknowledged-write state.
+
+fn main() {
+    let cfg = laf_bench::HarnessConfig::from_env();
+    let report = laf_bench::fault_bench::run(&cfg);
+
+    let engine = &report.degraded[0];
+    assert!(
+        engine.degraded_ok && engine.labels_identical,
+        "corrupt engine section must load degraded with labels identical to a clean load \
+         (degraded ok: {}, labels identical: {}, report: {})",
+        engine.degraded_ok,
+        engine.labels_identical,
+        engine.report
+    );
+    let estimator = &report.degraded[1];
+    assert!(
+        estimator.degraded_ok && estimator.labels_identical,
+        "corrupt estimator section must serve gate-off with exact-DBSCAN labels \
+         (degraded ok: {}, labels identical: {}, report: {})",
+        estimator.degraded_ok,
+        estimator.labels_identical,
+        estimator.report
+    );
+    for fatal in &report.hard_fail {
+        assert!(
+            fatal.rejected,
+            "corrupt `{}` section must hard-fail with a typed error, never serve",
+            fatal.section
+        );
+    }
+    assert!(
+        report.scrub.quarantined == vec!["bad".to_string()]
+            && report.scrub.quarantined_pin_is_typed
+            && report.scrub.re_register_lifts_quarantine,
+        "scrub must quarantine the corrupted tenant and a repair must lift it \
+         (quarantined: {:?}, typed pin: {}, repair lifts: {})",
+        report.scrub.quarantined,
+        report.scrub.quarantined_pin_is_typed,
+        report.scrub.re_register_lifts_quarantine
+    );
+    if let Some(chaos) = &report.chaos {
+        assert!(
+            chaos.state_bit_identical,
+            "chaos replay (seed {}) recovered state diverged from the fault-free oracle",
+            chaos.seed
+        );
+    }
+}

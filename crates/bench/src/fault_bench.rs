@@ -1,0 +1,508 @@
+//! Fault-model benchmark: degraded-load behavior on corrupt snapshot
+//! sections, cache scrub/quarantine, and (with the `fault-injection`
+//! feature) a seeded chaos replay with recovery timings.
+//!
+//! The robustness layer's contract has two halves and this experiment
+//! measures both. The *degraded matrix*: flip a real byte inside each
+//! snapshot section and record what a degraded load does — a corrupt
+//! engine section must rebuild from the dataset with **byte-identical**
+//! cluster labels, a corrupt estimator must serve gate-off (exact-only,
+//! labels identical to exact DBSCAN), and a corrupt dataset/config must be
+//! rejected with a typed error, never served. The *scrub arm*: a
+//! background cache scrub must find a corrupted resident snapshot,
+//! quarantine it with a typed error on pin, and lift the quarantine when a
+//! repaired file is re-registered. When built with `fault-injection`, a
+//! *chaos arm* replays a fixed-seed fault schedule against a mutable
+//! pipeline and times recovery. Writes `<results_dir>/BENCH_faults.json`.
+
+use crate::harness::HarnessConfig;
+use crate::report::{format_seconds, print_table, write_json};
+use laf_cardest::TrainingSetBuilder;
+use laf_clustering::{Clusterer, Dbscan};
+use laf_core::{section_id, LafConfig, LafPipeline};
+use laf_serve::{CacheConfig, CacheError, SnapshotCache};
+use laf_synth::EmbeddingMixtureConfig;
+use laf_vector::Dataset;
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// What a degraded load did with one corrupted section.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradedVerdict {
+    /// Section whose body got the bit flip.
+    pub section: String,
+    /// Seconds for `LafPipeline::load_degraded` on the corrupt file.
+    pub load_seconds: f64,
+    /// The load succeeded and its report named exactly this section.
+    pub degraded_ok: bool,
+    /// Display form of the `DegradedLoad` report.
+    pub report: String,
+    /// Cluster labels of the degraded pipeline match `reference`.
+    pub labels_identical: bool,
+    /// What the labels were compared against.
+    pub reference: String,
+}
+
+/// A section whose corruption must hard-fail the load, typed.
+#[derive(Debug, Clone, Serialize)]
+pub struct HardFailVerdict {
+    /// Section whose body got the bit flip.
+    pub section: String,
+    /// The degraded load refused the file (must be `true`).
+    pub rejected: bool,
+    /// Display form of the typed error.
+    pub typed_error: String,
+}
+
+/// The cache scrub/quarantine measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScrubArm {
+    /// Resident tenants at scrub time.
+    pub tenants: usize,
+    /// Tenants whose snapshots re-verified clean.
+    pub verified: usize,
+    /// Tenants quarantined by the scrub (must name the corrupted one).
+    pub quarantined: Vec<String>,
+    /// Seconds for the full-file CRC re-verification pass.
+    pub scrub_seconds: f64,
+    /// Pinning the quarantined tenant failed with `CacheError::Quarantined`.
+    pub quarantined_pin_is_typed: bool,
+    /// Re-registering the repaired file lifted the quarantine.
+    pub re_register_lifts_quarantine: bool,
+}
+
+/// One seeded chaos replay (only with the `fault-injection` feature).
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosArm {
+    /// The `FaultPlan` seed — the whole schedule replays from it.
+    pub seed: u64,
+    /// Operations attempted against the store under faults.
+    pub ops: usize,
+    /// Failpoint trips across all sites.
+    pub faults_tripped: u64,
+    /// Operations that failed with a typed error.
+    pub typed_errors: u64,
+    /// Wall seconds for the schedule (including in-schedule recoveries).
+    pub schedule_seconds: f64,
+    /// Seconds for the final fault-free crash recovery (reopen + replay).
+    pub recovery_seconds: f64,
+    /// Recovered live rows bit-identical to the fault-free oracle's.
+    pub state_bit_identical: bool,
+}
+
+/// The full experiment record written to `BENCH_faults.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultBenchReport {
+    /// Dataset rows.
+    pub n_points: usize,
+    /// Dataset dimensionality.
+    pub dim: usize,
+    /// The degraded-load matrix (corrupt section -> behavior).
+    pub degraded: Vec<DegradedVerdict>,
+    /// Sections whose corruption must hard-fail.
+    pub hard_fail: Vec<HardFailVerdict>,
+    /// The scrub/quarantine arm.
+    pub scrub: ScrubArm,
+    /// The seeded chaos replay (`null` without `fault-injection`).
+    pub chaos: Option<ChaosArm>,
+}
+
+fn bench_dataset(cfg: &HarnessConfig, n_points: usize) -> Dataset {
+    let dim = cfg.dim_cap.unwrap_or(64).clamp(8, 128);
+    EmbeddingMixtureConfig {
+        n_points,
+        dim,
+        clusters: 8,
+        noise_fraction: 0.2,
+        seed: cfg.seed ^ 0xFA17,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid benchmark dataset config")
+    .0
+}
+
+/// Absolute `(start, len)` of section `wanted`'s body inside an encoded
+/// v2+ snapshot file, read from the header table.
+fn section_span(bytes: &[u8], wanted: u32) -> Option<(usize, usize)> {
+    let count = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+    let header_len = 12 + count * 24;
+    for entry in 0..count {
+        let at = 12 + entry * 24;
+        let id = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?);
+        if id != wanted {
+            continue;
+        }
+        let offset = u64::from_le_bytes(bytes.get(at + 4..at + 12)?.try_into().ok()?) as usize;
+        let len = u64::from_le_bytes(bytes.get(at + 12..at + 20)?.try_into().ok()?) as usize;
+        return Some((header_len + offset, len));
+    }
+    None
+}
+
+/// Copy `clean` to `out` with one bit flipped mid-body in section `id`.
+fn corrupt_copy(clean: &Path, out: &Path, id: u32) {
+    let mut bytes = std::fs::read(clean).expect("read clean snapshot");
+    let (start, len) = section_span(&bytes, id).unwrap_or_else(|| {
+        panic!(
+            "section `{}` absent from the snapshot",
+            section_id::name(id)
+        )
+    });
+    assert!(len > 0, "section `{}` is empty", section_id::name(id));
+    bytes[start + len / 2] ^= 0x01;
+    std::fs::write(out, bytes).expect("write corrupt snapshot");
+}
+
+#[cfg(feature = "fault-injection")]
+fn chaos_arm(trained: &LafPipeline, extra: &Dataset, dir: &Path) -> Option<ChaosArm> {
+    use laf_core::fault::{self, FaultMode, FaultPlan};
+    use laf_core::MutablePipeline;
+
+    const SEED: u64 = 4242;
+    const OPS: usize = 80;
+    const SITES: [&str; 6] = [
+        "wal.append.partial",
+        "wal.sync",
+        "snapshot.save.fsync",
+        "manifest.rename",
+        "compact.dir_fsync",
+        "mmap.section.bitflip",
+    ];
+
+    let sut_dir = dir.join("chaos_sut");
+    let oracle_dir = dir.join("chaos_oracle");
+    std::fs::remove_dir_all(&sut_dir).ok();
+    std::fs::remove_dir_all(&oracle_dir).ok();
+    let mut sut = MutablePipeline::create(&sut_dir, trained).expect("chaos sut");
+    let mut oracle = MutablePipeline::create(&oracle_dir, trained).expect("chaos oracle");
+
+    // splitmix64 op stream, same construction as the chaos harness.
+    let mut state = SEED ^ 0xD1B5_4A32_D192_ED03;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mirror = |oracle: &mut MutablePipeline, f: &dyn Fn(&mut MutablePipeline)| {
+        fault::set_enabled(false);
+        f(oracle);
+        fault::set_enabled(true);
+    };
+
+    fault::install(SITES.iter().fold(FaultPlan::new(SEED), |p, s| {
+        p.with_site(s, FaultMode::Probability(0.08))
+    }));
+    let mut typed_errors = 0u64;
+    let t = Instant::now();
+    for _ in 0..OPS {
+        let r = next();
+        match r % 100 {
+            0..=39 => {
+                let row = extra.row(((r >> 8) as usize) % extra.len()).to_vec();
+                match sut.insert(&row) {
+                    Ok(_) => mirror(&mut oracle, &|o| {
+                        o.insert(&row).expect("oracle insert");
+                    }),
+                    Err(_) => typed_errors += 1,
+                }
+            }
+            40..=59 => {
+                if !sut.is_empty() {
+                    let dense = ((r >> 8) as usize) % sut.len();
+                    match sut.delete(dense) {
+                        Ok(_) => mirror(&mut oracle, &|o| {
+                            o.delete(dense).expect("oracle delete");
+                        }),
+                        Err(_) => typed_errors += 1,
+                    }
+                }
+            }
+            60..=74 => {
+                if sut.sync().is_err() {
+                    typed_errors += 1;
+                }
+            }
+            75..=89 => {
+                if sut.compact().is_err() {
+                    typed_errors += 1;
+                }
+            }
+            _ => {
+                drop(sut);
+                sut = match MutablePipeline::open(&sut_dir) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        typed_errors += 1;
+                        fault::set_enabled(false);
+                        let recovered =
+                            MutablePipeline::open(&sut_dir).expect("fault-free reopen recovers");
+                        fault::set_enabled(true);
+                        recovered
+                    }
+                };
+            }
+        }
+    }
+    let schedule_seconds = t.elapsed().as_secs_f64();
+    let faults_tripped = fault::total_trips();
+    fault::clear();
+
+    // Final crash recovery on the fault-free plane, timed.
+    drop(sut);
+    let t = Instant::now();
+    let recovered = MutablePipeline::open(&sut_dir).expect("final recovery");
+    let recovery_seconds = t.elapsed().as_secs_f64();
+    let state_bit_identical = recovered.live_dataset().expect("live rows").as_flat()
+        == oracle.live_dataset().expect("oracle rows").as_flat();
+
+    std::fs::remove_dir_all(&sut_dir).ok();
+    std::fs::remove_dir_all(&oracle_dir).ok();
+    Some(ChaosArm {
+        seed: SEED,
+        ops: OPS,
+        faults_tripped,
+        typed_errors,
+        schedule_seconds,
+        recovery_seconds,
+        state_bit_identical,
+    })
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn chaos_arm(_trained: &LafPipeline, _extra: &Dataset, _dir: &Path) -> Option<ChaosArm> {
+    None
+}
+
+/// Run the fault-model measurements and write `BENCH_faults.json`.
+pub fn run(cfg: &HarnessConfig) -> FaultBenchReport {
+    let n_points = ((500_000.0 * cfg.scale) as usize).clamp(400, 12_000);
+    let data = bench_dataset(cfg, n_points);
+    let n_points = data.len();
+    let dim = data.dim();
+    let laf_config = LafConfig::new(0.35, 4, 1.0);
+    println!("\nfault model: {n_points} points x {dim} dims");
+
+    let dir = std::env::temp_dir().join(format!(
+        "laf_bench_faults_{n_points}x{dim}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let clean_path = dir.join("clean.lafs");
+    let (eps, min_pts) = (laf_config.eps, laf_config.min_pts);
+    let clean = LafPipeline::builder(laf_config)
+        .net(cfg.net.clone())
+        .training(TrainingSetBuilder {
+            max_queries: Some(cfg.train_queries),
+            ..Default::default()
+        })
+        .calibrate(true) // so the snapshot has a calibration section to corrupt
+        .train_and_save(data, &clean_path)
+        .expect("train and save");
+    let clean_labels = clean.cluster().labels().to_vec();
+    let exact_labels = Dbscan::with_params(eps, min_pts)
+        .cluster(clean.data())
+        .labels()
+        .to_vec();
+
+    // --- Degraded matrix: one flipped bit per redundant section ------------
+    let mut degraded = Vec::new();
+    for (id, reference, want) in [
+        (section_id::ENGINE, "clean load", &clean_labels),
+        (section_id::ESTIMATOR, "exact DBSCAN", &exact_labels),
+        (section_id::CALIBRATION, "exact DBSCAN", &exact_labels),
+    ] {
+        let name = section_id::name(id);
+        let path = dir.join(format!("corrupt_{name}.lafs"));
+        corrupt_copy(&clean_path, &path, id);
+        let t = Instant::now();
+        let loaded = LafPipeline::load_degraded(&path);
+        let load_seconds = t.elapsed().as_secs_f64();
+        let verdict = match loaded {
+            Ok((warm, report)) => DegradedVerdict {
+                section: name.to_string(),
+                load_seconds,
+                degraded_ok: !report.is_clean(),
+                report: report.to_string(),
+                labels_identical: warm.cluster().labels() == &want[..],
+                reference: reference.to_string(),
+            },
+            Err(e) => DegradedVerdict {
+                section: name.to_string(),
+                load_seconds,
+                degraded_ok: false,
+                report: format!("load failed: {e}"),
+                labels_identical: false,
+                reference: reference.to_string(),
+            },
+        };
+        degraded.push(verdict);
+    }
+
+    // --- Hard-fail sections: corruption here must never be served ----------
+    let mut hard_fail = Vec::new();
+    for id in [section_id::CONFIG, section_id::DATASET] {
+        let name = section_id::name(id);
+        let path = dir.join(format!("fatal_{name}.lafs"));
+        corrupt_copy(&clean_path, &path, id);
+        let result = LafPipeline::load_degraded(&path);
+        hard_fail.push(HardFailVerdict {
+            section: name.to_string(),
+            rejected: result.is_err(),
+            typed_error: result.err().map(|e| e.to_string()).unwrap_or_default(),
+        });
+    }
+
+    // --- Scrub arm: corruption of a resident snapshot is quarantined -------
+    let ok_path = dir.join("tenant_ok.lafs");
+    let bad_path = dir.join("tenant_bad.lafs");
+    std::fs::copy(&clean_path, &ok_path).expect("tenant copy");
+    std::fs::copy(&clean_path, &bad_path).expect("tenant copy");
+    let cache = SnapshotCache::new(CacheConfig::default());
+    cache.register("ok", &ok_path).expect("register ok");
+    cache.register("bad", &bad_path).expect("register bad");
+    drop(cache.pin("ok").expect("warm ok"));
+    drop(cache.pin("bad").expect("warm bad"));
+    // The corruption lands *after* the file was registered and loaded —
+    // exactly the bit-rot window the background scrub exists for.
+    corrupt_copy(&clean_path, &bad_path, section_id::DATASET);
+    let t = Instant::now();
+    let scrub_report = cache.scrub();
+    let scrub_seconds = t.elapsed().as_secs_f64();
+    let quarantined_pin_is_typed =
+        matches!(cache.pin("bad"), Err(CacheError::Quarantined { tenant }) if tenant == "bad");
+    std::fs::copy(&clean_path, &bad_path).expect("repair tenant");
+    let re_register_lifts_quarantine =
+        cache.register("bad", &bad_path).is_ok() && cache.pin("bad").is_ok();
+    let scrub = ScrubArm {
+        tenants: 2,
+        verified: scrub_report.verified.len(),
+        quarantined: scrub_report.quarantined.clone(),
+        scrub_seconds,
+        quarantined_pin_is_typed,
+        re_register_lifts_quarantine,
+    };
+
+    // --- Chaos arm (fault-injection builds only) ---------------------------
+    let extra = bench_dataset(cfg, (n_points / 4).clamp(16, 512));
+    let chaos = chaos_arm(&clean, &extra, &dir);
+
+    std::fs::remove_dir_all(&dir).ok();
+    let report = FaultBenchReport {
+        n_points,
+        dim,
+        degraded,
+        hard_fail,
+        scrub,
+        chaos,
+    };
+
+    let degraded_rows: Vec<Vec<String>> = report
+        .degraded
+        .iter()
+        .map(|v| {
+            vec![
+                v.section.clone(),
+                format_seconds(v.load_seconds),
+                v.degraded_ok.to_string(),
+                v.labels_identical.to_string(),
+                v.reference.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Degraded loads: one flipped bit per redundant section",
+        &["section", "load", "degraded ok", "labels identical", "vs"],
+        &degraded_rows,
+    );
+    let fatal_rows: Vec<Vec<String>> = report
+        .hard_fail
+        .iter()
+        .map(|v| vec![v.section.clone(), v.rejected.to_string()])
+        .collect();
+    print_table(
+        "Hard-fail sections: corruption is typed, never served",
+        &["section", "rejected"],
+        &fatal_rows,
+    );
+    println!(
+        "scrub: {}/{} verified in {}, quarantined {:?} (typed pin: {}, repair lifts: {})",
+        report.scrub.verified,
+        report.scrub.tenants,
+        format_seconds(report.scrub.scrub_seconds),
+        report.scrub.quarantined,
+        report.scrub.quarantined_pin_is_typed,
+        report.scrub.re_register_lifts_quarantine
+    );
+    match &report.chaos {
+        Some(c) => println!(
+            "chaos: seed {} tripped {} faults over {} ops ({} typed errors) in {}; \
+             recovery {} (state bit-identical: {})",
+            c.seed,
+            c.faults_tripped,
+            c.ops,
+            c.typed_errors,
+            format_seconds(c.schedule_seconds),
+            format_seconds(c.recovery_seconds),
+            c.state_bit_identical
+        ),
+        None => println!("chaos: skipped (build without the `fault-injection` feature)"),
+    }
+
+    write_json(&cfg.results_dir, "BENCH_faults", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laf_cardest::NetConfig;
+
+    #[test]
+    fn degraded_matrix_scrub_and_chaos_hold_their_gates() {
+        let cfg = HarnessConfig {
+            scale: 0.001,
+            dim_cap: Some(12),
+            train_queries: 60,
+            net: NetConfig::tiny(),
+            results_dir: std::env::temp_dir().join("laf_bench_faults_test"),
+            ..Default::default()
+        };
+        let report = run(&cfg);
+
+        let engine = &report.degraded[0];
+        assert!(engine.degraded_ok, "engine: {}", engine.report);
+        assert!(engine.labels_identical, "engine rebuild must be bit-exact");
+        let estimator = &report.degraded[1];
+        assert!(estimator.degraded_ok, "estimator: {}", estimator.report);
+        assert!(
+            estimator.labels_identical,
+            "gate-off serving must equal exact DBSCAN"
+        );
+        let calibration = &report.degraded[2];
+        assert!(
+            calibration.degraded_ok,
+            "calibration: {}",
+            calibration.report
+        );
+
+        for fatal in &report.hard_fail {
+            assert!(fatal.rejected, "{} must hard-fail", fatal.section);
+            assert!(!fatal.typed_error.is_empty());
+        }
+
+        assert_eq!(report.scrub.quarantined, vec!["bad".to_string()]);
+        assert_eq!(report.scrub.verified, 1);
+        assert!(report.scrub.quarantined_pin_is_typed);
+        assert!(report.scrub.re_register_lifts_quarantine);
+
+        if let Some(chaos) = &report.chaos {
+            assert!(chaos.state_bit_identical);
+        }
+        assert!(cfg.results_dir.join("BENCH_faults.json").exists());
+    }
+}

@@ -20,6 +20,7 @@
 //! | `exp_serving` | (not a paper exhibit) coalesced vs one-at-a-time dispatch through the serving front, per offered load |
 //! | `exp_sharding` | (not a paper exhibit) sharded scatter-gather fan-out vs the unsharded engine, plus tenant-cache churn counters |
 //! | `exp_mutable` | (not a paper exhibit) WAL insert throughput, base+delta read overhead, crash-recovery time, post-compaction bit-exactness |
+//! | `exp_faults` | (not a paper exhibit) degraded-load matrix on corrupt snapshot sections, cache scrub/quarantine, seeded chaos replay (with `--features fault-injection`) |
 //! | `run_all`    | all of the above, writing JSON into `results/` |
 //!
 //! Scale is controlled by environment variables so the same binaries serve
@@ -37,6 +38,7 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod fault_bench;
 pub mod harness;
 pub mod mutable_bench;
 pub mod report;

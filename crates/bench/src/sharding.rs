@@ -244,7 +244,7 @@ pub fn run(cfg: &HarnessConfig) -> ShardingReport {
         tenant_quota: 0,
     });
     for (&shards, path) in SHARD_SWEEP.iter().zip(&paths) {
-        cache.register(&format!("shards{shards}"), path);
+        cache.register(&format!("shards{shards}"), path).unwrap();
     }
     let server = TenantServer::new(cache.clone());
     let want = reference.as_ref().expect("reference arm ran");

@@ -56,6 +56,26 @@ impl MlpEstimator {
         }
     }
 
+    /// A degraded-mode estimator that can never gate a query off the exact
+    /// path: every prediction is the constant `expm1(80)` (≈ 5.5e34, still
+    /// finite in `f32`), far above any `α·τ` threshold, so the gate always
+    /// runs the range query. Snapshot loads substitute this for a corrupt
+    /// estimator section instead of failing the load — exact-only serving
+    /// beats no serving, and answers stay correct because the gate only
+    /// ever *skips* work it believes is fruitless.
+    pub fn gate_off(data_dim: usize) -> Self {
+        Self {
+            net: Mlp::constant(data_dim + 1, 80.0),
+            data_dim,
+            report: TrainReport {
+                epochs: 0,
+                initial_loss: 0.0,
+                final_loss: 0.0,
+            },
+            predictions: AtomicU64::new(0),
+        }
+    }
+
     /// Training summary (initial/final MSE in log-cardinality space).
     pub fn report(&self) -> TrainReport {
         self.report

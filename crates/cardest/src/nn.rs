@@ -204,6 +204,26 @@ impl Mlp {
         Self { input_dim, layers }
     }
 
+    /// Build a network that predicts `output` for every input: one linear
+    /// layer with zero weights and `output` as its bias. Degraded snapshot
+    /// loads substitute such a network for a corrupt estimator section so
+    /// the gate can never steer a query off the exact path.
+    ///
+    /// # Panics
+    /// Panics if `input_dim == 0`.
+    pub fn constant(input_dim: usize, output: f32) -> Self {
+        assert!(input_dim > 0, "input_dim must be positive");
+        Self {
+            input_dim,
+            layers: vec![Dense {
+                in_dim: input_dim,
+                out_dim: 1,
+                w: vec![0.0; input_dim],
+                b: vec![output],
+            }],
+        }
+    }
+
     /// Input dimensionality the network expects.
     pub fn input_dim(&self) -> usize {
         self.input_dim

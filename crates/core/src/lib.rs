@@ -76,6 +76,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+/// The deterministic failpoint registry (re-exported from
+/// [`laf_vector::fault`]): the storage plane consults named sites at its
+/// failure-prone edges; a no-op unless the `fault-injection` feature is
+/// enabled.
+pub use laf_vector::fault;
 pub mod gate;
 pub mod laf_dbscan;
 pub mod laf_dbscan_pp;
@@ -95,6 +100,7 @@ pub use partial::PartialNeighborMap;
 pub use pipeline::{LafPipeline, LafPipelineBuilder, SharedEngine};
 pub use post::PostProcessor;
 pub use snapshot::{
-    section_id, Snapshot, SnapshotError, SnapshotShard, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    section_id, DegradedLoad, DegradedSection, Snapshot, SnapshotError, SnapshotShard,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use wal::{Wal, WalOp, WalRecord};

@@ -54,6 +54,7 @@ use crate::pipeline::LafPipeline;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::wal::{Wal, WalOp, WalRecord};
 use laf_index::{build_engine, LinearScan, Neighbor, RangeQueryEngine, TopK};
+use laf_vector::fault;
 use laf_vector::{Dataset, DeltaSegment, TombstoneSet};
 use serde::{Deserialize, Serialize};
 use std::cell::OnceCell;
@@ -112,6 +113,12 @@ impl Manifest {
             use std::io::Write;
             file.write_all(json.as_bytes())?;
             file.sync_data()?;
+        }
+        // Failpoint `manifest.rename`: crash after the temp manifest is
+        // durable but before the atomic flip — the recovery authority still
+        // points at the old base, so replay must cover the full log.
+        if fault::fire("manifest.rename") {
+            return Err(fault::injected("manifest.rename").into());
         }
         std::fs::rename(&tmp, Self::path(dir))?;
         sync_dir(dir)?;
@@ -611,23 +618,42 @@ impl MutablePipeline {
         // directory entry must be durable before the manifest can point at
         // it; `Manifest::write` then syncs its own rename before the WAL
         // truncation below makes the log unable to rebuild the delta.
+        //
+        // Failpoint `compact.dir_fsync`: crash between writing the new base
+        // and making its directory entry durable — the manifest still names
+        // the old base and the stray `base-<g+1>.lafs` must be tolerated.
+        if fault::fire("compact.dir_fsync") {
+            return Err(fault::injected("compact.dir_fsync").into());
+        }
         sync_dir(&self.dir)?;
+        // Reload the new base through the same mmap path `open` uses — so a
+        // compacted pipeline serves exactly like a reopened one — and do it
+        // *before* the manifest flips: a reload failure then aborts the
+        // compaction with the directory and this handle both still on the
+        // old generation (the stray next-generation base file is tolerated
+        // and overwritten by a retry). Reloading after the flip could
+        // strand the handle behind the on-disk manifest — its delta would
+        // still hold folded rows, and acknowledged writes after the
+        // failure would replay incorrectly on the next open.
+        let base = LafPipeline::load_mmap(self.dir.join(&base_name))?;
+        let delta = DeltaSegment::new(base.data().dim()).map_err(SnapshotError::Vector)?;
         Manifest {
             base: base_name,
             base_lsn: self.last_lsn,
             generation,
         }
         .write(&self.dir)?;
-        self.wal.truncate()?;
+        // The flip is durable: commit the in-memory generation before the
+        // WAL truncation, so even a truncation failure leaves this handle
+        // consistent with the manifest (stale log records at or below
+        // `base_lsn` are skipped by replay regardless).
         let old_base = format!("base-{}.lafs", self.generation);
-        // Reload the new base through the same mmap path `open` uses, so a
-        // compacted pipeline serves exactly like a reopened one.
-        let base = LafPipeline::load_mmap(self.dir.join(format!("base-{generation}.lafs")))?;
         self.base = Arc::new(base);
         self.generation = generation;
-        self.delta = DeltaSegment::new(self.dim()).map_err(SnapshotError::Vector)?;
+        self.delta = delta;
         self.tombstones = TombstoneSet::new(self.base_len());
         self.delta_engine = OnceCell::new();
+        self.wal.truncate()?;
         std::fs::remove_file(self.dir.join(old_base)).ok();
         Ok(())
     }

@@ -397,6 +397,28 @@ impl LafPipeline {
         Ok(Self::from_snapshot(Snapshot::open_mmap(path)?))
     }
 
+    /// Warm start that *degrades* instead of failing on corruption in a
+    /// derived snapshot section: a corrupt engine section is rebuilt from
+    /// the dataset (answers byte-identical to a clean load), a corrupt
+    /// estimator serves gate-off exact-only, a corrupt calibration summary
+    /// is dropped. The [`crate::DegradedLoad`] report lists every
+    /// substitution; structural corruption (config, dataset, shard layout)
+    /// still fails. See [`crate::snapshot::Snapshot::decode_degraded`].
+    pub fn load_degraded<P: AsRef<Path>>(
+        path: P,
+    ) -> Result<(Self, crate::DegradedLoad), SnapshotError> {
+        let (snapshot, report) = Snapshot::load_degraded(path)?;
+        Ok((Self::from_snapshot(snapshot), report))
+    }
+
+    /// Zero-copy twin of [`LafPipeline::load_degraded`].
+    pub fn load_mmap_degraded<P: AsRef<Path>>(
+        path: P,
+    ) -> Result<(Self, crate::DegradedLoad), SnapshotError> {
+        let (snapshot, report) = Snapshot::open_mmap_degraded(path)?;
+        Ok((Self::from_snapshot(snapshot), report))
+    }
+
     /// Restore a pipeline from in-memory snapshot bytes.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         Ok(Self::from_snapshot(Snapshot::decode(bytes)?))
@@ -567,6 +589,70 @@ mod tests {
         for (i, (a, b)) in cold_estimates.iter().zip(&warm_estimates).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "estimate {i} differs");
         }
+    }
+
+    #[test]
+    fn corrupt_engine_section_loads_degraded_with_identical_labels() {
+        // The acceptance bar for degraded loads: flipping a bit inside the
+        // persisted engine section must not fail the warm start — the
+        // engine is rebuilt from the (intact) dataset, and every cluster
+        // label is byte-identical to a clean load's.
+        let dir = std::env::temp_dir().join("laf_core_pipeline_degraded_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("degraded_{}.lafs", std::process::id()));
+
+        let mut config = LafConfig::new(0.3, 4, 1.0);
+        config.engine = EngineChoice::Grid { cell_side: 0.5 };
+        let cold = LafPipeline::builder(config)
+            .net(NetConfig::tiny())
+            .training(TrainingSetBuilder {
+                max_queries: Some(100),
+                ..Default::default()
+            })
+            .train_and_save(data(), &path)
+            .unwrap();
+        assert!(cold.persisted_engine().is_some(), "grid engines persist");
+
+        // Flip one bit in the middle of the engine section's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let header_len = 12 + count * 24;
+        let mut flipped = false;
+        for entry in 0..count {
+            let at = 12 + entry * 24;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            if id != crate::snapshot::section_id::ENGINE {
+                continue;
+            }
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            bytes[header_len + offset + len / 2] ^= 0x01;
+            flipped = true;
+        }
+        assert!(flipped, "engine section present in the file");
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(LafPipeline::load(&path).is_err(), "strict load must reject");
+        for degraded_load in [LafPipeline::load_degraded, LafPipeline::load_mmap_degraded] {
+            let (warm, report) = degraded_load(&path).unwrap();
+            assert_eq!(report.sections, vec![crate::DegradedSection::Engine]);
+            assert!(warm.persisted_engine().is_none());
+            let (cold_clustering, _) = cold.cluster_with_stats();
+            let (warm_clustering, _) = warm.cluster_with_stats();
+            assert_eq!(
+                cold_clustering.labels(),
+                warm_clustering.labels(),
+                "degraded rebuild must produce byte-identical labels"
+            );
+            for i in (0..cold.data().len()).step_by(23) {
+                assert_eq!(
+                    cold.engine().get().range(cold.data().row(i), 0.3),
+                    warm.engine().get().range(warm.data().row(i), 0.3),
+                    "row {i} range answers"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -97,6 +97,7 @@ use crate::config::LafConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use laf_cardest::{MlpEstimator, QErrorReport};
 use laf_index::{PersistError, PersistedEngine};
+use laf_vector::fault;
 use laf_vector::mapped::{self, Mmap};
 use laf_vector::{io as vio, Dataset, VectorError};
 use std::fmt;
@@ -345,6 +346,80 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// A parsed section table — `(id, offset, len)` entries with offsets into
 /// the second element, the payload slice.
 type ParsedSections<'a> = (Vec<(u32, usize, usize)>, &'a [u8]);
+
+/// A section dropped by a degraded parse: `(id, stored_crc, computed_crc)`.
+type DroppedSection = (u32, u32, u32);
+
+/// One section a degraded load ([`Snapshot::decode_degraded`] and friends)
+/// could not serve from the file and compensated for instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradedSection {
+    /// The global engine section (id 5) was corrupt; the engine was rebuilt
+    /// from the dataset. Rebuilt structures are deterministic functions of
+    /// the dataset and config, so answers are byte-identical to a clean
+    /// load's.
+    Engine,
+    /// Shard `i`'s engine section (id `0x2000 + i`) was corrupt; that
+    /// shard's engine was rebuilt from its dataset slice.
+    ShardEngine(u32),
+    /// The estimator section was corrupt; a gate-off constant estimator was
+    /// substituted ([`MlpEstimator::gate_off`]), so the pipeline serves
+    /// exact-only — correct answers, none of the learned speedup.
+    Estimator,
+    /// The calibration summary was corrupt and dropped (it is advisory).
+    Calibration,
+}
+
+impl fmt::Display for DegradedSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedSection::Engine => write!(f, "engine (rebuilt from dataset)"),
+            DegradedSection::ShardEngine(i) => {
+                write!(f, "shard-engine {i} (rebuilt from shard dataset)")
+            }
+            DegradedSection::Estimator => write!(f, "estimator (serving gate-off exact-only)"),
+            DegradedSection::Calibration => write!(f, "calibration (dropped)"),
+        }
+    }
+}
+
+/// Report of a degraded snapshot load: which sections failed their CRC and
+/// what the loader substituted. Empty means the load was clean.
+///
+/// Only *derived* sections degrade — engines (rebuildable from the dataset),
+/// the estimator (replaceable by a gate-off constant) and the advisory
+/// calibration summary. Corruption in a structural section (config, dataset,
+/// shard manifest, shard dataset) still fails the load: there is nothing
+/// correct to substitute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedLoad {
+    /// The degraded sections, in section-table order.
+    pub sections: Vec<DegradedSection>,
+}
+
+impl DegradedLoad {
+    /// Whether every section verified and decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.sections.is_empty()
+    }
+}
+
+impl fmt::Display for DegradedLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sections.is_empty() {
+            return write!(f, "clean load");
+        }
+        write!(f, "degraded load: ")?;
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Everything a serving process needs to rebuild a trained LAF pipeline.
 ///
@@ -697,13 +772,33 @@ impl Snapshot {
         Ok((table, cursor))
     }
 
+    /// The error a failed section CRC produces, shared by the strict parse
+    /// and the degraded-load policy (which re-raises it for structural
+    /// sections), so both report corruption identically.
+    fn mismatch_error(id: u32, stored: u32, computed: u32) -> SnapshotError {
+        SnapshotError::Malformed(format!(
+            "section `{}` (id {id}) checksum mismatch: stored {stored:#010x}, computed {computed:#010x}",
+            section_id::name(id)
+        ))
+    }
+
     /// Parse a version-2/3 header: verify the header/table checksum, then
     /// verify **every** section's CRC (known or not) so corruption is
     /// reported by section name before any body is parsed. For version 3,
     /// additionally require every payload byte *outside* the listed sections
     /// (the alignment padding) to be zero, so no byte of the file escapes
     /// verification.
-    fn parse_tabled(bytes: &[u8], version: u32) -> Result<ParsedSections<'_>, SnapshotError> {
+    ///
+    /// With `dropped` set (the degraded-load path), a section failing its
+    /// CRC is recorded there and excluded from the returned table instead of
+    /// failing the parse — the caller decides which exclusions are
+    /// survivable. Its bytes still count toward the padding-coverage spans,
+    /// so the v3 "every byte is checked" rule keeps holding.
+    fn parse_tabled<'a>(
+        bytes: &'a [u8],
+        version: u32,
+        mut dropped: Option<&mut Vec<DroppedSection>>,
+    ) -> Result<ParsedSections<'a>, SnapshotError> {
         let mut cursor: &[u8] = &bytes[8..];
         let count = cursor.get_u32_le() as usize;
         let header_len = 12 + count * 24;
@@ -722,6 +817,7 @@ impl Snapshot {
         }
         let payload = &bytes[header_len..bytes.len() - 4];
         let mut table: Vec<(u32, usize, usize)> = Vec::with_capacity(count);
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(count);
         for _ in 0..count {
             let id = cursor.get_u32_le();
             let offset = cursor.get_u64_le() as usize;
@@ -740,17 +836,27 @@ impl Snapshot {
                     payload.len()
                 )));
             }
-            let actual = crc32(&payload[offset..end]);
+            spans.push((offset, end));
+            let mut actual = crc32(&payload[offset..end]);
+            // Failpoint `mmap.section.bitflip`: model a flipped bit in a
+            // mapped section body by perturbing the *computed* CRC — the
+            // injected corruption is therefore always detected here (and
+            // handled exactly like real media corruption), never silently
+            // served to a query.
+            if fault::fire("mmap.section.bitflip") {
+                actual = !actual;
+            }
             if actual != crc {
-                return Err(SnapshotError::Malformed(format!(
-                    "section `{}` (id {id}) checksum mismatch: stored {crc:#010x}, computed {actual:#010x}",
-                    section_id::name(id)
-                )));
+                if let Some(list) = dropped.as_deref_mut() {
+                    list.push((id, crc, actual));
+                    continue;
+                }
+                return Err(Self::mismatch_error(id, crc, actual));
             }
             table.push((id, offset, len));
         }
         if version >= 3 {
-            Self::check_padding(&table, payload)?;
+            Self::check_padding(&spans, payload)?;
         }
         Ok((table, payload))
     }
@@ -758,11 +864,8 @@ impl Snapshot {
     /// Verify that every payload byte not covered by a listed section is
     /// zero — format v3's padding rule. Keeps the "every corrupted byte is
     /// detected" property the per-section CRCs give the section bodies.
-    fn check_padding(table: &[(u32, usize, usize)], payload: &[u8]) -> Result<(), SnapshotError> {
-        let mut spans: Vec<(usize, usize)> = table
-            .iter()
-            .map(|&(_, offset, len)| (offset, offset + len))
-            .collect();
+    fn check_padding(spans: &[(usize, usize)], payload: &[u8]) -> Result<(), SnapshotError> {
+        let mut spans: Vec<(usize, usize)> = spans.to_vec();
         spans.sort_unstable();
         spans.push((payload.len(), payload.len()));
         let mut cursor = 0usize;
@@ -792,7 +895,27 @@ impl Snapshot {
     /// rejected rather than half-loaded; since format v2 the failing section
     /// is named.
     pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        Self::decode_impl(bytes, None)
+        Self::decode_impl(bytes, None, None)
+    }
+
+    /// Decode like [`Snapshot::decode`], but *degrade* instead of failing
+    /// when a derived section is corrupt: a corrupt engine section (global
+    /// or per shard) is dropped so the caller rebuilds it from the dataset,
+    /// a corrupt estimator section is replaced by a gate-off constant
+    /// estimator ([`MlpEstimator::gate_off`], exact-only serving), and a
+    /// corrupt calibration summary is dropped. Every substitution is listed
+    /// in the returned [`DegradedLoad`] — degradation is typed and
+    /// reported, never silent.
+    ///
+    /// # Errors
+    /// Corruption in a structural section (config, dataset, shard manifest,
+    /// shard dataset) and every structural problem [`Snapshot::decode`]
+    /// rejects still fail: those have no correct substitute. Version-1
+    /// files carry one whole-file checksum, so any corruption fails them.
+    pub fn decode_degraded(bytes: &[u8]) -> Result<(Self, DegradedLoad), SnapshotError> {
+        let mut report = DegradedLoad::default();
+        let snap = Self::decode_impl(bytes, None, Some(&mut report))?;
+        Ok((snap, report))
     }
 
     /// Decode a snapshot directly from a shared file mapping.
@@ -806,10 +929,22 @@ impl Snapshot {
     /// files and big-endian hosts fall back to the copying path
     /// transparently.
     pub fn decode_mapped(map: &Arc<Mmap>) -> Result<Self, SnapshotError> {
-        Self::decode_impl(&map[..], Some(map))
+        Self::decode_impl(&map[..], Some(map), None)
     }
 
-    fn decode_impl(bytes: &[u8], map: Option<&Arc<Mmap>>) -> Result<Self, SnapshotError> {
+    /// Degraded-mode twin of [`Snapshot::decode_mapped`]; see
+    /// [`Snapshot::decode_degraded`] for the degradation policy.
+    pub fn decode_mapped_degraded(map: &Arc<Mmap>) -> Result<(Self, DegradedLoad), SnapshotError> {
+        let mut report = DegradedLoad::default();
+        let snap = Self::decode_impl(&map[..], Some(map), Some(&mut report))?;
+        Ok((snap, report))
+    }
+
+    fn decode_impl(
+        bytes: &[u8],
+        map: Option<&Arc<Mmap>>,
+        degraded: Option<&mut DegradedLoad>,
+    ) -> Result<Self, SnapshotError> {
         if bytes.len() < 16 {
             return Err(SnapshotError::Malformed(format!(
                 "{} bytes is shorter than the fixed header",
@@ -823,9 +958,20 @@ impl Snapshot {
             return Err(SnapshotError::Malformed(format!("bad magic {magic:?}")));
         }
         let version = cursor.get_u32_le();
+        let mut dropped: Vec<DroppedSection> = Vec::new();
         let (table, payload) = match version {
+            // v1 has one whole-file checksum: corruption cannot be pinned to
+            // a section, so the degraded path has nothing finer to offer.
             1 => Self::parse_v1(bytes)?,
-            2..=4 => Self::parse_tabled(bytes, version)?,
+            2..=4 => Self::parse_tabled(
+                bytes,
+                version,
+                if degraded.is_some() {
+                    Some(&mut dropped)
+                } else {
+                    None
+                },
+            )?,
             _ => {
                 return Err(SnapshotError::Malformed(format!(
                     "unsupported snapshot version {version} (this reader supports \
@@ -833,6 +979,31 @@ impl Snapshot {
                 )))
             }
         };
+
+        // Degraded-load policy: derived sections degrade, structural
+        // sections do not. The survivable exclusions are recorded on the
+        // caller's report; anything else re-raises the strict parse's error.
+        let mut estimator_dropped = false;
+        if let Some(report) = degraded {
+            for &(id, stored, computed) in &dropped {
+                let section = match id {
+                    section_id::ENGINE => DegradedSection::Engine,
+                    section_id::ESTIMATOR => {
+                        estimator_dropped = true;
+                        DegradedSection::Estimator
+                    }
+                    section_id::CALIBRATION => DegradedSection::Calibration,
+                    id if (section_id::SHARD_ENGINE_BASE
+                        ..section_id::SHARD_ENGINE_BASE + section_id::MAX_SHARDS)
+                        .contains(&id) =>
+                    {
+                        DegradedSection::ShardEngine(id - section_id::SHARD_ENGINE_BASE)
+                    }
+                    _ => return Err(Self::mismatch_error(id, stored, computed)),
+                };
+                report.sections.push(section);
+            }
+        }
 
         let section = |wanted: u32| -> Result<Option<&[u8]>, SnapshotError> {
             for &(id, offset, len) in &table {
@@ -979,14 +1150,27 @@ impl Snapshot {
                 (data, Vec::new())
             }
         };
-        let mut estimator_bytes = required(section_id::ESTIMATOR, "estimator")?;
-        let estimator = MlpEstimator::decode_binary(&mut estimator_bytes)?;
-        if !estimator_bytes.is_empty() {
-            return Err(SnapshotError::Malformed(format!(
-                "{} trailing bytes after the estimator section",
-                estimator_bytes.len()
-            )));
-        }
+        let estimator = match section(section_id::ESTIMATOR)? {
+            Some(mut estimator_bytes) => {
+                let estimator = MlpEstimator::decode_binary(&mut estimator_bytes)?;
+                if !estimator_bytes.is_empty() {
+                    return Err(SnapshotError::Malformed(format!(
+                        "{} trailing bytes after the estimator section",
+                        estimator_bytes.len()
+                    )));
+                }
+                estimator
+            }
+            // The corrupt estimator section was excluded by the degraded
+            // parse: serve gate-off exact-only rather than failing the load.
+            None if estimator_dropped => MlpEstimator::gate_off(data.dim()),
+            None => {
+                return Err(SnapshotError::Malformed(format!(
+                    "missing required section estimator (id {})",
+                    section_id::ESTIMATOR
+                )))
+            }
+        };
         if estimator.data_dim() != data.dim() {
             return Err(SnapshotError::Malformed(format!(
                 "estimator expects {}-dimensional queries but the dataset is {}-dimensional",
@@ -1053,6 +1237,12 @@ impl Snapshot {
         let mut writer = std::io::BufWriter::new(file);
         self.encode_to_writer(&mut writer)?;
         writer.flush()?;
+        // Failpoint `snapshot.save.fsync`: crash with the full file in the
+        // page cache but not on stable storage — callers sequencing
+        // durability steps against this file must treat the save as failed.
+        if fault::fire("snapshot.save.fsync") {
+            return Err(fault::injected("snapshot.save.fsync").into());
+        }
         // fsync so callers sequencing durability steps against this file
         // (compaction flips its manifest only once the new base is on disk)
         // get contents-on-stable-storage, not just contents-in-page-cache.
@@ -1067,6 +1257,123 @@ impl Snapshot {
         Self::decode(&bytes)
     }
 
+    /// Degraded-mode twin of [`Snapshot::load`]; see
+    /// [`Snapshot::decode_degraded`] for the degradation policy.
+    pub fn load_degraded<P: AsRef<Path>>(path: P) -> Result<(Self, DegradedLoad), SnapshotError> {
+        let bytes = fs::read(path)?;
+        Self::decode_degraded(&bytes)
+    }
+
+    /// Validate the fixed header and section table of the snapshot at
+    /// `path` without decoding (or CRC-checking) any section body: magic,
+    /// supported version, header checksum, and every table entry in bounds.
+    /// Cheap — O(table), not O(file) — for v2+ files, which is what lets a
+    /// snapshot cache reject a damaged file at registration time instead of
+    /// discovering it at first pin under load. (v1 files have only a
+    /// whole-file checksum, so validating them costs one pass.)
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError`] naming the structural problem; I/O errors
+    /// from opening/mapping the file pass through.
+    pub fn validate_header<P: AsRef<Path>>(path: P) -> Result<(), SnapshotError> {
+        let map = mapped::map_file(path)?;
+        let bytes = &map[..];
+        let version = Self::check_magic(bytes)?;
+        match version {
+            1 => {
+                Self::parse_v1(bytes)?;
+            }
+            _ => {
+                let mut cursor: &[u8] = &bytes[8..];
+                let count = cursor.get_u32_le() as usize;
+                let header_len = 12 + count * 24;
+                if bytes.len() < header_len + 4 {
+                    return Err(SnapshotError::Malformed(format!(
+                        "section table for {count} sections exceeds the file"
+                    )));
+                }
+                let stored = &bytes[bytes.len() - 4..];
+                let stored_crc = u32::from_le_bytes(stored.try_into().expect("4-byte slice"));
+                let actual_crc = crc32(&bytes[..header_len]);
+                if stored_crc != actual_crc {
+                    return Err(SnapshotError::Malformed(format!(
+                        "header checksum mismatch: stored {stored_crc:#010x}, \
+                         computed {actual_crc:#010x}"
+                    )));
+                }
+                let payload_len = bytes.len() - header_len - 4;
+                for _ in 0..count {
+                    let id = cursor.get_u32_le();
+                    let offset = cursor.get_u64_le() as usize;
+                    let len = cursor.get_u64_le() as usize;
+                    let _crc = cursor.get_u32_le();
+                    let end = offset.checked_add(len).ok_or_else(|| {
+                        SnapshotError::Malformed(format!(
+                            "section `{}` (id {id}) length overflow",
+                            section_id::name(id)
+                        ))
+                    })?;
+                    if end > payload_len {
+                        return Err(SnapshotError::Malformed(format!(
+                            "section `{}` (id {id}) spans {offset}..{end} but the payload \
+                             holds {payload_len} bytes",
+                            section_id::name(id)
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-verify **every** checksum of the snapshot at `path` — header,
+    /// per-section CRCs, the v3 padding rule — without decoding any body.
+    /// This is the scrub primitive: a full O(file) integrity pass a cache
+    /// can run in the background against resident entries to catch media
+    /// corruption before a reload trips over it.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError`] naming the corrupt section (v2+) or the
+    /// checksum mismatch (v1); I/O errors pass through.
+    pub fn verify_file<P: AsRef<Path>>(path: P) -> Result<(), SnapshotError> {
+        let map = mapped::map_file(path)?;
+        let bytes = &map[..];
+        let version = Self::check_magic(bytes)?;
+        match version {
+            1 => {
+                Self::parse_v1(bytes)?;
+            }
+            _ => {
+                Self::parse_tabled(bytes, version, None)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared entry check: minimum length, magic bytes, supported version.
+    fn check_magic(bytes: &[u8]) -> Result<u32, SnapshotError> {
+        if bytes.len() < 16 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} bytes is shorter than the fixed header",
+                bytes.len()
+            )));
+        }
+        let mut magic = [0u8; 4];
+        let mut cursor: &[u8] = bytes;
+        cursor.copy_to_slice(&mut magic);
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Malformed(format!("bad magic {magic:?}")));
+        }
+        let version = cursor.get_u32_le();
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
+            return Err(SnapshotError::Malformed(format!(
+                "unsupported snapshot version {version} (this reader supports \
+                 {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
+            )));
+        }
+        Ok(version)
+    }
+
     /// Memory-map the snapshot at `path` and decode it zero-copy: the file
     /// is validated (every checksum verified once, against the mapping) and
     /// the dataset section of a format-v3 file is served in place — see
@@ -1074,6 +1381,15 @@ impl Snapshot {
     pub fn open_mmap<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
         let map = mapped::map_file(path)?;
         Self::decode_mapped(&map)
+    }
+
+    /// Degraded-mode twin of [`Snapshot::open_mmap`]; see
+    /// [`Snapshot::decode_degraded`] for the degradation policy.
+    pub fn open_mmap_degraded<P: AsRef<Path>>(
+        path: P,
+    ) -> Result<(Self, DegradedLoad), SnapshotError> {
+        let map = mapped::map_file(path)?;
+        Self::decode_mapped_degraded(&map)
     }
 }
 
@@ -1176,6 +1492,153 @@ mod tests {
 
     fn raw_sections(snap: &Snapshot) -> Vec<(u32, Vec<u8>)> {
         snap.common_sections().unwrap()
+    }
+
+    /// Absolute `(start, len)` of section `wanted`'s body inside an encoded
+    /// v2+ snapshot, read from the (trusted) header table.
+    fn section_span(bytes: &[u8], wanted: u32) -> (usize, usize) {
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let header_len = 12 + count * 24;
+        for entry in 0..count {
+            let at = 12 + entry * 24;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            if id != wanted {
+                continue;
+            }
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            return (header_len + offset, len);
+        }
+        panic!("section {wanted} not present");
+    }
+
+    /// `bytes` with one bit flipped in the middle of section `id`'s body.
+    fn corrupt_section(bytes: &[u8], id: u32) -> Vec<u8> {
+        let (start, len) = section_span(bytes, id);
+        assert!(len > 0, "section {id} is empty");
+        let mut corrupt = bytes.to_vec();
+        corrupt[start + len / 2] ^= 0x01;
+        corrupt
+    }
+
+    #[test]
+    fn degraded_decode_survives_a_corrupt_engine_section() {
+        let snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        let bytes = snap.encode().unwrap().to_vec();
+        let corrupt = corrupt_section(&bytes, section_id::ENGINE);
+        // The strict path still rejects the file outright.
+        assert!(Snapshot::decode(&corrupt).is_err());
+        let (back, report) = Snapshot::decode_degraded(&corrupt).unwrap();
+        assert_eq!(report.sections, vec![DegradedSection::Engine]);
+        assert!(!report.is_clean());
+        assert!(back.engine.is_none(), "corrupt engine must be dropped");
+        // Everything the engine is derived from survived untouched.
+        assert_eq!(back.data, snap.data);
+        assert_eq!(back.config, snap.config);
+        // A clean file reports a clean load.
+        let (_, clean) = Snapshot::decode_degraded(&bytes).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.to_string(), "clean load");
+    }
+
+    #[test]
+    fn degraded_decode_substitutes_a_gate_off_estimator() {
+        let snap = trained_snapshot();
+        let bytes = snap.encode().unwrap().to_vec();
+        let corrupt = corrupt_section(&bytes, section_id::ESTIMATOR);
+        assert!(Snapshot::decode(&corrupt).is_err());
+        let (back, report) = Snapshot::decode_degraded(&corrupt).unwrap();
+        assert_eq!(report.sections, vec![DegradedSection::Estimator]);
+        assert_eq!(back.estimator.data_dim(), snap.data.dim());
+        // The substitute predicts an enormous finite cardinality for every
+        // query, so no gate threshold can ever skip a range query.
+        for i in (0..back.data.len()).step_by(29) {
+            let e =
+                laf_cardest::CardinalityEstimator::estimate(&back.estimator, back.data.row(i), 0.3);
+            assert!(e.is_finite() && e > 1.0e30, "gate-off estimate {e}");
+        }
+        assert!(report.to_string().contains("exact-only"));
+    }
+
+    #[test]
+    fn degraded_decode_drops_a_corrupt_calibration_summary() {
+        let mut snap = trained_snapshot();
+        snap.calibration = Some(QErrorReport {
+            evaluated: 9,
+            mean: 1.3,
+            median: 1.1,
+            p95: 2.2,
+            max: 4.4,
+        });
+        let bytes = snap.encode().unwrap().to_vec();
+        let corrupt = corrupt_section(&bytes, section_id::CALIBRATION);
+        let (back, report) = Snapshot::decode_degraded(&corrupt).unwrap();
+        assert_eq!(report.sections, vec![DegradedSection::Calibration]);
+        assert!(back.calibration.is_none());
+        assert_eq!(back.data, snap.data);
+    }
+
+    #[test]
+    fn degraded_decode_still_fails_on_structural_corruption() {
+        let snap = snapshot_with_engine(EngineChoice::Linear);
+        let bytes = snap.encode().unwrap().to_vec();
+        for id in [section_id::CONFIG, section_id::DATASET] {
+            let corrupt = corrupt_section(&bytes, id);
+            let err = Snapshot::decode_degraded(&corrupt).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("section `{}`", section_id::name(id)))
+                    && err.contains("checksum mismatch"),
+                "structural section {id} must hard-fail, got: {err}"
+            );
+        }
+        // Sharded structural sections hard-fail the same way.
+        let sharded = sharded_snapshot(EngineChoice::Grid { cell_side: 0.5 }, 3);
+        let sbytes = sharded.encode().unwrap().to_vec();
+        for id in [section_id::SHARD_MANIFEST, section_id::shard_dataset(1)] {
+            let corrupt = corrupt_section(&sbytes, id);
+            assert!(Snapshot::decode_degraded(&corrupt).is_err(), "section {id}");
+        }
+    }
+
+    #[test]
+    fn degraded_decode_rebuilds_only_the_corrupt_shard_engine() {
+        let snap = sharded_snapshot(EngineChoice::Grid { cell_side: 0.5 }, 3);
+        let bytes = snap.encode().unwrap().to_vec();
+        let corrupt = corrupt_section(&bytes, section_id::shard_engine(1));
+        let (back, report) = Snapshot::decode_degraded(&corrupt).unwrap();
+        assert_eq!(report.sections, vec![DegradedSection::ShardEngine(1)]);
+        assert!(back.shards[0].engine.is_some());
+        assert!(
+            back.shards[1].engine.is_none(),
+            "corrupt shard engine drops"
+        );
+        assert!(back.shards[2].engine.is_some());
+        assert_eq!(back.data, snap.data);
+    }
+
+    #[test]
+    fn validate_header_is_shallow_and_verify_file_is_deep() {
+        let snap = snapshot_with_engine(EngineChoice::Grid { cell_side: 0.5 });
+        let path = temp_path("verify.lafs");
+        snap.save(&path).unwrap();
+        Snapshot::validate_header(&path).unwrap();
+        Snapshot::verify_file(&path).unwrap();
+
+        // A body flip passes the shallow header check but fails the scrub.
+        let bytes = fs::read(&path).unwrap();
+        let body_corrupt = corrupt_section(&bytes, section_id::DATASET);
+        fs::write(&path, &body_corrupt).unwrap();
+        Snapshot::validate_header(&path).unwrap();
+        let err = Snapshot::verify_file(&path).unwrap_err().to_string();
+        assert!(err.contains("section `dataset`"), "unexpected error: {err}");
+
+        // A header flip fails both.
+        let mut header_corrupt = bytes.clone();
+        header_corrupt[9] ^= 0x01; // inside the section count
+        fs::write(&path, &header_corrupt).unwrap();
+        assert!(Snapshot::validate_header(&path).is_err());
+        assert!(Snapshot::verify_file(&path).is_err());
+        fs::remove_file(path).ok();
     }
 
     #[test]

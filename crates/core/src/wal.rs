@@ -37,6 +37,7 @@
 
 use crate::snapshot::{crc32, SnapshotError};
 use bytes::{Buf, BufMut};
+use laf_vector::fault;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -250,6 +251,17 @@ impl Wal {
         frame.put_u32_le(body.len() as u32);
         frame.put_slice(&body);
         frame.put_u32_le(crc32(&body));
+        // Failpoint `wal.append.partial`: model a crash mid-`write_all` by
+        // leaving a genuine torn frame prefix on disk. The log is poisoned
+        // rather than rolled back — exactly the state a real partial write
+        // that cannot be restored leaves behind — so the torn tail survives
+        // until the next `Wal::open` truncates it away.
+        if fault::fire("wal.append.partial") {
+            let cut = (frame.len() / 2).max(1);
+            let _ = self.file.write_all(&frame[..cut]);
+            self.poisoned = true;
+            return Err(fault::injected("wal.append.partial").into());
+        }
         if let Err(err) = self.file.write_all(&frame) {
             self.rollback_to_committed();
             return Err(err.into());
@@ -279,6 +291,11 @@ impl Wal {
     /// # Errors
     /// Returns [`SnapshotError`] on I/O failures.
     pub fn sync(&self) -> Result<(), SnapshotError> {
+        // Failpoint `wal.sync`: a transient fdatasync failure. The log
+        // itself stays healthy — callers own the retry policy.
+        if fault::fire("wal.sync") {
+            return Err(fault::injected("wal.sync").into());
+        }
         self.file.sync_data()?;
         Ok(())
     }

@@ -14,8 +14,20 @@ use laf_synth::EmbeddingMixtureConfig;
 use laf_vector::Dataset;
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 const DIM: usize = 6;
+
+/// Serialize every test in this binary. The failpoint registry is
+/// process-wide, so a fault plan armed by one test must never be consumed
+/// by another test's compact/sync running on a sibling thread; the
+/// non-fault tests take the same lock so the exclusion is total.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
 
 #[derive(Clone, Copy)]
 enum Op {
@@ -79,6 +91,7 @@ fn apply(mutable: &mut MutablePipeline, op: Op, extra: &Dataset) {
 
 #[test]
 fn every_kill_point_recovers_the_committed_prefix() {
+    let _guard = exclusive();
     let (data, _) = EmbeddingMixtureConfig {
         n_points: 50,
         dim: DIM,
@@ -170,6 +183,7 @@ fn every_kill_point_recovers_the_committed_prefix() {
 
 #[test]
 fn recovery_after_compaction_skips_folded_records() {
+    let _guard = exclusive();
     let (data, _) = EmbeddingMixtureConfig {
         n_points: 40,
         dim: DIM,
@@ -220,6 +234,7 @@ fn recovery_after_compaction_skips_folded_records() {
 /// silently drop them (and a further compaction would regress `base_lsn`).
 #[test]
 fn writes_after_a_post_compaction_reopen_survive_the_next_reopen() {
+    let _guard = exclusive();
     let (data, _) = EmbeddingMixtureConfig {
         n_points: 40,
         dim: DIM,
@@ -283,4 +298,100 @@ fn writes_after_a_post_compaction_reopen_survive_the_next_reopen() {
         "state diverged across the second compaction"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Failpoint-driven compaction kill-point sweep: compact() consults three
+/// named sites on its way to the manifest flip — `snapshot.save.fsync`
+/// (the new base's durability point), `compact.dir_fsync` (the directory
+/// entry's durability point) and `manifest.rename` (the atomic flip
+/// itself). Crash at each: the typed error must name the failpoint, a
+/// reopen must land on exactly the pre-compaction state (all three sites
+/// precede the flip — never a mix of old WAL and new base), any stray
+/// next-generation base file must be tolerated, and the next compaction —
+/// faults cleared — must succeed and survive another reopen.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn every_compact_failpoint_leaves_a_recoverable_store() {
+    use laf_core::fault::{self, FaultMode, FaultPlan};
+
+    let _guard = exclusive();
+    let (data, _) = EmbeddingMixtureConfig {
+        n_points: 40,
+        dim: DIM,
+        clusters: 2,
+        noise_fraction: 0.1,
+        seed: 19,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap();
+    let trained = LafPipeline::builder(LafConfig::new(0.3, 4, 1.0))
+        .net(NetConfig::tiny())
+        .training(TrainingSetBuilder {
+            max_queries: Some(30),
+            ..Default::default()
+        })
+        .train(data)
+        .unwrap();
+    let extra = gen_data(8, 29);
+
+    for (i, site) in [
+        "snapshot.save.fsync",
+        "compact.dir_fsync",
+        "manifest.rename",
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let dir = unique_dir(&format!("compact_kill_{i}"));
+        let mut mutable = MutablePipeline::create(&dir, &trained).unwrap();
+        for &op in &workload()[..5] {
+            apply(&mut mutable, op, &extra);
+        }
+        mutable.sync().unwrap();
+        let pre = mutable.live_dataset().unwrap();
+        let gen0 = mutable.generation();
+        let lsn0 = mutable.last_lsn();
+
+        fault::install(FaultPlan::new(97).with_site(site, FaultMode::OnceAt(0)));
+        let err = mutable.compact().unwrap_err();
+        fault::clear();
+        assert!(
+            err.to_string().contains(site),
+            "compact error must name the failpoint `{site}`: {err}"
+        );
+        // Simulated crash: abandon the in-memory handle, recover from disk.
+        drop(mutable);
+
+        let mut recovered = MutablePipeline::open(&dir).unwrap();
+        assert_eq!(
+            recovered.generation(),
+            gen0,
+            "kill at `{site}`: a pre-flip failure must not advance the manifest"
+        );
+        assert_eq!(
+            recovered.last_lsn(),
+            lsn0,
+            "kill at `{site}`: the committed WAL prefix must replay in full"
+        );
+        assert_eq!(
+            recovered.live_dataset().unwrap().as_flat(),
+            pre.as_flat(),
+            "kill at `{site}`: recovered rows diverge from the pre-compaction state"
+        );
+
+        // Faults cleared, the next compaction must go through (overwriting
+        // any stray base file the failed attempt left behind) and the
+        // result must survive a further clean reopen.
+        recovered.compact().unwrap();
+        assert!(recovered.generation() > gen0, "kill at `{site}`");
+        drop(recovered);
+        let after = MutablePipeline::open(&dir).unwrap();
+        assert_eq!(
+            after.live_dataset().unwrap().as_flat(),
+            pre.as_flat(),
+            "kill at `{site}`: state diverged across the recovery compaction"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -37,9 +37,10 @@
 //! `resident_bytes <= byte_budget` holds at every instant the inner lock is
 //! released.
 
+use laf_core::snapshot::Snapshot;
 use laf_core::{LafPipeline, SnapshotError};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
@@ -114,6 +115,26 @@ pub enum CacheError {
         /// The tenant whose snapshot the write targeted.
         tenant: String,
     },
+    /// [`SnapshotCache::register`] validated the snapshot eagerly and the
+    /// file failed: bad magic, unsupported version, damaged header or an
+    /// out-of-bounds section table. The path names exactly which file to
+    /// regenerate.
+    Corrupt {
+        /// Tenant whose registration was rejected.
+        tenant: String,
+        /// The snapshot file that failed validation.
+        path: PathBuf,
+        /// The underlying validation error.
+        source: SnapshotError,
+    },
+    /// The tenant's snapshot was quarantined by a [`SnapshotCache::scrub`]
+    /// pass (a section CRC failed on re-verification). Quarantined tenants
+    /// reject pins until re-[`register`](SnapshotCache::register)ed with a
+    /// repaired or regenerated file.
+    Quarantined {
+        /// The quarantined tenant.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -148,6 +169,24 @@ impl fmt::Display for CacheError {
                     "tenant `{tenant}` snapshot is read-only: writes need a mutable server"
                 )
             }
+            CacheError::Corrupt {
+                tenant,
+                path,
+                source,
+            } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` snapshot {} failed validation: {source}",
+                    path.display()
+                )
+            }
+            CacheError::Quarantined { tenant } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` snapshot is quarantined (scrub found corruption); \
+                     re-register a repaired file"
+                )
+            }
         }
     }
 }
@@ -155,7 +194,7 @@ impl fmt::Display for CacheError {
 impl std::error::Error for CacheError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CacheError::Load { source, .. } => Some(source),
+            CacheError::Load { source, .. } | CacheError::Corrupt { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -291,8 +330,23 @@ struct CacheInner {
     tenants: HashMap<String, PathBuf>,
     /// Resident entries.
     entries: HashMap<String, CacheEntry>,
+    /// Tenants whose snapshot failed a [`SnapshotCache::scrub`] CRC
+    /// re-verification. Pins are rejected until the tenant re-registers.
+    quarantined: HashSet<String>,
     policy: Box<dyn EvictionPolicy>,
     resident_bytes: u64,
+}
+
+/// Outcome of one [`SnapshotCache::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Unpinned resident snapshots whose on-disk CRCs re-verified clean.
+    pub verified: Vec<String>,
+    /// Tenants quarantined this pass (CRC mismatch on re-verification).
+    pub quarantined: Vec<String>,
+    /// Resident entries skipped because they were pinned when the pass
+    /// started — a mid-query mmap is never re-read behind the request.
+    pub skipped_pinned: usize,
 }
 
 /// A buffer-managed, multi-tenant snapshot cache (see the crate
@@ -328,6 +382,7 @@ impl SnapshotCache {
             inner: Mutex::new(CacheInner {
                 tenants: HashMap::new(),
                 entries: HashMap::new(),
+                quarantined: HashSet::new(),
                 policy,
                 resident_bytes: 0,
             }),
@@ -348,8 +403,21 @@ impl SnapshotCache {
     /// Register (or re-point) `tenant`'s snapshot path. Re-pointing a
     /// resident tenant invalidates its cached entry once unpinned; live
     /// pins keep serving the old snapshot until dropped.
-    pub fn register<P: AsRef<Path>>(&self, tenant: &str, path: P) {
+    ///
+    /// The snapshot header and section table are validated **eagerly**
+    /// (without reading section bodies), so a truncated or garbage file is
+    /// rejected here — naming the offending path — instead of surfacing as
+    /// a load failure on some later request. Re-registering also lifts any
+    /// [`CacheError::Quarantined`] state left by a [`scrub`](Self::scrub)
+    /// pass: the operator has, by registering, asserted the file is fresh.
+    pub fn register<P: AsRef<Path>>(&self, tenant: &str, path: P) -> Result<(), CacheError> {
+        Snapshot::validate_header(path.as_ref()).map_err(|source| CacheError::Corrupt {
+            tenant: tenant.to_string(),
+            path: path.as_ref().to_path_buf(),
+            source,
+        })?;
         let mut inner = self.inner.lock().expect("cache lock");
+        inner.quarantined.remove(tenant);
         let prev = inner
             .tenants
             .insert(tenant.to_string(), path.as_ref().to_path_buf());
@@ -360,6 +428,7 @@ impl SnapshotCache {
         {
             Self::remove_entry(&mut inner, tenant);
         }
+        Ok(())
     }
 
     /// Registered tenant ids, in no particular order.
@@ -384,6 +453,11 @@ impl SnapshotCache {
     /// miss; the engine build is the dominant cost and is paid once.
     pub fn pin(self: &Arc<Self>, tenant: &str) -> Result<PinnedSnapshot, CacheError> {
         let mut inner = self.inner.lock().expect("cache lock");
+        if inner.quarantined.contains(tenant) {
+            return Err(CacheError::Quarantined {
+                tenant: tenant.to_string(),
+            });
+        }
         if let Some(entry) = inner.entries.get_mut(tenant) {
             entry.pins += 1;
             let pipeline = Arc::clone(&entry.pipeline);
@@ -446,6 +520,11 @@ impl SnapshotCache {
     /// registered.
     pub fn try_pin(self: &Arc<Self>, tenant: &str) -> Result<PinnedSnapshot, CacheError> {
         let mut inner = self.inner.lock().expect("cache lock");
+        if inner.quarantined.contains(tenant) {
+            return Err(CacheError::Quarantined {
+                tenant: tenant.to_string(),
+            });
+        }
         if let Some(entry) = inner.entries.get_mut(tenant) {
             entry.pins += 1;
             let pipeline = Arc::clone(&entry.pipeline);
@@ -461,6 +540,68 @@ impl SnapshotCache {
         } else {
             Err(CacheError::UnknownTenant(tenant.to_string()))
         }
+    }
+
+    /// Background scrub pass: re-verify the section CRCs of every
+    /// **unpinned** resident snapshot against its on-disk bytes, and
+    /// quarantine the tenants whose files no longer verify (bit rot, a
+    /// truncating copy, an operator overwrite gone wrong).
+    ///
+    /// Quarantined tenants are dropped from residency and every subsequent
+    /// [`pin`](Self::pin)/[`try_pin`](Self::try_pin) returns
+    /// [`CacheError::Quarantined`] — never a silently wrong answer — until
+    /// the tenant is re-[`register`](Self::register)ed with a repaired
+    /// file. Pinned entries are skipped (reported in
+    /// [`ScrubReport::skipped_pinned`]): their mmap'd bytes are mid-query.
+    ///
+    /// The full-file CRC verification runs **outside** the cache lock, so a
+    /// scrub never stalls concurrent pins; the pass re-checks under the
+    /// lock that each entry is still unpinned and still points at the same
+    /// file before quarantining.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let candidates: Vec<(String, PathBuf)> = {
+            let inner = self.inner.lock().expect("cache lock");
+            report.skipped_pinned = inner.entries.values().filter(|e| e.pins > 0).count();
+            inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.pins == 0)
+                .filter_map(|(t, _)| inner.tenants.get(t).map(|p| (t.clone(), p.clone())))
+                .collect()
+        };
+        for (tenant, path) in candidates {
+            match Snapshot::verify_file(&path) {
+                Ok(()) => report.verified.push(tenant),
+                Err(_) => {
+                    let mut inner = self.inner.lock().expect("cache lock");
+                    // Re-registration or a pin may have raced the verify;
+                    // only quarantine if the tenant still serves this file
+                    // and the entry is still unpinned.
+                    if inner.tenants.get(&tenant) != Some(&path) {
+                        continue;
+                    }
+                    if inner.entries.get(&tenant).is_some_and(|e| e.pins > 0) {
+                        report.skipped_pinned += 1;
+                        continue;
+                    }
+                    Self::remove_entry(&mut inner, &tenant);
+                    inner.quarantined.insert(tenant.clone());
+                    report.quarantined.push(tenant);
+                }
+            }
+        }
+        report.verified.sort();
+        report.quarantined.sort();
+        report
+    }
+
+    /// Tenants currently quarantined by [`scrub`](Self::scrub), sorted.
+    pub fn quarantined(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut out: Vec<String> = inner.quarantined.iter().cloned().collect();
+        out.sort();
+        out
     }
 
     /// Point-in-time snapshot of the counters and current residency.
@@ -627,7 +768,7 @@ mod tests {
             byte_budget: bytes * 4,
             ..CacheConfig::default()
         });
-        cache.register("a", &path);
+        cache.register("a", &path).unwrap();
         let first = cache.pin("a").unwrap();
         let second = cache.pin("a").unwrap();
         assert!(Arc::ptr_eq(&first.pipeline(), &second.pipeline()));
@@ -650,9 +791,9 @@ mod tests {
             byte_budget: bytes * 2 + bytes / 2,
             ..CacheConfig::default()
         });
-        cache.register("a", &pa);
-        cache.register("b", &pb);
-        cache.register("c", &pc);
+        cache.register("a", &pa).unwrap();
+        cache.register("b", &pb).unwrap();
+        cache.register("c", &pc).unwrap();
         drop(cache.pin("a").unwrap());
         drop(cache.pin("b").unwrap());
         drop(cache.pin("a").unwrap()); // a is now warmer than b
@@ -680,8 +821,8 @@ mod tests {
             byte_budget: bytes + bytes / 2,
             ..CacheConfig::default()
         });
-        cache.register("a", &pa);
-        cache.register("b", &pb);
+        cache.register("a", &pa).unwrap();
+        cache.register("b", &pb).unwrap();
         let pinned = cache.pin("a").unwrap();
         let err = cache.pin("b").unwrap_err();
         assert!(matches!(err, CacheError::Overloaded { .. }), "{err}");
@@ -718,7 +859,7 @@ mod tests {
             cache.try_pin("ghost").unwrap_err(),
             CacheError::UnknownTenant(_)
         ));
-        cache.register("a", &pa);
+        cache.register("a", &pa).unwrap();
         let err = cache.pin("a").unwrap_err();
         assert!(matches!(err, CacheError::QuotaExceeded { .. }), "{err}");
         assert_eq!(cache.report().rejections, 1);
@@ -735,8 +876,8 @@ mod tests {
             max_entries: 1,
             tenant_quota: 0,
         });
-        cache.register("a", &pa);
-        cache.register("b", &pb);
+        cache.register("a", &pa).unwrap();
+        cache.register("b", &pb).unwrap();
         drop(cache.pin("a").unwrap());
         drop(cache.pin("b").unwrap());
         assert!(
@@ -758,9 +899,9 @@ mod tests {
             byte_budget: bytes * 4,
             ..CacheConfig::default()
         });
-        cache.register("a", &pa);
+        cache.register("a", &pa).unwrap();
         let before = cache.pin("a").unwrap().pipeline();
-        cache.register("a", &pa2);
+        cache.register("a", &pa2).unwrap();
         let after = cache.pin("a").unwrap().pipeline();
         assert!(
             !Arc::ptr_eq(&before, &after),
@@ -777,5 +918,120 @@ mod tests {
         assert_send_sync::<Arc<SnapshotCache>>();
         assert_send_sync::<PinnedSnapshot>();
         assert_send_sync::<CacheConfig>();
+    }
+
+    /// XOR one byte of the file in place (and back, when called twice).
+    fn flip_byte(path: &Path, offset: usize) {
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[offset] ^= 0x01;
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn register_rejects_a_garbage_file_naming_it() {
+        let dir = temp_dir("reject");
+        let path = dir.join(format!("garbage_{}.lafs", std::process::id()));
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        let cache = SnapshotCache::new(CacheConfig::default());
+        let err = cache.register("a", &path).unwrap_err();
+        match &err {
+            CacheError::Corrupt {
+                tenant, path: p, ..
+            } => {
+                assert_eq!(tenant, "a");
+                assert_eq!(p, &path);
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        assert!(err.to_string().contains("garbage_"), "{err}");
+        // The rejected registration left no tenant behind.
+        assert!(matches!(
+            cache.pin("a").unwrap_err(),
+            CacheError::UnknownTenant(_)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scrub_quarantines_a_corrupted_resident_snapshot() {
+        let dir = temp_dir("scrub");
+        let (pa, bytes) = snapshot_file(&dir, "sa", 1);
+        let (pb, _) = snapshot_file(&dir, "sb", 2);
+        let cache = SnapshotCache::new(CacheConfig {
+            byte_budget: bytes * 4,
+            ..CacheConfig::default()
+        });
+        cache.register("a", &pa).unwrap();
+        cache.register("b", &pb).unwrap();
+        drop(cache.pin("a").unwrap());
+        drop(cache.pin("b").unwrap());
+        let clean = cache.scrub();
+        assert_eq!(clean.verified, vec!["a".to_string(), "b".to_string()]);
+        assert!(clean.quarantined.is_empty());
+        // Rot a byte in the middle of a's file (a section body, not the
+        // header the eager register validation already covered).
+        let len = std::fs::metadata(&pa).unwrap().len() as usize;
+        flip_byte(&pa, len / 2);
+        let report = cache.scrub();
+        assert_eq!(report.verified, vec!["b".to_string()]);
+        assert_eq!(report.quarantined, vec!["a".to_string()]);
+        assert!(!cache.resident("a"), "quarantine drops residency");
+        assert!(matches!(
+            cache.pin("a").unwrap_err(),
+            CacheError::Quarantined { .. }
+        ));
+        assert!(matches!(
+            cache.try_pin("a").unwrap_err(),
+            CacheError::Quarantined { .. }
+        ));
+        assert_eq!(cache.quarantined(), vec!["a".to_string()]);
+        // The healthy tenant keeps serving.
+        drop(cache.pin("b").unwrap());
+        for p in [pa, pb] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn re_registering_a_repaired_file_lifts_quarantine() {
+        let dir = temp_dir("requarantine");
+        let (pa, _) = snapshot_file(&dir, "ra", 7);
+        let cache = SnapshotCache::new(CacheConfig::default());
+        cache.register("a", &pa).unwrap();
+        drop(cache.pin("a").unwrap());
+        let len = std::fs::metadata(&pa).unwrap().len() as usize;
+        flip_byte(&pa, len / 2);
+        assert_eq!(cache.scrub().quarantined, vec!["a".to_string()]);
+        assert!(matches!(
+            cache.pin("a").unwrap_err(),
+            CacheError::Quarantined { .. }
+        ));
+        // Repair the file and re-register: the tenant serves again.
+        flip_byte(&pa, len / 2);
+        cache.register("a", &pa).unwrap();
+        let pin = cache.pin("a").unwrap();
+        assert_eq!(pin.tenant(), "a");
+        drop(pin);
+        assert!(cache.quarantined().is_empty());
+        std::fs::remove_file(pa).ok();
+    }
+
+    #[test]
+    fn scrub_skips_pinned_entries() {
+        let dir = temp_dir("scrubpin");
+        let (pa, _) = snapshot_file(&dir, "pa", 9);
+        let cache = SnapshotCache::new(CacheConfig::default());
+        cache.register("a", &pa).unwrap();
+        let pin = cache.pin("a").unwrap();
+        let len = std::fs::metadata(&pa).unwrap().len() as usize;
+        flip_byte(&pa, len / 2);
+        let report = cache.scrub();
+        assert_eq!(report.skipped_pinned, 1);
+        assert!(report.quarantined.is_empty(), "pinned entries are immune");
+        assert!(cache.resident("a"));
+        // Once the pin drops, the next pass quarantines the rotten file.
+        drop(pin);
+        assert_eq!(cache.scrub().quarantined, vec!["a".to_string()]);
+        std::fs::remove_file(pa).ok();
     }
 }

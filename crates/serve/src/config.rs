@@ -35,6 +35,13 @@ pub struct ServeConfig {
     /// automatic compaction (the default — immutable servers and callers
     /// that compact on their own schedule).
     pub compact_threshold: usize,
+    /// Per-request deadline for the blocking submission paths, in
+    /// microseconds. A request still unanswered after this long fails with
+    /// [`crate::ServeError::Timeout`] — the caller unblocks, the dispatcher
+    /// still finishes the work and discards the unclaimed result. `0` (the
+    /// default) disables deadlines: blocking calls wait as long as it
+    /// takes.
+    pub request_deadline_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +51,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_queue_depth: 1024,
             compact_threshold: 0,
+            request_deadline_us: 0,
         }
     }
 }
@@ -63,6 +71,11 @@ impl ServeConfig {
     /// The coalescing window as a [`Duration`].
     pub fn window(&self) -> Duration {
         Duration::from_micros(self.coalesce_window_us)
+    }
+
+    /// The per-request deadline as a [`Duration`]; `None` when disabled.
+    pub fn deadline(&self) -> Option<Duration> {
+        (self.request_deadline_us > 0).then(|| Duration::from_micros(self.request_deadline_us))
     }
 }
 
@@ -92,9 +105,20 @@ mod tests {
             max_batch: 32,
             max_queue_depth: 256,
             compact_threshold: 128,
+            request_deadline_us: 5_000,
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: ServeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn deadline_is_none_when_disabled() {
+        assert_eq!(ServeConfig::default().deadline(), None);
+        let c = ServeConfig {
+            request_deadline_us: 250,
+            ..ServeConfig::default()
+        };
+        assert_eq!(c.deadline(), Some(Duration::from_micros(250)));
     }
 }

@@ -138,7 +138,7 @@ mod tenant;
 
 pub use cache::{
     CacheConfig, CacheError, CacheStats, CacheStatsReport, EvictionPolicy, LruPolicy,
-    PinnedSnapshot, SnapshotCache,
+    PinnedSnapshot, ScrubReport, SnapshotCache,
 };
 pub use config::{ServeConfig, TILE};
 pub use request::{QueryRequest, QueryResponse, WriteError};

@@ -9,7 +9,27 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Retry budget for the dispatcher's transient-I/O edges: a failed WAL
+/// group-commit sync is retried up to this many times before the batch's
+/// writes are rejected, and a failed background compaction up to
+/// [`COMPACT_RETRIES`] times before the failure latches the backoff floor.
+/// Backoff doubles from [`RETRY_BACKOFF_BASE_US`] per retry.
+const WAL_SYNC_RETRIES: u32 = 3;
+/// Immediate re-attempts of a failed background compaction (see
+/// [`WAL_SYNC_RETRIES`]); the existing backlog-growth backoff still governs
+/// when a batch re-attempts after these are exhausted.
+const COMPACT_RETRIES: u32 = 2;
+/// First-retry backoff; retry `n` sleeps `base << (n - 1)` microseconds.
+const RETRY_BACKOFF_BASE_US: u64 = 100;
+
+/// Sleep before retry number `attempt` (1-based) of a transient failure.
+fn retry_backoff(attempt: u32) {
+    std::thread::sleep(Duration::from_micros(
+        RETRY_BACKOFF_BASE_US << (attempt - 1).min(10),
+    ));
+}
 
 /// Why a submission did not produce a result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +50,15 @@ pub enum ServeError {
     /// started with [`LafServer::start`] rather than
     /// [`LafServer::start_mutable`]).
     ReadOnly,
+    /// The caller's deadline expired before the dispatcher served the
+    /// request ([`ServeConfig::request_deadline_us`] on the blocking paths,
+    /// or an explicit [`Ticket::wait_timeout`]). The request itself is
+    /// **not** cancelled: the dispatcher still answers and counts it, the
+    /// result is simply abandoned — exactly like dropping a ticket.
+    Timeout {
+        /// How long the caller waited before giving up, in microseconds.
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -40,6 +69,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::ReadOnly => write!(f, "server is read-only: writes need start_mutable"),
+            ServeError::Timeout { waited_us } => {
+                write!(f, "request deadline expired after {waited_us}us")
+            }
         }
     }
 }
@@ -131,6 +163,23 @@ impl Slot {
             }
         }
     }
+
+    /// Like [`Slot::wait`], but give up after `timeout`; `Err` carries the
+    /// microseconds actually waited.
+    fn wait_deadline(&self, timeout: Duration) -> Result<Served<Reply>, u64> {
+        let start = Instant::now();
+        let mut guard = self.filled.lock().unwrap();
+        loop {
+            if let Some(served) = guard.take() {
+                return Ok(served);
+            }
+            let elapsed = start.elapsed();
+            let Some(remaining) = timeout.checked_sub(elapsed) else {
+                return Err(elapsed.as_micros() as u64);
+            };
+            (guard, _) = self.ready.wait_timeout(guard, remaining).unwrap();
+        }
+    }
 }
 
 struct Pending {
@@ -150,6 +199,7 @@ struct Pending {
 #[must_use = "a ticket does nothing until waited on; drop abandons the result"]
 pub struct Ticket<T> {
     slot: Arc<Slot>,
+    shared: Arc<Shared>,
     extract: fn(Reply) -> T,
 }
 
@@ -160,6 +210,23 @@ impl<T> Ticket<T> {
         Served {
             epoch: served.epoch,
             value: (self.extract)(served.value),
+        }
+    }
+
+    /// Block at most `timeout` for the result. On expiry the ticket is
+    /// consumed and the result abandoned — the dispatcher still answers and
+    /// counts the request, exactly as if the ticket were dropped — and the
+    /// timeout is counted on [`crate::ServeStats`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Served<T>, ServeError> {
+        match self.slot.wait_deadline(timeout) {
+            Ok(served) => Ok(Served {
+                epoch: served.epoch,
+                value: (self.extract)(served.value),
+            }),
+            Err(waited_us) => {
+                self.shared.stats.record_timeout();
+                Err(ServeError::Timeout { waited_us })
+            }
         }
     }
 
@@ -317,8 +384,18 @@ impl LafServer {
     fn submit_work<T>(&self, work: Work, extract: fn(Reply) -> T) -> Result<Ticket<T>, ServeError> {
         Ok(Ticket {
             slot: self.enqueue(work)?,
+            shared: Arc::clone(&self.shared),
             extract,
         })
+    }
+
+    /// Wait policy of the blocking entry points: apply the configured
+    /// per-request deadline when one is set, wait indefinitely otherwise.
+    fn await_ticket<T>(&self, ticket: Ticket<T>) -> Result<Served<T>, ServeError> {
+        match self.shared.config.deadline() {
+            Some(deadline) => ticket.wait_timeout(deadline),
+            None => Ok(ticket.wait()),
+        }
     }
 
     /// Submit any request kind without blocking on its result.
@@ -357,7 +434,8 @@ impl LafServer {
     /// Submit any request kind and block until it is served; see
     /// [`LafServer::submit_async`].
     pub fn submit(&self, request: QueryRequest) -> Result<Served<QueryResponse>, ServeError> {
-        Ok(self.submit_async(request)?.wait())
+        let ticket = self.submit_async(request)?;
+        self.await_ticket(ticket)
     }
 
     fn require_mutable(&self) -> Result<(), ServeError> {
@@ -461,35 +539,41 @@ impl LafServer {
     /// bit-identical to `pipeline.engine().range(query, eps)` on the
     /// snapshot of the returned epoch.
     pub fn range(&self, query: &[f32], eps: f32) -> Result<Served<Vec<u32>>, ServeError> {
-        Ok(self.range_async(query, eps)?.wait())
+        let ticket = self.range_async(query, eps)?;
+        self.await_ticket(ticket)
     }
 
     /// Neighbor count within `eps`, served like [`LafServer::range`].
     pub fn range_count(&self, query: &[f32], eps: f32) -> Result<Served<usize>, ServeError> {
-        Ok(self.range_count_async(query, eps)?.wait())
+        let ticket = self.range_count_async(query, eps)?;
+        self.await_ticket(ticket)
     }
 
     /// k-nearest-neighbor query, served like [`LafServer::range`].
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Served<Vec<Neighbor>>, ServeError> {
-        Ok(self.knn_async(query, k)?.wait())
+        let ticket = self.knn_async(query, k)?;
+        self.await_ticket(ticket)
     }
 
     /// Learned cardinality estimate, served like [`LafServer::range`].
     pub fn estimate(&self, query: &[f32], eps: f32) -> Result<Served<f32>, ServeError> {
-        Ok(self.estimate_async(query, eps)?.wait())
+        let ticket = self.estimate_async(query, eps)?;
+        self.await_ticket(ticket)
     }
 
     /// Insert a row through the write-ahead log, blocking until the write's
     /// group commit is durable (mutable servers only). Resolves to the
     /// write's WAL sequence number.
     pub fn insert(&self, row: &[f32]) -> Result<Served<Result<u64, WriteError>>, ServeError> {
-        Ok(self.insert_async(row)?.wait())
+        let ticket = self.insert_async(row)?;
+        self.await_ticket(ticket)
     }
 
     /// Delete the row with dense live id `dense`, blocking like
     /// [`LafServer::insert`] (mutable servers only).
     pub fn delete(&self, dense: u64) -> Result<Served<Result<u64, WriteError>>, ServeError> {
-        Ok(self.delete_async(dense)?.wait())
+        let ticket = self.delete_async(dense)?;
+        self.await_ticket(ticket)
     }
 
     /// Atomically swap the served snapshot: an epoch-tagged
@@ -720,7 +804,24 @@ fn answer_mutable(
         };
         replies.push(reply);
     }
-    let commit_failed = wrote && pipeline.sync().is_err();
+    // Group commit with bounded retry: a transient sync failure (a busy
+    // device, an injected fault) is retried with doubling backoff before
+    // the batch's writes are rejected. Rejecting is still safe — the
+    // in-memory state may be ahead of the log, exactly as if the process
+    // had crashed before the sync — but a retry that lands keeps the acks.
+    let mut commit_failed = false;
+    if wrote {
+        for attempt in 0..=WAL_SYNC_RETRIES {
+            if attempt > 0 {
+                retry_backoff(attempt);
+                shared.stats.record_wal_sync_retry();
+            }
+            commit_failed = pipeline.sync().is_err();
+            if !commit_failed {
+                break;
+            }
+        }
+    }
     for (pending, reply) in batch.iter().zip(replies) {
         let reply = match reply {
             Reply::Written(_) if commit_failed => Reply::Rejected(WriteError::Storage),
@@ -732,7 +833,19 @@ fn answer_mutable(
     let threshold = shared.config.compact_threshold;
     let pending = pipeline.pending_ops();
     if threshold != 0 && pending >= threshold && pending >= *compact_floor {
-        match pipeline.compact() {
+        // Bounded immediate retry for transient compaction I/O errors;
+        // compact() mutates nothing visible until its manifest flip, so a
+        // failed attempt is safe to re-run. Only after the retries are
+        // exhausted does the failure latch the backlog-growth backoff.
+        let mut result = pipeline.compact();
+        let mut attempt = 0;
+        while result.is_err() && attempt < COMPACT_RETRIES {
+            attempt += 1;
+            retry_backoff(attempt);
+            shared.stats.record_compact_retry();
+            result = pipeline.compact();
+        }
+        match result {
             Ok(()) => {
                 *compact_floor = 0;
                 let engine = pipeline.base().engine();
@@ -1277,6 +1390,113 @@ mod tests {
         let reopened = MutablePipeline::open(&dir).unwrap();
         assert_eq!(reopened.len(), n_before, "+1 insert, -1 delete");
         assert_eq!(reopened.last_lsn(), 2, "both writes recovered from the WAL");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_times_out_parked_requests() {
+        let (server, q) = parking_server(
+            ServeConfig {
+                coalesce_window_us: 500_000,
+                max_batch: 8,
+                request_deadline_us: 2_000,
+                ..ServeConfig::default()
+            },
+            61,
+        );
+        // One parked request — below the dot4 tile, inside the long window —
+        // must unblock with a typed timeout, not hang for the window.
+        match server.range(&q, 0.3) {
+            Err(ServeError::Timeout { waited_us }) => assert!(waited_us >= 2_000, "{waited_us}"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(server.stats_report().timeouts, 1);
+        // The dispatcher still answers the abandoned request on drain.
+        let report = server.shutdown();
+        assert_eq!(report.submitted, 1);
+        assert_eq!(report.completed, 1, "timed-out requests still drain");
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_result_when_served_in_time() {
+        let pipeline = pipeline(67);
+        let engine = pipeline.engine();
+        let q: Vec<f32> = pipeline.data().row(1).to_vec();
+        let expected = engine.range_count(&q, 0.3);
+        let server = LafServer::start(pipeline, ServeConfig::default());
+        let ticket = server.range_count_async(&q, 0.3).unwrap();
+        let served = ticket.wait_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(served.value, expected);
+        assert_eq!(server.stats_report().timeouts, 0);
+        assert!(ServeError::Timeout { waited_us: 7 }
+            .to_string()
+            .contains("7us"));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_wal_sync_failures_are_absorbed_by_retry() {
+        use laf_core::fault::{self, FaultMode, FaultPlan};
+        use laf_core::MutablePipeline;
+        let frozen = pipeline(71);
+        let dir = mutable_dir("wal_retry");
+        let mutable = MutablePipeline::create(&dir, &frozen).unwrap();
+        let server = LafServer::start_mutable(mutable, ServeConfig::default());
+        let row = vec![3.0f32; 12];
+        // The registry is process-wide and sibling tests also sync; if one
+        // of them consumes the single armed firing, re-arm and try again.
+        let mut absorbed = false;
+        for _ in 0..5 {
+            fault::install(FaultPlan::new(1).with_site("wal.sync", FaultMode::OnceAt(0)));
+            let lsn = server.insert(&row).unwrap().value;
+            assert!(
+                lsn.is_ok(),
+                "a single transient sync failure must be retried away"
+            );
+            if server.stats_report().wal_sync_retries > 0 {
+                absorbed = true;
+                break;
+            }
+        }
+        fault::clear();
+        assert!(absorbed, "retry counter never advanced");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_compaction_failures_are_absorbed_by_retry() {
+        use laf_core::fault::{self, FaultMode, FaultPlan};
+        use laf_core::MutablePipeline;
+        let frozen = pipeline(73);
+        let q: Vec<f32> = frozen.data().row(0).to_vec();
+        let dir = mutable_dir("compact_retry");
+        let mutable = MutablePipeline::create(&dir, &frozen).unwrap();
+        let server = LafServer::start_mutable(
+            mutable,
+            ServeConfig {
+                compact_threshold: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let before = server.range(&q, 0.3).unwrap();
+        fault::install(FaultPlan::new(2).with_site("compact.dir_fsync", FaultMode::OnceAt(0)));
+        let row = vec![4.0f32; 12];
+        server.insert(&row).unwrap().value.unwrap();
+        fault::clear();
+        let after = server.range(&q, 0.3).unwrap();
+        let report = server.stats_report();
+        assert_eq!(
+            report.compact_failures, 0,
+            "one transient fsync failure must not latch a compaction failure"
+        );
+        assert_eq!(
+            after.epoch, 2,
+            "retried compaction still publishes its epoch"
+        );
+        assert_eq!(after.value, before.value);
+        server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -46,6 +46,9 @@ pub struct ServeStats {
     tile_batches: AtomicU64,
     reloads: AtomicU64,
     compact_failures: AtomicU64,
+    timeouts: AtomicU64,
+    wal_sync_retries: AtomicU64,
+    compact_retries: AtomicU64,
     peak_queue_depth: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
 }
@@ -84,9 +87,41 @@ impl ServeStats {
         self.compact_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a blocking request that gave up waiting (its deadline
+    /// expired before the dispatcher served it).
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retried WAL sync (the retry that *followed* a transient
+    /// sync failure — a group commit that needed two attempts counts one).
+    pub(crate) fn record_wal_sync_retry(&self) {
+        self.wal_sync_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retried background compaction attempt.
+    pub(crate) fn record_compact_retry(&self) {
+        self.compact_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Background compactions that failed so far.
     pub fn compact_failures(&self) -> u64 {
         self.compact_failures.load(Ordering::Relaxed)
+    }
+
+    /// Blocking requests that hit their deadline so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// WAL sync retries performed so far.
+    pub fn wal_sync_retries(&self) -> u64 {
+        self.wal_sync_retries.load(Ordering::Relaxed)
+    }
+
+    /// Background compaction retries performed so far.
+    pub fn compact_retries(&self) -> u64 {
+        self.compact_retries.load(Ordering::Relaxed)
     }
 
     /// Requests admitted so far.
@@ -116,6 +151,9 @@ impl ServeStats {
             tile_batches: self.tile_batches.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             compact_failures: self.compact_failures.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wal_sync_retries: self.wal_sync_retries.load(Ordering::Relaxed),
+            compact_retries: self.compact_retries.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             mean_batch_occupancy: if batches == 0 {
                 0.0
@@ -143,6 +181,9 @@ impl ServeStats {
         self.tile_batches.store(0, Ordering::Relaxed);
         self.reloads.store(0, Ordering::Relaxed);
         self.compact_failures.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.wal_sync_retries.store(0, Ordering::Relaxed);
+        self.compact_retries.store(0, Ordering::Relaxed);
         self.peak_queue_depth.store(0, Ordering::Relaxed);
         for bucket in &self.occupancy {
             bucket.store(0, Ordering::Relaxed);
@@ -178,6 +219,16 @@ pub struct ServeStatsReport {
     /// Background compactions that failed (mutable servers only; the
     /// dispatcher backs off until the write backlog grows further).
     pub compact_failures: u64,
+    /// Blocking requests that hit their [`crate::ServeConfig`] deadline
+    /// and unblocked with [`crate::ServeError::Timeout`].
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Transient WAL group-commit sync failures absorbed by retry.
+    #[serde(default)]
+    pub wal_sync_retries: u64,
+    /// Transient background-compaction failures absorbed by retry.
+    #[serde(default)]
+    pub compact_retries: u64,
     /// Highest queue depth observed at submission time.
     pub peak_queue_depth: u64,
     /// `completed / batches` — the average coalescing factor.

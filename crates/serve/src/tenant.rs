@@ -181,8 +181,8 @@ mod tests {
             byte_budget: bytes * 4,
             ..CacheConfig::default()
         });
-        cache.register("a", &pa);
-        cache.register("b", &pb);
+        cache.register("a", &pa).unwrap();
+        cache.register("b", &pb).unwrap();
         let server = TenantServer::new(Arc::clone(&cache));
         for (tenant, direct) in [("a", &direct_a), ("b", &direct_b)] {
             let q: Vec<f32> = direct.data().row(0).to_vec();

@@ -1,0 +1,406 @@
+//! Deterministic, seed-driven failpoint registry.
+//!
+//! Storage-plane code consults named **sites** (`wal.sync`,
+//! `manifest.rename`, …) at its failure-prone edges via [`fire`]; a test or
+//! chaos harness arms them by installing a [`FaultPlan`]. Every firing
+//! decision is a pure function of the plan's seed, the site name, and the
+//! site's consultation index, so any failing run is replayable from its
+//! seed alone — no wall clock, no global RNG.
+//!
+//! The registry is process-wide (one plan at a time) and compiled to a
+//! **no-op unless the `fault-injection` feature is enabled**: without the
+//! feature, [`fire`] is an `#[inline(always)]` constant `false` and every
+//! call site folds away, so production builds carry zero overhead and the
+//! plan-management functions do nothing.
+//!
+//! Harnesses that interleave faulted operations with fault-free oracle
+//! operations in one process use [`set_enabled`] to pause the registry
+//! *without* advancing consultation counters, keeping the faulted
+//! operation sequence deterministic regardless of how much oracle work
+//! runs in between.
+
+use std::fmt;
+
+/// When an armed failpoint site fires, relative to the site's own
+/// consultation counter (0-based: the first [`fire`] call for a site is
+/// consultation 0).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultMode {
+    /// Registered but disarmed: never fires.
+    Off,
+    /// Fires exactly once, on the site's `n`-th consultation.
+    OnceAt(u64),
+    /// Fires on each consultation independently with probability `p`,
+    /// decided by a generator keyed on `(plan seed, site, consultation)` —
+    /// deterministic and replayable, unlike an ambient RNG.
+    Probability(f64),
+    /// Fires on exactly the listed consultation indices.
+    Schedule(Vec<u64>),
+}
+
+/// A complete fault schedule: one seed plus a mode per armed site.
+///
+/// Installed process-wide with [`install`]; the seed is the only state a
+/// failing run needs to publish for an exact replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed keying every probabilistic firing decision.
+    pub seed: u64,
+    /// `(site, mode)` pairs; sites not listed never fire.
+    pub sites: Vec<(String, FaultMode)>,
+}
+
+impl FaultPlan {
+    /// An empty plan under `seed` (no sites armed yet).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Arm `site` with `mode` (builder-style).
+    pub fn with_site(mut self, site: &str, mode: FaultMode) -> Self {
+        self.sites.push((site.to_string(), mode));
+        self
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FaultPlan(seed={}", self.seed)?;
+        for (site, mode) in &self.sites {
+            write!(f, ", {site}={mode:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The `std::io::Error` a firing site injects into its caller. The message
+/// names the site so typed-error assertions (and humans reading logs) can
+/// tell an injected fault from a real one.
+pub fn injected(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at failpoint `{site}`"))
+}
+
+#[cfg(feature = "fault-injection")]
+mod active {
+    use super::{FaultMode, FaultPlan};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct SiteState {
+        mode: FaultMode,
+        hits: u64,
+        trips: u64,
+    }
+
+    struct Registry {
+        seed: u64,
+        enabled: bool,
+        sites: HashMap<String, SiteState>,
+    }
+
+    fn registry() -> &'static Mutex<Option<Registry>> {
+        static REGISTRY: OnceLock<Mutex<Option<Registry>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(None))
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn site_hash(site: &str) -> u64 {
+        // FNV-1a: stable across runs and platforms, unlike `DefaultHasher`.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in site.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Install `plan`, replacing any previous one and zeroing all counters.
+    pub fn install(plan: FaultPlan) {
+        let sites = plan
+            .sites
+            .into_iter()
+            .map(|(site, mode)| {
+                (
+                    site,
+                    SiteState {
+                        mode,
+                        hits: 0,
+                        trips: 0,
+                    },
+                )
+            })
+            .collect();
+        *registry().lock().unwrap() = Some(Registry {
+            seed: plan.seed,
+            enabled: true,
+            sites,
+        });
+    }
+
+    /// Remove the installed plan; every site goes quiet.
+    pub fn clear() {
+        *registry().lock().unwrap() = None;
+    }
+
+    /// Pause (`false`) or resume (`true`) the installed plan **without**
+    /// advancing consultation counters, so fault-free oracle work run while
+    /// paused does not perturb the faulted sequence.
+    pub fn set_enabled(on: bool) {
+        if let Some(reg) = registry().lock().unwrap().as_mut() {
+            reg.enabled = on;
+        }
+    }
+
+    /// Whether a plan is currently installed (paused or not).
+    pub fn installed() -> bool {
+        registry().lock().unwrap().is_some()
+    }
+
+    /// Consult `site`: returns `true` when the armed mode says this
+    /// consultation fails. Advances the site's consultation counter (only
+    /// while a plan is installed and enabled).
+    pub fn fire(site: &str) -> bool {
+        let mut guard = registry().lock().unwrap();
+        let Some(reg) = guard.as_mut() else {
+            return false;
+        };
+        if !reg.enabled {
+            return false;
+        }
+        let seed = reg.seed;
+        let state = reg
+            .sites
+            .entry(site.to_string())
+            .or_insert_with(|| SiteState {
+                mode: FaultMode::Off,
+                hits: 0,
+                trips: 0,
+            });
+        let idx = state.hits;
+        state.hits += 1;
+        let fired = match &state.mode {
+            FaultMode::Off => false,
+            FaultMode::OnceAt(n) => idx == *n,
+            FaultMode::Probability(p) => {
+                let draw = splitmix64(seed ^ site_hash(site) ^ splitmix64(idx));
+                ((draw >> 11) as f64 / (1u64 << 53) as f64) < *p
+            }
+            FaultMode::Schedule(steps) => steps.contains(&idx),
+        };
+        if fired {
+            state.trips += 1;
+        }
+        fired
+    }
+
+    /// Times `site` has been consulted under the installed plan.
+    pub fn hits(site: &str) -> u64 {
+        registry()
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(|reg| reg.sites.get(site))
+            .map_or(0, |s| s.hits)
+    }
+
+    /// Times `site` has fired under the installed plan.
+    pub fn trips(site: &str) -> u64 {
+        registry()
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(|reg| reg.sites.get(site))
+            .map_or(0, |s| s.trips)
+    }
+
+    /// Total firings across every site under the installed plan.
+    pub fn total_trips() -> u64 {
+        registry()
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |reg| reg.sites.values().map(|s| s.trips).sum())
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use active::{clear, fire, hits, install, installed, set_enabled, total_trips, trips};
+
+#[cfg(not(feature = "fault-injection"))]
+mod noop {
+    use super::FaultPlan;
+
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn install(_plan: FaultPlan) {}
+
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn clear() {}
+
+    /// No-op without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// Always `false` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn installed() -> bool {
+        false
+    }
+
+    /// Always `false` without the `fault-injection` feature: this is the
+    /// hot-path consult, and the constant folds every call site away.
+    #[inline(always)]
+    pub fn fire(_site: &str) -> bool {
+        false
+    }
+
+    /// Always `0` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn hits(_site: &str) -> u64 {
+        0
+    }
+
+    /// Always `0` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn trips(_site: &str) -> u64 {
+        0
+    }
+
+    /// Always `0` without the `fault-injection` feature.
+    #[inline(always)]
+    pub fn total_trips() -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+pub use noop::{clear, fire, hits, install, installed, set_enabled, total_trips, trips};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_errors_name_their_site() {
+        let err = injected("wal.sync");
+        assert!(err.to_string().contains("wal.sync"));
+    }
+
+    #[test]
+    fn plans_build_and_display() {
+        let plan = FaultPlan::new(7)
+            .with_site("wal.sync", FaultMode::OnceAt(2))
+            .with_site("manifest.rename", FaultMode::Probability(0.5));
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.sites.len(), 2);
+        let text = plan.to_string();
+        assert!(text.contains("seed=7") && text.contains("wal.sync"));
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn without_the_feature_everything_is_inert() {
+        install(FaultPlan::new(1).with_site("wal.sync", FaultMode::OnceAt(0)));
+        assert!(!installed());
+        assert!(!fire("wal.sync"));
+        assert_eq!(hits("wal.sync"), 0);
+        assert_eq!(trips("wal.sync"), 0);
+        assert_eq!(total_trips(), 0);
+        clear();
+    }
+
+    // The active-registry tests live behind the feature AND serialize on a
+    // lock: the registry is process-wide, and `cargo test` runs tests
+    // concurrently.
+    #[cfg(feature = "fault-injection")]
+    mod active {
+        use super::super::*;
+        use std::sync::{Mutex, MutexGuard, OnceLock};
+
+        pub(crate) fn exclusive() -> MutexGuard<'static, ()> {
+            static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+            LOCK.get_or_init(|| Mutex::new(()))
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn once_at_fires_exactly_once_at_the_index() {
+            let _guard = exclusive();
+            install(FaultPlan::new(3).with_site("s.once", FaultMode::OnceAt(2)));
+            let fired: Vec<bool> = (0..5).map(|_| fire("s.once")).collect();
+            assert_eq!(fired, vec![false, false, true, false, false]);
+            assert_eq!(hits("s.once"), 5);
+            assert_eq!(trips("s.once"), 1);
+            clear();
+        }
+
+        #[test]
+        fn schedule_fires_on_listed_indices_only() {
+            let _guard = exclusive();
+            install(FaultPlan::new(3).with_site("s.sched", FaultMode::Schedule(vec![0, 3])));
+            let fired: Vec<bool> = (0..5).map(|_| fire("s.sched")).collect();
+            assert_eq!(fired, vec![true, false, false, true, false]);
+            assert_eq!(total_trips(), 2);
+            clear();
+        }
+
+        #[test]
+        fn probability_is_deterministic_per_seed_and_calibrated() {
+            let _guard = exclusive();
+            let run = |seed: u64| -> Vec<bool> {
+                install(FaultPlan::new(seed).with_site("s.prob", FaultMode::Probability(0.25)));
+                let fired = (0..400).map(|_| fire("s.prob")).collect();
+                clear();
+                fired
+            };
+            let a = run(11);
+            let b = run(11);
+            assert_eq!(a, b, "same seed must replay the same firing sequence");
+            let c = run(12);
+            assert_ne!(a, c, "different seeds must differ somewhere");
+            let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+            assert!(
+                (0.10..=0.40).contains(&rate),
+                "p=0.25 firing rate way off: {rate}"
+            );
+        }
+
+        #[test]
+        fn pausing_does_not_advance_counters() {
+            let _guard = exclusive();
+            install(FaultPlan::new(5).with_site("s.pause", FaultMode::OnceAt(1)));
+            assert!(!fire("s.pause")); // consultation 0
+            set_enabled(false);
+            for _ in 0..10 {
+                assert!(!fire("s.pause"), "paused registry must not fire");
+            }
+            assert_eq!(hits("s.pause"), 1, "paused consults must not count");
+            set_enabled(true);
+            assert!(fire("s.pause"), "consultation 1 fires after resume");
+            clear();
+        }
+
+        #[test]
+        fn unarmed_sites_never_fire_but_are_counted() {
+            let _guard = exclusive();
+            install(FaultPlan::new(9));
+            assert!(!fire("s.unarmed"));
+            assert_eq!(hits("s.unarmed"), 1);
+            assert_eq!(trips("s.unarmed"), 0);
+            clear();
+            assert!(!fire("s.unarmed"), "cleared registry is inert");
+        }
+    }
+}

@@ -26,6 +26,9 @@
 //!   O(1) physical→dense rank queries (see [`delta`]).
 //! * [`GaussianRandomProjection`] — the ANN-benchmark-style dimensionality
 //!   reduction the paper applies to the NYTimes bag-of-words vectors.
+//! * [`fault`] — the deterministic failpoint registry the storage plane
+//!   consults at its failure-prone edges (a no-op unless the
+//!   `fault-injection` feature is enabled).
 //! * low-level kernels in [`ops`] used by every other crate.
 //!
 //! All public items are documented; see the crate-level tests and the
@@ -37,6 +40,7 @@ pub mod dataset;
 pub mod delta;
 pub mod distance;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod kernel;
 pub mod mapped;
@@ -54,6 +58,7 @@ pub use distance::{
     DotProductSimilarity, EuclideanDistance, Metric, SquaredEuclideanDistance,
 };
 pub use error::VectorError;
+pub use fault::{FaultMode, FaultPlan};
 pub use kernel::{MetricKernel, PreparedQuery, RangeProbe};
 pub use projection::GaussianRandomProjection;
 pub use shard::ShardMap;

@@ -372,8 +372,8 @@ fn serve_tenants(path_a: &str, path_b: &str) {
         max_entries: 2,
         tenant_quota: 0,
     });
-    cache.register("a", path_a);
-    cache.register("b", path_b);
+    cache.register("a", path_a).expect("register tenant a");
+    cache.register("b", path_b).expect("register tenant b");
     let server = TenantServer::new(cache.clone());
     println!(
         "[serve-tenants] byte budget {budget} holds one of ({a}, {b}) bytes: \

@@ -58,7 +58,7 @@ fn four_tenants_through_a_two_snapshot_cache_under_concurrency() {
         tenant_quota: 0,
     });
     for (t, path) in paths.iter().enumerate() {
-        cache.register(&format!("t{t}"), path);
+        cache.register(&format!("t{t}"), path).unwrap();
     }
     let server = TenantServer::new(Arc::clone(&cache));
 
