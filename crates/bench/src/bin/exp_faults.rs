@@ -1,7 +1,8 @@
 //! Fault-model benchmark: the degraded-load matrix (one flipped bit per
-//! snapshot section), cache scrub/quarantine timings, and — when built
-//! with `--features fault-injection` — a fixed-seed chaos replay with
-//! recovery timings. Writes `BENCH_faults.json`.
+//! snapshot section), cache scrub/quarantine timings, the supervised
+//! self-healing matrix with mean-time-to-repair, and — when built with
+//! `--features fault-injection` — a fixed-seed chaos replay with recovery
+//! timings. Writes `BENCH_faults.json`.
 //!
 //! Exits non-zero when any robustness gate fails, so CI's chaos-smoke job
 //! can run this binary directly:
@@ -13,6 +14,9 @@
 //! * corrupt dataset/config sections must be rejected with typed errors;
 //! * the scrub must quarantine the corrupted tenant (typed on pin) and a
 //!   repaired re-registration must lift the quarantine;
+//! * the maintenance supervisor must heal every section of the corruption
+//!   matrix from the clean replica, with a measured (non-zero) mean time
+//!   to repair and no exhausted repairs;
 //! * the chaos replay's recovery must land bit-identically on the
 //!   acknowledged-write state.
 
@@ -54,6 +58,27 @@ fn main() {
         report.scrub.quarantined,
         report.scrub.quarantined_pin_is_typed,
         report.scrub.re_register_lifts_quarantine
+    );
+    for case in &report.repair.cases {
+        assert!(
+            case.healed,
+            "supervisor must heal the corrupt `{}` section from the clean replica \
+             (ended {} after {} ticks)",
+            case.section, case.health, case.ticks_to_heal
+        );
+    }
+    assert!(
+        report.repair.repairs_succeeded == report.repair.cases.len() as u64
+            && report.repair.repairs_failed == 0,
+        "every repair must publish a verified replica \
+         (attempted: {}, succeeded: {}, failed: {})",
+        report.repair.repairs_attempted,
+        report.repair.repairs_succeeded,
+        report.repair.repairs_failed
+    );
+    assert!(
+        report.repair.mean_time_to_repair_us > 0.0,
+        "mean time to repair must be measured and reported"
     );
     if let Some(chaos) = &report.chaos {
         assert!(

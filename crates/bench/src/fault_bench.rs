@@ -11,20 +11,28 @@
 //! rejected with a typed error, never served. The *scrub arm*: a
 //! background cache scrub must find a corrupted resident snapshot,
 //! quarantine it with a typed error on pin, and lift the quarantine when a
-//! repaired file is re-registered. When built with `fault-injection`, a
-//! *chaos arm* replays a fixed-seed fault schedule against a mutable
-//! pipeline and times recovery. Writes `<results_dir>/BENCH_faults.json`.
+//! repaired file is re-registered. The *repair arm* closes the loop
+//! unattended: for every snapshot section, corrupt a registered resident
+//! tenant's primary file and let a [`MaintenanceSupervisor`] heal it from
+//! a clean replica, recording ticks-to-heal per section and the cache's
+//! mean time to repair. When built with `fault-injection`, a *chaos arm*
+//! replays a fixed-seed fault schedule against a mutable pipeline and
+//! times recovery. Writes `<results_dir>/BENCH_faults.json`.
 
 use crate::harness::HarnessConfig;
 use crate::report::{format_seconds, print_table, write_json};
 use laf_cardest::TrainingSetBuilder;
 use laf_clustering::{Clusterer, Dbscan};
 use laf_core::{section_id, LafConfig, LafPipeline};
-use laf_serve::{CacheConfig, CacheError, SnapshotCache};
+use laf_serve::{
+    CacheConfig, CacheError, MaintenanceConfig, MaintenanceSupervisor, ReplicaSet, SnapshotCache,
+    SnapshotSource, TenantHealth,
+};
 use laf_synth::EmbeddingMixtureConfig;
 use laf_vector::Dataset;
 use serde::Serialize;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a degraded load did with one corrupted section.
@@ -72,6 +80,38 @@ pub struct ScrubArm {
     pub re_register_lifts_quarantine: bool,
 }
 
+/// One section of the self-healing matrix: the section was corrupted on a
+/// registered, resident tenant and a [`MaintenanceSupervisor`] had to heal
+/// it from a clean replica.
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairCase {
+    /// Section whose body got the bit flip on the tenant's primary file.
+    pub section: String,
+    /// The supervisor restored the tenant to `Healthy` and a pin succeeds.
+    pub healed: bool,
+    /// Maintenance ticks from corruption to `Healthy`.
+    pub ticks_to_heal: usize,
+    /// Final health state (debug form), `Healthy` when `healed`.
+    pub health: String,
+}
+
+/// The supervised self-healing measurement across the corruption matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairArm {
+    /// One case per snapshot section.
+    pub cases: Vec<RepairCase>,
+    /// Repairs the supervisor started.
+    pub repairs_attempted: u64,
+    /// Repairs that published a verified replica.
+    pub repairs_succeeded: u64,
+    /// Repairs that exhausted every candidate.
+    pub repairs_failed: u64,
+    /// Mean microseconds from quarantine to the repaired publish.
+    pub mean_time_to_repair_us: f64,
+    /// Scrub passes the supervisor ran across the matrix.
+    pub scrub_passes: u64,
+}
+
 /// One seeded chaos replay (only with the `fault-injection` feature).
 #[derive(Debug, Clone, Serialize)]
 pub struct ChaosArm {
@@ -104,6 +144,8 @@ pub struct FaultBenchReport {
     pub hard_fail: Vec<HardFailVerdict>,
     /// The scrub/quarantine arm.
     pub scrub: ScrubArm,
+    /// The supervised self-healing (mean-time-to-repair) arm.
+    pub repair: RepairArm,
     /// The seeded chaos replay (`null` without `fault-injection`).
     pub chaos: Option<ChaosArm>,
 }
@@ -153,6 +195,77 @@ fn corrupt_copy(clean: &Path, out: &Path, id: u32) {
     assert!(len > 0, "section `{}` is empty", section_id::name(id));
     bytes[start + len / 2] ^= 0x01;
     std::fs::write(out, bytes).expect("write corrupt snapshot");
+}
+
+/// Corrupt each snapshot section in turn on a registered, resident tenant
+/// and let a manually-ticked [`MaintenanceSupervisor`] heal it from a clean
+/// replica. Needs no failpoints — the corruption is a real on-disk bit
+/// flip — so the arm runs (and gates) in every build.
+fn repair_arm(clean_path: &Path, dir: &Path) -> RepairArm {
+    const HEAL_TICK_BUDGET: usize = 3;
+    let cache = SnapshotCache::new(CacheConfig::default());
+    let source = Arc::new(ReplicaSet::new());
+    let supervisor = MaintenanceSupervisor::start(
+        Arc::clone(&cache),
+        Arc::clone(&source) as Arc<dyn SnapshotSource>,
+        MaintenanceConfig {
+            scrub_interval_us: 0, // manual ticks: one tick = one counted pass
+            jitter_us: 0,
+            max_concurrent_repairs: 1,
+            repair_retries: 0,
+            repair_backoff_us: 50,
+        },
+    );
+
+    let mut cases = Vec::new();
+    for id in [
+        section_id::DATASET,
+        section_id::ENGINE,
+        section_id::ESTIMATOR,
+        section_id::CALIBRATION,
+        section_id::CONFIG,
+    ] {
+        let name = section_id::name(id);
+        let tenant = format!("repair_{name}");
+        let primary = dir.join(format!("{tenant}.lafs"));
+        std::fs::copy(clean_path, &primary).expect("primary copy");
+        cache.register(&tenant, &primary).expect("register tenant");
+        // Resident (so the scrub sees it), unpinned (so it can quarantine).
+        drop(cache.pin(&tenant).expect("warm tenant"));
+        // Ordered candidates: the primary first (about to be corrupt, so the
+        // repair must reject it on verification) then the clean replica.
+        source.set(&tenant, [primary.clone(), clean_path.to_path_buf()]);
+        corrupt_copy(clean_path, &primary, id);
+
+        let mut ticks = 0;
+        let mut health = supervisor.health(&tenant);
+        while ticks < HEAL_TICK_BUDGET {
+            supervisor.tick();
+            ticks += 1;
+            health = supervisor.health(&tenant);
+            if health == TenantHealth::Healthy {
+                break;
+            }
+        }
+        let healed = health == TenantHealth::Healthy && cache.pin(&tenant).is_ok();
+        cases.push(RepairCase {
+            section: name.to_string(),
+            healed,
+            ticks_to_heal: ticks,
+            health: format!("{health:?}"),
+        });
+    }
+    drop(supervisor);
+
+    let report = cache.report();
+    RepairArm {
+        cases,
+        repairs_attempted: report.repairs_attempted,
+        repairs_succeeded: report.repairs_succeeded,
+        repairs_failed: report.repairs_failed,
+        mean_time_to_repair_us: report.mean_time_to_repair_us,
+        scrub_passes: report.scrub_passes,
+    }
 }
 
 #[cfg(feature = "fault-injection")]
@@ -387,6 +500,9 @@ pub fn run(cfg: &HarnessConfig) -> FaultBenchReport {
         re_register_lifts_quarantine,
     };
 
+    // --- Repair arm: corruption matrix healed by the supervisor ------------
+    let repair = repair_arm(&clean_path, &dir);
+
     // --- Chaos arm (fault-injection builds only) ---------------------------
     let extra = bench_dataset(cfg, (n_points / 4).clamp(16, 512));
     let chaos = chaos_arm(&clean, &extra, &dir);
@@ -398,6 +514,7 @@ pub fn run(cfg: &HarnessConfig) -> FaultBenchReport {
         degraded,
         hard_fail,
         scrub,
+        repair,
         chaos,
     };
 
@@ -437,6 +554,32 @@ pub fn run(cfg: &HarnessConfig) -> FaultBenchReport {
         report.scrub.quarantined,
         report.scrub.quarantined_pin_is_typed,
         report.scrub.re_register_lifts_quarantine
+    );
+    let repair_rows: Vec<Vec<String>> = report
+        .repair
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.section.clone(),
+                c.healed.to_string(),
+                c.ticks_to_heal.to_string(),
+                c.health.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Self-healing: supervised repair across the corruption matrix",
+        &["section", "healed", "ticks", "health"],
+        &repair_rows,
+    );
+    println!(
+        "repair: {}/{} succeeded ({} failed) over {} scrub passes, mean time to repair {:.0} us",
+        report.repair.repairs_succeeded,
+        report.repair.repairs_attempted,
+        report.repair.repairs_failed,
+        report.repair.scrub_passes,
+        report.repair.mean_time_to_repair_us
     );
     match &report.chaos {
         Some(c) => println!(
@@ -499,6 +642,21 @@ mod tests {
         assert_eq!(report.scrub.verified, 1);
         assert!(report.scrub.quarantined_pin_is_typed);
         assert!(report.scrub.re_register_lifts_quarantine);
+
+        assert_eq!(report.repair.cases.len(), 5);
+        for case in &report.repair.cases {
+            assert!(
+                case.healed,
+                "{}: supervisor must heal the tenant, ended {}",
+                case.section, case.health
+            );
+        }
+        assert_eq!(
+            report.repair.repairs_succeeded,
+            report.repair.cases.len() as u64
+        );
+        assert_eq!(report.repair.repairs_failed, 0);
+        assert!(report.repair.mean_time_to_repair_us > 0.0);
 
         if let Some(chaos) = &report.chaos {
             assert!(chaos.state_bit_identical);

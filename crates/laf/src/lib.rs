@@ -236,9 +236,10 @@ pub mod prelude {
         ClusteringStats, ContingencyTable, MissedClusterReport,
     };
     pub use laf_serve::{
-        CacheConfig, CacheStatsReport, EvictionPolicy, LafServer, LruPolicy, PinnedSnapshot,
-        QueryRequest, QueryResponse, ServeConfig, ServeStats, ServeStatsReport, Served,
-        SnapshotCache, TenantServer, Ticket, WriteError,
+        CacheConfig, CacheStatsReport, EvictionPolicy, LafServer, LruPolicy, MaintenanceConfig,
+        MaintenanceSupervisor, PinnedSnapshot, QueryRequest, QueryResponse, ReplicaSet,
+        ServeConfig, ServeStats, ServeStatsReport, Served, SnapshotCache, SnapshotSource,
+        TenantHealth, TenantServer, Ticket, WriteError,
     };
     pub use laf_synth::{
         BagOfWordsConfig, DatasetCatalog, DatasetSpec, EmbeddingMixtureConfig, SyntheticDataset,

@@ -37,6 +37,7 @@
 //! `resident_bytes <= byte_budget` holds at every instant the inner lock is
 //! released.
 
+use laf_core::fault;
 use laf_core::snapshot::Snapshot;
 use laf_core::{LafPipeline, SnapshotError};
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,13 @@ pub struct CacheStats {
     pins: AtomicU64,
     unpins: AtomicU64,
     bytes_loaded: AtomicU64,
+    scrub_passes: AtomicU64,
+    scrub_skipped_pinned: AtomicU64,
+    quarantines: AtomicU64,
+    repairs_attempted: AtomicU64,
+    repairs_succeeded: AtomicU64,
+    repairs_failed: AtomicU64,
+    repair_time_us_total: AtomicU64,
 }
 
 impl CacheStats {
@@ -289,6 +297,30 @@ impl CacheStats {
     /// Resident snapshots evicted to make room.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// [`SnapshotCache::scrub`] passes completed.
+    pub fn scrub_passes(&self) -> u64 {
+        self.scrub_passes.load(Ordering::Relaxed)
+    }
+
+    /// Tenants quarantined across all scrub passes.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_repair_attempt(&self) {
+        self.repairs_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_repair_success(&self, elapsed_us: u64) {
+        self.repairs_succeeded.fetch_add(1, Ordering::Relaxed);
+        self.repair_time_us_total
+            .fetch_add(elapsed_us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_repair_failure(&self) {
+        self.repairs_failed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -316,6 +348,30 @@ pub struct CacheStatsReport {
     pub resident_entries: usize,
     /// The configured byte budget, for downstream invariant checks.
     pub byte_budget: u64,
+    /// [`SnapshotCache::scrub`] passes completed over the cache's lifetime.
+    #[serde(default)]
+    pub scrub_passes: u64,
+    /// Pinned resident entries whose file failed a scrub re-verification
+    /// — visible corruption the scrub could not quarantine because the
+    /// mmap was mid-query (cumulative across passes).
+    #[serde(default)]
+    pub scrub_skipped_pinned: u64,
+    /// Tenants quarantined across all scrub passes.
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Repairs the maintenance supervisor started.
+    #[serde(default)]
+    pub repairs_attempted: u64,
+    /// Repairs that published a verified replica and lifted quarantine.
+    #[serde(default)]
+    pub repairs_succeeded: u64,
+    /// Repairs that exhausted every replica candidate.
+    #[serde(default)]
+    pub repairs_failed: u64,
+    /// Mean time from quarantine to successful repair, in microseconds
+    /// (`0.0` until a repair succeeds).
+    #[serde(default)]
+    pub mean_time_to_repair_us: f64,
 }
 
 /// One resident snapshot.
@@ -340,13 +396,22 @@ struct CacheInner {
 /// Outcome of one [`SnapshotCache::scrub`] pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScrubReport {
-    /// Unpinned resident snapshots whose on-disk CRCs re-verified clean.
+    /// Resident snapshots whose on-disk CRCs re-verified clean (pinned or
+    /// not).
     pub verified: Vec<String>,
     /// Tenants quarantined this pass (CRC mismatch on re-verification).
     pub quarantined: Vec<String>,
-    /// Resident entries skipped because they were pinned when the pass
-    /// started — a mid-query mmap is never re-read behind the request.
+    /// Resident entries whose file failed re-verification but were pinned,
+    /// so quarantine was skipped — a mid-query mmap is never unmapped
+    /// behind the request. These tenants are also listed in
+    /// [`ScrubReport::pinned_corrupt`]; a later pass quarantines them once
+    /// the pins drain.
     pub skipped_pinned: usize,
+    /// The tenants counted by [`ScrubReport::skipped_pinned`]: pinned
+    /// entries whose file no longer verifies. Visible corruption, not yet
+    /// quarantined.
+    #[serde(default)]
+    pub pinned_corrupt: Vec<String>,
 }
 
 /// A buffer-managed, multi-tenant snapshot cache (see the crate
@@ -437,6 +502,12 @@ impl SnapshotCache {
         inner.tenants.keys().cloned().collect()
     }
 
+    /// The snapshot path `tenant` is currently registered to serve, if any.
+    pub fn registered_path(&self, tenant: &str) -> Option<PathBuf> {
+        let inner = self.inner.lock().expect("cache lock");
+        inner.tenants.get(tenant).cloned()
+    }
+
     /// Whether `tenant`'s snapshot is currently resident.
     pub fn resident(&self, tenant: &str) -> bool {
         let inner = self.inner.lock().expect("cache lock");
@@ -488,6 +559,15 @@ impl SnapshotCache {
         self.make_room(&mut inner, bytes).inspect_err(|_| {
             self.stats.rejections.fetch_add(1, Ordering::Relaxed);
         })?;
+        // Failpoint: the mmap of a cold snapshot fails (file vanished
+        // between metadata and map, transient EIO). Surfaces as the same
+        // typed `Load` error a real mmap failure produces.
+        if fault::fire("cache.pin.mmap") {
+            return Err(CacheError::Load {
+                tenant: tenant.to_string(),
+                source: SnapshotError::Io(fault::injected("cache.pin.mmap")),
+            });
+        }
         let pipeline = LafPipeline::load_mmap(&path).map_err(|source| CacheError::Load {
             tenant: tenant.to_string(),
             source,
@@ -542,17 +622,21 @@ impl SnapshotCache {
         }
     }
 
-    /// Background scrub pass: re-verify the section CRCs of every
-    /// **unpinned** resident snapshot against its on-disk bytes, and
-    /// quarantine the tenants whose files no longer verify (bit rot, a
-    /// truncating copy, an operator overwrite gone wrong).
+    /// Background scrub pass: re-verify the section CRCs of **every**
+    /// resident snapshot — pinned or not — against its on-disk bytes, and
+    /// quarantine the unpinned tenants whose files no longer verify (bit
+    /// rot, a truncating copy, an operator overwrite gone wrong).
     ///
     /// Quarantined tenants are dropped from residency and every subsequent
     /// [`pin`](Self::pin)/[`try_pin`](Self::try_pin) returns
     /// [`CacheError::Quarantined`] — never a silently wrong answer — until
     /// the tenant is re-[`register`](Self::register)ed with a repaired
-    /// file. Pinned entries are skipped (reported in
-    /// [`ScrubReport::skipped_pinned`]): their mmap'd bytes are mid-query.
+    /// file. A **pinned** entry whose file fails verification is never
+    /// quarantined (its mmap is mid-query), but the corruption is no
+    /// longer silent: the tenant is reported in
+    /// [`ScrubReport::pinned_corrupt`] / counted in
+    /// [`ScrubReport::skipped_pinned`], so a long-pinned rotten tenant is
+    /// visible long before its pins drain and a later pass quarantines it.
     ///
     /// The full-file CRC verification runs **outside** the cache lock, so a
     /// scrub never stalls concurrent pins; the pass re-checks under the
@@ -560,39 +644,47 @@ impl SnapshotCache {
     /// file before quarantining.
     pub fn scrub(&self) -> ScrubReport {
         let mut report = ScrubReport::default();
-        let candidates: Vec<(String, PathBuf)> = {
+        let mut candidates: Vec<(String, PathBuf)> = {
             let inner = self.inner.lock().expect("cache lock");
-            report.skipped_pinned = inner.entries.values().filter(|e| e.pins > 0).count();
             inner
                 .entries
-                .iter()
-                .filter(|(_, e)| e.pins == 0)
-                .filter_map(|(t, _)| inner.tenants.get(t).map(|p| (t.clone(), p.clone())))
+                .keys()
+                .filter_map(|t| inner.tenants.get(t).map(|p| (t.clone(), p.clone())))
                 .collect()
         };
+        // Verify in tenant order, not hash order: under fault injection the
+        // consultation sequence is part of a seeded schedule, and replaying
+        // a seed must replay it exactly.
+        candidates.sort();
         for (tenant, path) in candidates {
             match Snapshot::verify_file(&path) {
                 Ok(()) => report.verified.push(tenant),
                 Err(_) => {
                     let mut inner = self.inner.lock().expect("cache lock");
-                    // Re-registration or a pin may have raced the verify;
-                    // only quarantine if the tenant still serves this file
-                    // and the entry is still unpinned.
+                    // Re-registration may have raced the verify; only act
+                    // if the tenant still serves this file.
                     if inner.tenants.get(&tenant) != Some(&path) {
                         continue;
                     }
                     if inner.entries.get(&tenant).is_some_and(|e| e.pins > 0) {
                         report.skipped_pinned += 1;
+                        self.stats
+                            .scrub_skipped_pinned
+                            .fetch_add(1, Ordering::Relaxed);
+                        report.pinned_corrupt.push(tenant);
                         continue;
                     }
                     Self::remove_entry(&mut inner, &tenant);
                     inner.quarantined.insert(tenant.clone());
+                    self.stats.quarantines.fetch_add(1, Ordering::Relaxed);
                     report.quarantined.push(tenant);
                 }
             }
         }
+        self.stats.scrub_passes.fetch_add(1, Ordering::Relaxed);
         report.verified.sort();
         report.quarantined.sort();
+        report.pinned_corrupt.sort();
         report
     }
 
@@ -618,6 +710,21 @@ impl SnapshotCache {
             resident_bytes: inner.resident_bytes,
             resident_entries: inner.entries.len(),
             byte_budget: self.config.byte_budget,
+            scrub_passes: self.stats.scrub_passes.load(Ordering::Relaxed),
+            scrub_skipped_pinned: self.stats.scrub_skipped_pinned.load(Ordering::Relaxed),
+            quarantines: self.stats.quarantines.load(Ordering::Relaxed),
+            repairs_attempted: self.stats.repairs_attempted.load(Ordering::Relaxed),
+            repairs_succeeded: self.stats.repairs_succeeded.load(Ordering::Relaxed),
+            repairs_failed: self.stats.repairs_failed.load(Ordering::Relaxed),
+            mean_time_to_repair_us: {
+                let succeeded = self.stats.repairs_succeeded.load(Ordering::Relaxed);
+                if succeeded == 0 {
+                    0.0
+                } else {
+                    self.stats.repair_time_us_total.load(Ordering::Relaxed) as f64
+                        / succeeded as f64
+                }
+            },
         }
     }
 
@@ -1023,15 +1130,25 @@ mod tests {
         let cache = SnapshotCache::new(CacheConfig::default());
         cache.register("a", &pa).unwrap();
         let pin = cache.pin("a").unwrap();
+        // A clean pinned entry is verified like any other.
+        let clean = cache.scrub();
+        assert_eq!(clean.verified, vec!["a".to_string()]);
+        assert_eq!(clean.skipped_pinned, 0);
         let len = std::fs::metadata(&pa).unwrap().len() as usize;
         flip_byte(&pa, len / 2);
         let report = cache.scrub();
         assert_eq!(report.skipped_pinned, 1);
+        assert_eq!(report.pinned_corrupt, vec!["a".to_string()]);
         assert!(report.quarantined.is_empty(), "pinned entries are immune");
         assert!(cache.resident("a"));
+        let stats = cache.report();
+        assert_eq!(stats.scrub_passes, 2);
+        assert_eq!(stats.scrub_skipped_pinned, 1);
+        assert_eq!(stats.quarantines, 0);
         // Once the pin drops, the next pass quarantines the rotten file.
         drop(pin);
         assert_eq!(cache.scrub().quarantined, vec!["a".to_string()]);
+        assert_eq!(cache.report().quarantines, 1);
         std::fs::remove_file(pa).ok();
     }
 }

@@ -101,6 +101,20 @@
 //! through the cache with answers bit-identical to the tenant's own
 //! pipeline.
 //!
+//! ## Self-healing maintenance
+//!
+//! [`SnapshotCache::scrub`] detects on-disk corruption and quarantines it;
+//! [`MaintenanceSupervisor`] closes the loop unattended: a background
+//! thread periodically scrubs, and drives every quarantined tenant through
+//! a `Healthy → Quarantined → Repairing → Healthy | Failed` state machine
+//! by re-fetching a known-good snapshot from a [`SnapshotSource`] (an
+//! ordered replica set), fully CRC-verifying each candidate, and
+//! publishing it through the ordinary [`SnapshotCache::register`] path —
+//! so concurrent pins never observe a half-repaired tenant. Pacing is
+//! injectable ([`MaintenanceConfig::scrub_interval_us`] `0` = manual
+//! [`MaintenanceSupervisor::tick`]s, the mode the chaos tests drive) and
+//! every transition is counted on [`CacheStatsReport`].
+//!
 //! ```
 //! use laf_serve::{LafServer, ServeConfig};
 //! # use laf_core::{LafConfig, LafPipeline};
@@ -131,6 +145,7 @@
 
 mod cache;
 mod config;
+mod maintenance;
 mod request;
 mod server;
 mod stats;
@@ -141,6 +156,9 @@ pub use cache::{
     PinnedSnapshot, ScrubReport, SnapshotCache,
 };
 pub use config::{ServeConfig, TILE};
+pub use maintenance::{
+    MaintenanceConfig, MaintenanceSupervisor, RepairError, ReplicaSet, SnapshotSource, TenantHealth,
+};
 pub use request::{QueryRequest, QueryResponse, WriteError};
 pub use server::{LafServer, ServeError, Served, Ticket};
 pub use stats::{OccupancyBucket, ServeStats, ServeStatsReport, OCCUPANCY_BUCKETS};

@@ -3,6 +3,7 @@
 use crate::config::{ServeConfig, TILE};
 use crate::request::{QueryRequest, QueryResponse, WriteError};
 use crate::stats::{ServeStats, ServeStatsReport};
+use laf_core::fault;
 use laf_core::{LafPipeline, MutablePipeline, SharedEngine, SnapshotError};
 use laf_index::Neighbor;
 use std::collections::{HashMap, VecDeque};
@@ -21,6 +22,11 @@ const WAL_SYNC_RETRIES: u32 = 3;
 /// [`WAL_SYNC_RETRIES`]); the existing backlog-growth backoff still governs
 /// when a batch re-attempts after these are exhausted.
 const COMPACT_RETRIES: u32 = 2;
+
+/// Retry budget for a transient dispatcher flush stall (the
+/// `serve.coalesce.flush` failpoint). The batch is dispatched after the
+/// budget regardless — a stall delays a flush, it never drops one.
+const FLUSH_RETRIES: u32 = 3;
 /// First-retry backoff; retry `n` sleeps `base << (n - 1)` microseconds.
 const RETRY_BACKOFF_BASE_US: u64 = 100;
 
@@ -59,6 +65,10 @@ pub enum ServeError {
         /// How long the caller waited before giving up, in microseconds.
         waited_us: u64,
     },
+    /// A [`LafServer::reload`] epoch flip failed; the server kept serving
+    /// the previous epoch. The caller still owns the replacement workflow
+    /// (rebuild the pipeline and reload again).
+    ReloadFailed,
 }
 
 impl fmt::Display for ServeError {
@@ -71,6 +81,12 @@ impl fmt::Display for ServeError {
             ServeError::ReadOnly => write!(f, "server is read-only: writes need start_mutable"),
             ServeError::Timeout { waited_us } => {
                 write!(f, "request deadline expired after {waited_us}us")
+            }
+            ServeError::ReloadFailed => {
+                write!(
+                    f,
+                    "epoch flip failed: the previous snapshot is still serving"
+                )
             }
         }
     }
@@ -585,9 +601,15 @@ impl LafServer {
     /// (their batch holds the old `Arc`); requests dispatched after the swap
     /// see the new one. Returns the new epoch number.
     ///
+    /// # Errors
+    /// [`ServeError::ReloadFailed`] when the epoch flip itself fails (the
+    /// `serve.reload.swap` failpoint under fault injection). The failure is
+    /// atomic: the previous epoch keeps serving, the replacement is
+    /// discarded, and [`ServeStatsReport::reload_failures`] counts it.
+    ///
     /// Immutable servers only: a mutable server publishes new epochs
     /// itself, through compaction.
-    pub fn reload(&self, pipeline: LafPipeline) -> u64 {
+    pub fn reload(&self, pipeline: LafPipeline) -> Result<u64, ServeError> {
         debug_assert!(
             self.shared.mutable.is_none(),
             "reload() on a mutable server: compaction publishes its epochs"
@@ -595,6 +617,12 @@ impl LafServer {
         let engine = pipeline.engine();
         let pipeline = Arc::new(pipeline);
         let mut current = self.shared.current.lock().unwrap();
+        // Failpoint: the flip fails after the engine build, before any
+        // request can observe the replacement — all-or-nothing.
+        if fault::fire("serve.reload.swap") {
+            self.shared.stats.record_reload_failure();
+            return Err(ServeError::ReloadFailed);
+        }
         let epoch = current.epoch + 1;
         *current = Arc::new(EpochState {
             epoch,
@@ -602,7 +630,7 @@ impl LafServer {
             engine,
         });
         self.shared.stats.record_reload();
-        epoch
+        Ok(epoch)
     }
 
     /// The epoch new requests are currently served under.
@@ -741,6 +769,16 @@ fn dispatch_loop(shared: &Shared) {
                 break state.queue.drain(..take).collect();
             }
         };
+        // Failpoint: a transient flush stall (the downstream kernel pool is
+        // briefly saturated). Retried with the dispatcher's usual doubling
+        // backoff; the batch is dispatched after the budget no matter what —
+        // a stall delays answers, it never drops them.
+        let mut flush_attempt = 0;
+        while fault::fire("serve.coalesce.flush") && flush_attempt < FLUSH_RETRIES {
+            flush_attempt += 1;
+            shared.stats.record_flush_retry();
+            retry_backoff(flush_attempt);
+        }
         shared.stats.record_batch(batch.len());
         match &shared.mutable {
             Some(mutable) => answer_mutable(shared, mutable, &batch, &mut compact_floor),
@@ -848,14 +886,22 @@ fn answer_mutable(
         match result {
             Ok(()) => {
                 *compact_floor = 0;
-                let engine = pipeline.base().engine();
-                let mut current = shared.current.lock().unwrap();
-                *current = Arc::new(EpochState {
-                    epoch: current.epoch + 1,
-                    pipeline: Arc::clone(pipeline.base()),
-                    engine,
-                });
-                shared.stats.record_reload();
+                // Failpoint: the post-compaction epoch flip fails. Safe to
+                // skip — mutable reads go through the pipeline directly, so
+                // only the epoch *tag* on responses stays behind until the
+                // next successful publish. The compaction itself is durable.
+                if fault::fire("serve.reload.swap") {
+                    shared.stats.record_reload_failure();
+                } else {
+                    let engine = pipeline.base().engine();
+                    let mut current = shared.current.lock().unwrap();
+                    *current = Arc::new(EpochState {
+                        epoch: current.epoch + 1,
+                        pipeline: Arc::clone(pipeline.base()),
+                        engine,
+                    });
+                    shared.stats.record_reload();
+                }
             }
             Err(_) => {
                 shared.stats.record_compact_failure();
@@ -1179,7 +1225,7 @@ mod tests {
         let replacement = pipeline(23);
         let q: Vec<f32> = replacement.data().row(0).to_vec();
         let expected = replacement.engine().range(&q, 0.3);
-        assert_eq!(server.reload(replacement), 2);
+        assert_eq!(server.reload(replacement).unwrap(), 2);
         assert_eq!(server.current_epoch(), 2);
         let served = server.range(&q, 0.3).unwrap();
         assert_eq!(served.epoch, 2);

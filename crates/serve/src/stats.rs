@@ -49,6 +49,8 @@ pub struct ServeStats {
     timeouts: AtomicU64,
     wal_sync_retries: AtomicU64,
     compact_retries: AtomicU64,
+    flush_retries: AtomicU64,
+    reload_failures: AtomicU64,
     peak_queue_depth: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
 }
@@ -104,6 +106,18 @@ impl ServeStats {
         self.compact_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one retried dispatcher flush (a transient stall absorbed
+    /// before the batch was dispatched — the batch is never dropped).
+    pub(crate) fn record_flush_retry(&self) {
+        self.flush_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a snapshot hot-reload whose epoch flip failed: the server
+    /// kept serving the previous epoch.
+    pub(crate) fn record_reload_failure(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Background compactions that failed so far.
     pub fn compact_failures(&self) -> u64 {
         self.compact_failures.load(Ordering::Relaxed)
@@ -122,6 +136,16 @@ impl ServeStats {
     /// Background compaction retries performed so far.
     pub fn compact_retries(&self) -> u64 {
         self.compact_retries.load(Ordering::Relaxed)
+    }
+
+    /// Dispatcher flush retries performed so far.
+    pub fn flush_retries(&self) -> u64 {
+        self.flush_retries.load(Ordering::Relaxed)
+    }
+
+    /// Hot-reload epoch flips that failed so far.
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
     }
 
     /// Requests admitted so far.
@@ -154,6 +178,8 @@ impl ServeStats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             wal_sync_retries: self.wal_sync_retries.load(Ordering::Relaxed),
             compact_retries: self.compact_retries.load(Ordering::Relaxed),
+            flush_retries: self.flush_retries.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             mean_batch_occupancy: if batches == 0 {
                 0.0
@@ -184,6 +210,8 @@ impl ServeStats {
         self.timeouts.store(0, Ordering::Relaxed);
         self.wal_sync_retries.store(0, Ordering::Relaxed);
         self.compact_retries.store(0, Ordering::Relaxed);
+        self.flush_retries.store(0, Ordering::Relaxed);
+        self.reload_failures.store(0, Ordering::Relaxed);
         self.peak_queue_depth.store(0, Ordering::Relaxed);
         for bucket in &self.occupancy {
             bucket.store(0, Ordering::Relaxed);
@@ -229,6 +257,14 @@ pub struct ServeStatsReport {
     /// Transient background-compaction failures absorbed by retry.
     #[serde(default)]
     pub compact_retries: u64,
+    /// Transient dispatcher flush stalls absorbed by retry (the
+    /// `serve.coalesce.flush` failpoint; no batch is ever dropped).
+    #[serde(default)]
+    pub flush_retries: u64,
+    /// Hot-reload epoch flips that failed ([`crate::ServeError::ReloadFailed`]);
+    /// the server kept serving the previous epoch.
+    #[serde(default)]
+    pub reload_failures: u64,
     /// Highest queue depth observed at submission time.
     pub peak_queue_depth: u64,
     /// `completed / batches` — the average coalescing factor.

@@ -10,6 +10,7 @@
 //! what they answer.
 
 use crate::cache::{CacheError, PinnedSnapshot, SnapshotCache};
+use crate::maintenance::{MaintenanceConfig, MaintenanceSupervisor, SnapshotSource};
 use crate::request::{QueryRequest, QueryResponse};
 use laf_clustering::Clustering;
 use laf_core::LafStats;
@@ -34,6 +35,19 @@ impl TenantServer {
     /// The underlying cache (for registration, stats, or direct pinning).
     pub fn cache(&self) -> &Arc<SnapshotCache> {
         &self.cache
+    }
+
+    /// Start a self-healing [`MaintenanceSupervisor`] over this server's
+    /// cache: periodic scrub, quarantine, and replica-backed repair of
+    /// every tenant the cache serves (see [`MaintenanceSupervisor`]). The
+    /// supervisor stops and joins when the returned handle drops; requests
+    /// keep flowing through `self` while it runs.
+    pub fn start_maintenance(
+        &self,
+        source: Arc<dyn SnapshotSource>,
+        config: MaintenanceConfig,
+    ) -> MaintenanceSupervisor {
+        MaintenanceSupervisor::start(Arc::clone(&self.cache), source, config)
     }
 
     /// Pin `tenant`'s pipeline for a multi-query request. Prefer the

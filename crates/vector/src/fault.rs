@@ -1,7 +1,10 @@
 //! Deterministic, seed-driven failpoint registry.
 //!
 //! Storage-plane code consults named **sites** (`wal.sync`,
-//! `manifest.rename`, …) at its failure-prone edges via [`fire`]; a test or
+//! `manifest.rename`, …) at its failure-prone edges via [`fire`]; the
+//! serve layer consults its own (`serve.coalesce.flush`,
+//! `serve.reload.swap`, `cache.pin.mmap`, `cache.repair.fetch`) — sites
+//! are plain strings, so a new plane needs no registry changes. A test or
 //! chaos harness arms them by installing a [`FaultPlan`]. Every firing
 //! decision is a pure function of the plan's seed, the site name, and the
 //! site's consultation index, so any failing run is replayable from its

@@ -97,7 +97,7 @@ fn responses_stay_bit_exact_across_concurrent_snapshot_swaps() {
             for swap in 0..SWAPS {
                 let bytes = if swap % 2 == 0 { bytes_b } else { bytes_a };
                 let replacement = LafPipeline::from_snapshot_bytes(bytes).unwrap();
-                server.reload(replacement);
+                server.reload(replacement).unwrap();
                 // Let readers land some requests on this epoch.
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
